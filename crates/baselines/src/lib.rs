@@ -1,0 +1,29 @@
+//! # pipefail-baselines
+//!
+//! The comparison methods of §18.4.3, implemented in full:
+//!
+//! * [`cox`] — the Cox proportional-hazards model (Eq. 18.8): partial
+//!   likelihood with Breslow tie handling and left-truncated (delayed-entry)
+//!   risk sets on the pipe-age time scale, Newton–Raphson with step halving,
+//!   and a kernel-smoothed Breslow baseline hazard for one-year-ahead risk;
+//! * [`weibull_nhpp`] — the Weibull model (Eq. 18.9): a non-homogeneous
+//!   Poisson process with intensity `αβt^{β−1}` and multiplicative
+//!   covariates, fitted by gradient ascent with backtracking on the exact
+//!   NHPP log-likelihood;
+//! * [`time_models`] — the early single-variable models: time-exponential
+//!   (Shamir & Howard), time-power (Mavin) and time-linear (Kettler &
+//!   Goulter) fits of failure rate vs age;
+//! * [`survival`] — shared survival-data preparation (entry/exit/event ages
+//!   over the training window).
+//!
+//! All models implement [`pipefail_core::model::FailureModel`] and are
+//! evaluated by the same harness as the proposed method.
+
+pub mod cox;
+pub mod survival;
+pub mod time_models;
+pub mod weibull_nhpp;
+
+pub use cox::{CoxConfig, CoxModel};
+pub use time_models::{TimeModel, TimeModelKind};
+pub use weibull_nhpp::{WeibullNhpp, WeibullNhppConfig};

@@ -1,0 +1,155 @@
+//! Survival-data preparation shared by the Cox and Weibull baselines.
+//!
+//! Pipes enter observation already aged (laid decades before the failure
+//! records begin), so every subject is *left-truncated*: it is only at risk
+//! from its age at the start of the training window. Ignoring this inflates
+//! early-age risk sets and biases age effects — the classic pitfall of
+//! fitting survival models to maintenance-era utility data.
+
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::features::{FeatureEncoder, FeatureMask};
+use pipefail_network::ids::PipeId;
+use pipefail_network::split::TrainTestSplit;
+
+/// One pipe's survival record over the training window (age time scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalRow {
+    /// The pipe.
+    pub pipe: PipeId,
+    /// Age at which observation starts (left-truncation age).
+    pub entry: f64,
+    /// Age at which observation ends (first failure for Cox-style
+    /// time-to-first-event; end of window otherwise).
+    pub exit: f64,
+    /// Age at first failure within the window, if any.
+    pub event_age: Option<f64>,
+    /// Ages of *all* failures within the window (for counting-process
+    /// models like the Weibull NHPP).
+    pub all_event_ages: Vec<f64>,
+    /// Encoded covariates.
+    pub x: Vec<f64>,
+    /// Age at the start of the test (prediction) year.
+    pub test_age: f64,
+}
+
+/// Build survival rows for every pipe of `class`, plus the fitted feature
+/// encoder. Pipes with no exposure in the training window are skipped.
+pub fn build_survival(
+    dataset: &Dataset,
+    split: &TrainTestSplit,
+    class: PipeClass,
+    mask: FeatureMask,
+) -> (Vec<SurvivalRow>, FeatureEncoder) {
+    let encoder = FeatureEncoder::fit(dataset, mask, split.prediction_year());
+    // First failure year per pipe within train, and all failure ages.
+    let mut first_fail: Vec<Option<i32>> = vec![None; dataset.pipes().len()];
+    let mut all_fail: Vec<Vec<i32>> = vec![Vec::new(); dataset.pipes().len()];
+    for f in dataset.failures() {
+        if split.train.contains(f.year) {
+            let e = &mut first_fail[f.pipe.index()];
+            if e.is_none_or(|y| f.year < y) {
+                *e = Some(f.year);
+            }
+            all_fail[f.pipe.index()].push(f.year);
+        }
+    }
+    let rows = dataset
+        .pipes_of_class(class)
+        .filter_map(|p| {
+            let first_exposed_year = split.train.start.max(p.laid_year + 1);
+            if first_exposed_year > split.train.end {
+                return None; // no exposure in the window
+            }
+            let entry = (first_exposed_year - 1 - p.laid_year).max(0) as f64;
+            let window_exit = (split.train.end - p.laid_year) as f64;
+            let event_age = first_fail[p.id.index()]
+                .map(|y| (y - p.laid_year).max(1) as f64)
+                .filter(|&a| a > entry && a <= window_exit);
+            let exit = event_age.unwrap_or(window_exit);
+            let mut all_event_ages: Vec<f64> = all_fail[p.id.index()]
+                .iter()
+                .map(|&y| (y - p.laid_year).max(1) as f64)
+                .filter(|&a| a > entry && a <= window_exit)
+                .collect();
+            all_event_ages.sort_by(|a, b| a.partial_cmp(b).expect("finite ages"));
+            Some(SurvivalRow {
+                pipe: p.id,
+                entry,
+                exit,
+                event_age,
+                all_event_ages,
+                x: encoder.encode_pipe(dataset, p),
+                test_age: p.age_in(split.prediction_year()),
+            })
+        })
+        .collect();
+    (rows, encoder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_synth::WorldConfig;
+
+    fn demo_region() -> Dataset {
+        WorldConfig::paper()
+            .scaled(0.02)
+            .only_region("Region A")
+            .build(5)
+            .regions()[0]
+            .clone()
+    }
+
+    #[test]
+    fn rows_cover_cwm_pipes_with_exposure() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let (rows, enc) = build_survival(&ds, &split, PipeClass::Critical, FeatureMask::water_mains());
+        let cwm = ds.pipes_of_class(PipeClass::Critical).count();
+        assert!(rows.len() <= cwm);
+        assert!(rows.len() > cwm / 2, "most CWMs should have exposure");
+        for r in &rows {
+            assert!(r.entry < r.exit, "entry {} exit {}", r.entry, r.exit);
+            assert_eq!(r.x.len(), enc.dim());
+            if let Some(e) = r.event_age {
+                assert!(e > r.entry && e <= r.exit);
+                assert!((e - r.exit).abs() < 1e-12, "Cox exit is the event age");
+            }
+            for &a in &r.all_event_ages {
+                assert!(a > r.entry);
+            }
+            assert!(r.test_age >= r.exit, "test age beyond window");
+        }
+    }
+
+    #[test]
+    fn left_truncation_reflects_laid_year() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let (rows, _) = build_survival(&ds, &split, PipeClass::Critical, FeatureMask::water_mains());
+        for r in &rows {
+            let pipe = ds.pipe(r.pipe);
+            // A pipe laid in 1950 is 47 at the window start (1998): entry 47.
+            let expect_entry = (split.train.start - 1 - pipe.laid_year).max(0) as f64;
+            assert_eq!(r.entry, expect_entry);
+        }
+    }
+
+    #[test]
+    fn event_counts_match_dataset() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let (rows, _) = build_survival(&ds, &split, PipeClass::Critical, FeatureMask::water_mains());
+        let with_event = rows.iter().filter(|r| r.event_age.is_some()).count();
+        let failed_pipes = ds
+            .pipes_of_class(PipeClass::Critical)
+            .filter(|p| {
+                ds.failures()
+                    .iter()
+                    .any(|f| f.pipe == p.id && split.train.contains(f.year))
+            })
+            .count();
+        assert_eq!(with_event, failed_pipes);
+    }
+}

@@ -1,0 +1,272 @@
+//! The early single-variable models (§18.2.1): failure rate as a function of
+//! pipe age only.
+//!
+//! * **time-exponential** (Shamir & Howard 1979): `rate(a) = A·e^{B·a}`;
+//! * **time-power** (Mavin 1996): `rate(a) = A·a^B`;
+//! * **time-linear** (Kettler & Goulter 1985): `rate(a) = A + B·a`.
+//!
+//! All three are fitted to the aggregated failures-per-pipe-year-at-age curve
+//! of the training window by exposure-weighted least squares (in log space
+//! for the exponential/power forms, with a small continuity correction for
+//! zero-failure ages). They are deliberately crude — the paper's point is
+//! that multivariate and nonparametric methods beat them.
+
+use pipefail_core::model::{FailureModel, RiskRanking, RiskScore};
+use pipefail_core::{CoreError, Result};
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::TrainTestSplit;
+
+/// Which functional form to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeModelKind {
+    /// `A·e^{B·a}`.
+    Exponential,
+    /// `A·a^B`.
+    Power,
+    /// `A + B·a`.
+    Linear,
+}
+
+/// A fitted time model.
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    kind: TimeModelKind,
+    a: f64,
+    b: f64,
+}
+
+impl TimeModel {
+    /// Create an (unfitted) model of the given form.
+    pub fn new(kind: TimeModelKind) -> Self {
+        Self { kind, a: 0.0, b: 0.0 }
+    }
+
+    /// The fitted `(A, B)` parameters.
+    pub fn parameters(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    /// Predicted failure rate (per pipe-year) at age `age`.
+    pub fn rate_at(&self, age: f64) -> f64 {
+        let age = age.max(1.0);
+        match self.kind {
+            TimeModelKind::Exponential => self.a * (self.b * age).exp(),
+            TimeModelKind::Power => self.a * age.powf(self.b),
+            TimeModelKind::Linear => (self.a + self.b * age).max(0.0),
+        }
+    }
+
+    /// Fit to `(age, failures, exposure)` aggregates.
+    fn fit_aggregates(&mut self, rows: &[(f64, f64, f64)]) -> Result<()> {
+        let usable: Vec<(f64, f64, f64)> = rows
+            .iter()
+            .copied()
+            .filter(|(_, _, e)| *e > 0.0)
+            .collect();
+        if usable.len() < 3 {
+            return Err(CoreError::FitFailed("time model: too few age bins".into()));
+        }
+        match self.kind {
+            TimeModelKind::Exponential | TimeModelKind::Power => {
+                // Weighted regression of ln(rate + corr) on a or ln a.
+                let mut sw = 0.0;
+                let mut sx = 0.0;
+                let mut sy = 0.0;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for (age, fails, exp) in &usable {
+                    // Continuity correction keeps zero-failure bins usable.
+                    let rate = (fails + 0.5) / (exp + 1.0);
+                    let x = if self.kind == TimeModelKind::Power {
+                        age.max(1.0).ln()
+                    } else {
+                        *age
+                    };
+                    let y = rate.ln();
+                    let w = *exp;
+                    sw += w;
+                    sx += w * x;
+                    sy += w * y;
+                    sxx += w * x * x;
+                    sxy += w * x * y;
+                }
+                let denom = sw * sxx - sx * sx;
+                if denom.abs() < 1e-12 {
+                    return Err(CoreError::FitFailed("time model: degenerate ages".into()));
+                }
+                let slope = (sw * sxy - sx * sy) / denom;
+                let intercept = (sy - slope * sx) / sw;
+                self.a = intercept.exp();
+                self.b = slope;
+            }
+            TimeModelKind::Linear => {
+                let mut sw = 0.0;
+                let mut sx = 0.0;
+                let mut sy = 0.0;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for (age, fails, exp) in &usable {
+                    let rate = fails / exp;
+                    let w = *exp;
+                    sw += w;
+                    sx += w * age;
+                    sy += w * rate;
+                    sxx += w * age * age;
+                    sxy += w * age * rate;
+                }
+                let denom = sw * sxx - sx * sx;
+                if denom.abs() < 1e-12 {
+                    return Err(CoreError::FitFailed("time model: degenerate ages".into()));
+                }
+                self.b = (sw * sxy - sx * sy) / denom;
+                self.a = (sy - self.b * sx) / sw;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FailureModel for TimeModel {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            TimeModelKind::Exponential => "TimeExp",
+            TimeModelKind::Power => "TimePow",
+            TimeModelKind::Linear => "TimeLin",
+        }
+    }
+
+    fn fit_rank_class(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        class: PipeClass,
+        _seed: u64,
+    ) -> Result<RiskRanking> {
+        let pipes: Vec<_> = dataset.pipes_of_class(class).collect();
+        if pipes.is_empty() {
+            return Err(CoreError::EmptyEvaluationSet("no pipes of requested class"));
+        }
+        // Aggregate failures and exposure by age (5-year bins for stability).
+        let counts = dataset.pipe_failure_counts(split.train);
+        let mut by_bin: std::collections::BTreeMap<i64, (f64, f64)> = Default::default();
+        for p in &pipes {
+            let first = split.train.start.max(p.laid_year + 1);
+            for year in first..=split.train.end {
+                let age = (year - p.laid_year) as f64;
+                let bin = (age / 5.0).floor() as i64;
+                by_bin.entry(bin).or_default().1 += 1.0;
+            }
+            let _ = counts; // failures assigned by their own year below
+        }
+        for f in dataset.failures() {
+            if split.train.contains(f.year) {
+                let p = dataset.pipe(f.pipe);
+                if p.class() == class {
+                    let age = (f.year - p.laid_year).max(1) as f64;
+                    let bin = (age / 5.0).floor() as i64;
+                    by_bin.entry(bin).or_default().0 += 1.0;
+                }
+            }
+        }
+        let rows: Vec<(f64, f64, f64)> = by_bin
+            .iter()
+            .map(|(&bin, &(fails, exp))| ((bin as f64 + 0.5) * 5.0, fails, exp))
+            .collect();
+        self.fit_aggregates(&rows)?;
+        let scores = pipes
+            .iter()
+            .map(|p| RiskScore {
+                pipe: p.id,
+                score: self.rate_at(p.age_in(split.prediction_year())),
+            })
+            .collect();
+        Ok(RiskRanking::new(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_synth::WorldConfig;
+
+    fn demo_region() -> Dataset {
+        WorldConfig::paper()
+            .scaled(0.02)
+            .only_region("Region A")
+            .build(5)
+            .regions()[0]
+            .clone()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_planted_curve() {
+        // rate(a) = 0.01 e^{0.03 a}
+        let rows: Vec<(f64, f64, f64)> = (1..=12)
+            .map(|i| {
+                let age = i as f64 * 5.0;
+                let exposure = 10_000.0;
+                let rate: f64 = 0.01 * (0.03 * age).exp();
+                (age, rate * exposure, exposure)
+            })
+            .collect();
+        let mut m = TimeModel::new(TimeModelKind::Exponential);
+        m.fit_aggregates(&rows).unwrap();
+        let (a, b) = m.parameters();
+        assert!((b - 0.03).abs() < 0.005, "B {b}");
+        assert!((a - 0.01).abs() < 0.005, "A {a}");
+    }
+
+    #[test]
+    fn power_fit_recovers_planted_curve() {
+        let rows: Vec<(f64, f64, f64)> = (1..=12)
+            .map(|i| {
+                let age = i as f64 * 5.0;
+                let exposure = 10_000.0;
+                let rate = 0.001 * age.powf(1.4);
+                (age, rate * exposure, exposure)
+            })
+            .collect();
+        let mut m = TimeModel::new(TimeModelKind::Power);
+        m.fit_aggregates(&rows).unwrap();
+        assert!((m.parameters().1 - 1.4).abs() < 0.1, "B {}", m.parameters().1);
+    }
+
+    #[test]
+    fn linear_fit_recovers_planted_curve() {
+        let rows: Vec<(f64, f64, f64)> = (1..=12)
+            .map(|i| {
+                let age = i as f64 * 5.0;
+                (age, (0.005 + 0.0004 * age) * 5_000.0, 5_000.0)
+            })
+            .collect();
+        let mut m = TimeModel::new(TimeModelKind::Linear);
+        m.fit_aggregates(&rows).unwrap();
+        assert!((m.parameters().0 - 0.005).abs() < 1e-4);
+        assert!((m.parameters().1 - 0.0004).abs() < 1e-5);
+    }
+
+    #[test]
+    fn all_kinds_rank_real_data() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        for kind in [
+            TimeModelKind::Exponential,
+            TimeModelKind::Power,
+            TimeModelKind::Linear,
+        ] {
+            let mut m = TimeModel::new(kind);
+            let ranking = m.fit_rank(&ds, &split, 0).unwrap();
+            assert!(!ranking.is_empty(), "{:?}", kind);
+            assert!(ranking.scores().iter().all(|s| s.score.is_finite()));
+        }
+    }
+
+    #[test]
+    fn too_few_bins_is_an_error() {
+        let mut m = TimeModel::new(TimeModelKind::Exponential);
+        assert!(m
+            .fit_aggregates(&[(5.0, 1.0, 100.0), (10.0, 2.0, 100.0)])
+            .is_err());
+    }
+}

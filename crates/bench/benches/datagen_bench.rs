@@ -1,0 +1,60 @@
+//! Synthetic-world generation and spatial-index throughput (the Table 18.1
+//! substrate: regenerating a calibrated region from scratch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipefail_network::geometry::Point;
+use pipefail_network::spatial::GridIndex;
+use pipefail_stats::rng::seeded_rng;
+use pipefail_synth::wastewater::{self, WastewaterConfig};
+use pipefail_synth::WorldConfig;
+use rand::Rng;
+
+fn bench_worldgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worldgen");
+    g.sample_size(10);
+    for scale in [0.01_f64, 0.03] {
+        g.bench_with_input(
+            BenchmarkId::new("three_regions", format!("{scale}")),
+            &scale,
+            |b, &scale| {
+                let cfg = WorldConfig::paper().scaled(scale);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(cfg.build(seed))
+                })
+            },
+        );
+    }
+    g.bench_function("wastewater_catchment", |b| {
+        let cfg = WastewaterConfig::default_catchment().scaled(0.05);
+        let mut rng = seeded_rng(4);
+        b.iter(|| black_box(wastewater::generate(&cfg, &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    let mut rng = seeded_rng(5);
+    let points: Vec<Point> = (0..2_000)
+        .map(|_| Point::new(rng.gen::<f64>() * 20_000.0, rng.gen::<f64>() * 20_000.0))
+        .collect();
+    let index = GridIndex::new(points, 450.0);
+    g.bench_function("grid_nearest_2000pts", |b| {
+        b.iter(|| {
+            let q = Point::new(rng.gen::<f64>() * 20_000.0, rng.gen::<f64>() * 20_000.0);
+            black_box(index.nearest(black_box(q)))
+        })
+    });
+    g.bench_function("brute_nearest_2000pts", |b| {
+        b.iter(|| {
+            let q = Point::new(rng.gen::<f64>() * 20_000.0, rng.gen::<f64>() * 20_000.0);
+            black_box(index.nearest_brute(black_box(q)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_worldgen, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Model-fitting throughput: each predictor end-to-end on a fixed small
+//! region, plus the DPMHBP's per-sweep cost scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipefail_baselines::cox::CoxModel;
+use pipefail_baselines::weibull_nhpp::WeibullNhpp;
+use pipefail_core::dpmhbp::{Dpmhbp, DpmhbpConfig};
+use pipefail_core::hbp::{Hbp, HbpConfig};
+use pipefail_core::model::FailureModel;
+use pipefail_core::ranking::{RankSvm, RankSvmConfig};
+use pipefail_mcmc::Schedule;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_synth::WorldConfig;
+
+fn region(scale: f64) -> Dataset {
+    WorldConfig::paper()
+        .scaled(scale)
+        .only_region("Region A")
+        .build(5)
+        .regions()[0]
+        .clone()
+}
+
+fn bench_model_fits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_small_region");
+    g.sample_size(10);
+    let ds = region(0.02);
+    let split = TrainTestSplit::paper_protocol();
+
+    g.bench_function("dpmhbp_fast", |b| {
+        b.iter(|| {
+            let mut m = Dpmhbp::new(DpmhbpConfig::fast());
+            black_box(m.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.bench_function("hbp_fast", |b| {
+        b.iter(|| {
+            let mut m = Hbp::new(HbpConfig::fast());
+            black_box(m.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.bench_function("cox", |b| {
+        b.iter(|| {
+            let mut m = CoxModel::default_config();
+            black_box(m.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.bench_function("weibull_nhpp", |b| {
+        b.iter(|| {
+            let mut m = WeibullNhpp::default_config();
+            black_box(m.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.bench_function("ranksvm_fast", |b| {
+        b.iter(|| {
+            let mut m = RankSvm::new(RankSvmConfig::fast());
+            black_box(m.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dpmhbp_scaling(c: &mut Criterion) {
+    // Per-sweep cost as the region grows (fixed tiny schedule so the
+    // measurement is sweep-dominated).
+    let mut g = c.benchmark_group("dpmhbp_scaling");
+    g.sample_size(10);
+    let split = TrainTestSplit::paper_protocol();
+    for scale in [0.01_f64, 0.02, 0.04] {
+        let ds = region(scale);
+        let segments: usize = ds
+            .pipes_of_class(pipefail_network::attributes::PipeClass::Critical)
+            .map(|p| p.segments.len())
+            .sum();
+        g.bench_with_input(
+            BenchmarkId::new("sweeps20", format!("{segments}segs")),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let mut m = Dpmhbp::new(DpmhbpConfig {
+                        schedule: Schedule::new(10, 10, 1),
+                        ..DpmhbpConfig::fast()
+                    });
+                    black_box(m.fit_rank(ds, &split, 1).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_fits, bench_dpmhbp_scaling);
+criterion_main!(benches);

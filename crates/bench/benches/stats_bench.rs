@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the statistical substrate: the special functions and
+//! samplers on the hot path of every Gibbs sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pipefail_stats::dist::{AliasTable, Beta, Gamma, Poisson, Sampler};
+use pipefail_stats::rng::seeded_rng;
+use pipefail_stats::special::{betainc_reg, digamma, ln_beta, ln_gamma, log_sum_exp};
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special");
+    g.bench_function("ln_gamma", |b| {
+        let mut x = 0.3;
+        b.iter(|| {
+            x = if x > 200.0 { 0.3 } else { x + 0.7 };
+            black_box(ln_gamma(black_box(x)))
+        })
+    });
+    g.bench_function("ln_beta", |b| {
+        b.iter(|| black_box(ln_beta(black_box(3.7), black_box(120.4))))
+    });
+    g.bench_function("digamma", |b| {
+        b.iter(|| black_box(digamma(black_box(7.3))))
+    });
+    g.bench_function("betainc_reg", |b| {
+        b.iter(|| black_box(betainc_reg(black_box(4.0), black_box(9.0), black_box(0.37))))
+    });
+    let xs: Vec<f64> = (0..64).map(|i| -(i as f64) * 0.37).collect();
+    g.bench_function("log_sum_exp_64", |b| {
+        b.iter(|| black_box(log_sum_exp(black_box(&xs))))
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplers");
+    let mut rng = seeded_rng(1);
+    let beta = Beta::with_mean_concentration(0.01, 40.0).unwrap();
+    g.bench_function("beta_sample", |b| b.iter(|| black_box(beta.sample(&mut rng))));
+    let gamma = Gamma::new(2.0, 0.05).unwrap();
+    g.bench_function("gamma_sample", |b| b.iter(|| black_box(gamma.sample(&mut rng))));
+    let poisson_small = Poisson::new(0.02).unwrap();
+    g.bench_function("poisson_sample_sparse", |b| {
+        b.iter(|| black_box(poisson_small.sample(&mut rng)))
+    });
+    let alias = AliasTable::new(&(1..=64).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+    g.bench_function("alias_table_sample_64", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_special, bench_samplers);
+criterion_main!(benches);

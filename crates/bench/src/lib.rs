@@ -1,0 +1,4 @@
+//! Benchmark-only crate. See the `benches/` directory: `stats_bench`,
+//! `mcmc_bench`, `datagen_bench`, `models_bench` (substrate micro-benches)
+//! and `experiments_bench` (scaled-down end-to-end runs of the paper's
+//! tables and figures).

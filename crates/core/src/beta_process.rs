@@ -1,0 +1,161 @@
+//! The beta process on a discrete base measure (§18.3.1.1).
+//!
+//! With a discrete base measure `H₀ = Σᵢ qᵢ δ_ωᵢ`, a draw of the beta process
+//! `H ~ BP(c, H₀)` has atoms at the same locations with weights
+//! `πᵢ ~ Beta(c·qᵢ, c·(1−qᵢ))` (Eq. 18.2) — exactly the representation the
+//! pipe models use, where atoms are pipes/segments and weights are failure
+//! probabilities. The conjugate posterior update under Bernoulli-process
+//! observations is Eq. 18.4.
+
+use crate::Result;
+use pipefail_stats::dist::{Beta, Sampler};
+use rand::Rng;
+
+/// A discrete beta process: concentration `c` and atom means `q`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteBetaProcess {
+    concentration: f64,
+    means: Vec<f64>,
+}
+
+impl DiscreteBetaProcess {
+    /// Create from a concentration and per-atom base means (each in (0,1)).
+    pub fn new(concentration: f64, means: Vec<f64>) -> Result<Self> {
+        if !(concentration.is_finite() && concentration > 0.0) {
+            return Err(crate::CoreError::BadConfig("BP concentration must be > 0"));
+        }
+        if means.iter().any(|q| !(*q > 0.0 && *q < 1.0)) {
+            return Err(crate::CoreError::BadConfig("BP atom means must be in (0,1)"));
+        }
+        Ok(Self {
+            concentration,
+            means,
+        })
+    }
+
+    /// Concentration parameter `c`.
+    pub fn concentration(&self) -> f64 {
+        self.concentration
+    }
+
+    /// Base means `qᵢ`.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// True when the process has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// Draw the atom weights `πᵢ ~ Beta(c qᵢ, c (1−qᵢ))`.
+    pub fn sample_weights<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.means
+            .iter()
+            .map(|&q| {
+                Beta::with_mean_concentration(q, self.concentration)
+                    .expect("validated at construction")
+                    .sample(rng)
+            })
+            .collect()
+    }
+
+    /// Conjugate posterior after `m` Bernoulli-process draws (Eq. 18.4):
+    ///
+    /// `H | X₁..m ~ BP(c + m, c/(c+m)·H₀ + 1/(c+m)·Σⱼ Xⱼ)`.
+    ///
+    /// `successes[i]` is the number of draws in which atom `i` was active
+    /// (the row sum of the binary matrix).
+    pub fn posterior(&self, successes: &[u64], m: u64) -> Result<Self> {
+        if successes.len() != self.means.len() {
+            return Err(crate::CoreError::BadConfig(
+                "posterior successes length must match atom count",
+            ));
+        }
+        let c = self.concentration;
+        let cm = c + m as f64;
+        let means = self
+            .means
+            .iter()
+            .zip(successes)
+            .map(|(&q, &s)| {
+                let post = (c * q + s as f64) / cm;
+                // Keep strictly inside (0,1) for downstream Beta parameters.
+                post.clamp(1e-12, 1.0 - 1e-12)
+            })
+            .collect();
+        Self::new(cm, means)
+    }
+
+    /// Posterior mean of atom `i`'s weight given `s` successes out of `m`
+    /// draws: `E[πᵢ | data] = (c qᵢ + s)/(c + m)`.
+    pub fn posterior_mean(&self, i: usize, s: u64, m: u64) -> f64 {
+        (self.concentration * self.means[i] + s as f64) / (self.concentration + m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_stats::descriptive::mean;
+    use pipefail_stats::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DiscreteBetaProcess::new(0.0, vec![0.5]).is_err());
+        assert!(DiscreteBetaProcess::new(1.0, vec![0.0]).is_err());
+        assert!(DiscreteBetaProcess::new(1.0, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn sampled_weights_have_base_means() {
+        let mut rng = seeded_rng(120);
+        let bp = DiscreteBetaProcess::new(20.0, vec![0.1, 0.5, 0.9]).unwrap();
+        let n = 20_000;
+        let mut acc = [0.0; 3];
+        for _ in 0..n {
+            for (a, w) in acc.iter_mut().zip(bp.sample_weights(&mut rng)) {
+                *a += w;
+            }
+        }
+        for (a, &q) in acc.iter().zip(bp.means()) {
+            let emp = a / n as f64;
+            assert!((emp - q).abs() < 0.01, "mean {emp} vs {q}");
+        }
+    }
+
+    #[test]
+    fn posterior_update_matches_eq_18_4() {
+        let bp = DiscreteBetaProcess::new(2.0, vec![0.3, 0.3]).unwrap();
+        // Atom 0 active in 4 of 10 draws; atom 1 never.
+        let post = bp.posterior(&[4, 0], 10).unwrap();
+        assert!((post.concentration() - 12.0).abs() < 1e-12);
+        assert!((post.means()[0] - (2.0 * 0.3 + 4.0) / 12.0).abs() < 1e-12);
+        assert!((post.means()[1] - (2.0 * 0.3) / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_concentrates_with_data() {
+        // With lots of data the posterior mean approaches the empirical rate.
+        let bp = DiscreteBetaProcess::new(1.0, vec![0.5]).unwrap();
+        let m = 10_000;
+        let s = 100; // empirical rate 1%
+        let post_mean = bp.posterior_mean(0, s, m);
+        assert!((post_mean - 0.01).abs() < 0.001, "{post_mean}");
+    }
+
+    #[test]
+    fn posterior_sampling_agrees_with_analytic_mean() {
+        let mut rng = seeded_rng(121);
+        let bp = DiscreteBetaProcess::new(5.0, vec![0.2]).unwrap();
+        let post = bp.posterior(&[3], 8).unwrap();
+        let draws: Vec<f64> = (0..30_000).map(|_| post.sample_weights(&mut rng)[0]).collect();
+        let want = bp.posterior_mean(0, 3, 8);
+        assert!((mean(&draws).unwrap() - want).abs() < 0.01);
+    }
+}

@@ -1,0 +1,596 @@
+//! The Dirichlet process mixture of hierarchical beta processes (§18.3.3,
+//! Eq. 18.7) — the paper's proposed model.
+//!
+//! Failure probability is modelled on three levels:
+//!
+//! * **segment-group level** — group failure rates `q_k ~ Beta(c₀q₀,
+//!   c₀(1−q₀))`, with the number of groups unbounded (CRP prior on
+//!   assignments `z_l`);
+//! * **segment level** — `ρ_l ~ Beta(c_k q_k, c_k(1−q_k))`, with annual
+//!   failure events `y_{l,j} ~ Bernoulli(ρ_l)` (sufficient statistics only;
+//!   the binary matrix is never materialised);
+//! * **pipe level** — `π_i = 1 − Π_l (1 − ρ_l)` over the pipe's segments in
+//!   series, which is where pipe length enters (longer pipes have more
+//!   segments).
+//!
+//! Inference is Metropolis-within-Gibbs: segment assignments by **Neal's
+//! Algorithm 8** (auxiliary prior draws stand in for the intractable
+//! new-cluster integral), group parameters `(q_k, c_k)` by slice-within-Gibbs
+//! on transformed scales, and the DP concentration `α` by the Escobar–West
+//! auxiliary-variable step. Covariates enter as exposure multipliers fitted
+//! by Poisson regression (see [`crate::covariates`]).
+
+mod state;
+
+use crate::covariates::CovariateAdjuster;
+use crate::crp::resample_alpha;
+use crate::hier::PatternTable;
+use crate::model::{FailureModel, RiskRanking, RiskScore};
+use crate::{CoreError, Result};
+use pipefail_mcmc::slice::SliceSampler;
+use pipefail_mcmc::transform::Transform;
+use pipefail_mcmc::Schedule;
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::features::FeatureMask;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_stats::dist::{sample_from_log_weights, Beta, ContinuousDist, Gamma, Sampler};
+use pipefail_stats::rng::seeded_rng;
+use rand::rngs::StdRng;
+use state::{Cluster, ClusterSlots};
+
+/// DPMHBP configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpmhbpConfig {
+    /// MCMC schedule.
+    pub schedule: Schedule,
+    /// Initial DP concentration α.
+    pub alpha: f64,
+    /// Resample α by Escobar–West each sweep.
+    pub sample_alpha: bool,
+    /// Gamma prior (shape, rate) on α when sampled.
+    pub alpha_prior: (f64, f64),
+    /// Hyper-prior mean failure rate `q₀`; `None` = empirical.
+    pub q0: Option<f64>,
+    /// Hyper concentration `c₀`.
+    pub c0: f64,
+    /// Gamma prior (shape, rate) on the group concentrations `c_k`.
+    pub c_prior: (f64, f64),
+    /// Number of auxiliary components in Neal's Algorithm 8.
+    pub aux_m: usize,
+    /// Multiplicative covariate adjustment; `None` disables it.
+    pub covariates: Option<FeatureMask>,
+}
+
+impl Default for DpmhbpConfig {
+    fn default() -> Self {
+        Self {
+            schedule: Schedule::new(300, 700, 1),
+            alpha: 1.0,
+            sample_alpha: true,
+            alpha_prior: (2.0, 0.5),
+            q0: None,
+            c0: 5.0,
+            c_prior: (2.0, 0.05),
+            aux_m: 3,
+            covariates: Some(FeatureMask::water_mains()),
+        }
+    }
+}
+
+impl DpmhbpConfig {
+    /// A reduced schedule for tests, demos and benches.
+    pub fn fast() -> Self {
+        Self {
+            schedule: Schedule::new(80, 150, 1),
+            ..Self::default()
+        }
+    }
+}
+
+/// A pipe's posterior risk summary: Monte Carlo mean and standard
+/// deviation of π across retained sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskPosterior {
+    /// The pipe.
+    pub pipe: pipefail_network::ids::PipeId,
+    /// Posterior mean of the next-year failure probability.
+    pub mean: f64,
+    /// Posterior standard deviation (MCMC, parameter uncertainty only).
+    pub sd: f64,
+}
+
+/// Convergence/diagnostic traces from a fit.
+#[derive(Debug, Clone, Default)]
+pub struct DpmhbpDiagnostics {
+    /// Number of live clusters at each retained sweep.
+    pub clusters: Vec<f64>,
+    /// DP concentration α at each retained sweep.
+    pub alpha: Vec<f64>,
+    /// Size-weighted mean group rate at each retained sweep.
+    pub mean_q: Vec<f64>,
+}
+
+/// The DPMHBP failure-prediction model.
+#[derive(Debug, Clone)]
+pub struct Dpmhbp {
+    config: DpmhbpConfig,
+    diagnostics: DpmhbpDiagnostics,
+    posterior: Vec<RiskPosterior>,
+}
+
+impl Dpmhbp {
+    /// Create with a configuration.
+    pub fn new(config: DpmhbpConfig) -> Self {
+        Self {
+            config,
+            diagnostics: DpmhbpDiagnostics::default(),
+            posterior: Vec::new(),
+        }
+    }
+
+    /// Per-pipe posterior risk summaries (mean ± sd) from the most recent
+    /// fit, in the evaluated pipes' order.
+    pub fn risk_posterior(&self) -> &[RiskPosterior] {
+        &self.posterior
+    }
+
+    /// Diagnostics of the most recent fit.
+    pub fn diagnostics(&self) -> &DpmhbpDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Posterior-mean number of clusters from the most recent fit.
+    pub fn mean_cluster_count(&self) -> Option<f64> {
+        pipefail_stats::descriptive::mean(&self.diagnostics.clusters).ok()
+    }
+}
+
+struct Sampler8<'a> {
+    table: &'a PatternTable,
+    slots: ClusterSlots,
+    z: Vec<usize>,
+    alpha: f64,
+    q_prior: Beta,
+    c_prior_dist: Gamma,
+    aux_m: usize,
+    slice_q: SliceSampler,
+    slice_c: SliceSampler,
+    // scratch buffers to avoid per-unit allocation
+    weight_slots: Vec<usize>,
+    weights: Vec<f64>,
+    aux_params: Vec<(f64, f64)>,
+}
+
+impl<'a> Sampler8<'a> {
+    fn new(table: &'a PatternTable, config: &DpmhbpConfig, q0: f64, rng: &mut StdRng) -> Result<Self> {
+        let q_prior = Beta::with_mean_concentration(q0, config.c0)
+            .map_err(|_| CoreError::BadConfig("invalid (q0, c0) hyper-prior"))?;
+        let c_prior_dist = Gamma::new(config.c_prior.0, config.c_prior.1)
+            .map_err(|_| CoreError::BadConfig("invalid c prior"))?;
+        let mut s = Self {
+            table,
+            slots: ClusterSlots::new(),
+            z: vec![usize::MAX; table.units()],
+            alpha: config.alpha,
+            q_prior,
+            c_prior_dist,
+            aux_m: config.aux_m.max(1),
+            slice_q: SliceSampler::new(1.0),
+            slice_c: SliceSampler::new(0.7),
+            weight_slots: Vec::new(),
+            weights: Vec::new(),
+            aux_params: Vec::new(),
+        };
+        // Initialise: everyone in one cluster drawn from the prior.
+        let q = s.q_prior.sample(rng);
+        let c = s.c_prior_dist.sample(rng).max(1e-3);
+        let slot = s.slots.insert(Cluster::new(q, c, table));
+        for l in 0..table.units() {
+            s.assign(l, slot);
+        }
+        Ok(s)
+    }
+
+    fn assign(&mut self, unit: usize, slot: usize) {
+        let pat = self.table.pattern_of(unit);
+        let c = self.slots.get_mut(slot);
+        c.n += 1;
+        c.pattern_counts[pat] += 1.0;
+        self.z[unit] = slot;
+    }
+
+    fn unassign(&mut self, unit: usize) {
+        let slot = self.z[unit];
+        let pat = self.table.pattern_of(unit);
+        let dead = {
+            let c = self.slots.get_mut(slot);
+            c.n -= 1;
+            c.pattern_counts[pat] -= 1.0;
+            c.n == 0
+        };
+        if dead {
+            self.slots.remove(slot);
+        }
+        self.z[unit] = usize::MAX;
+    }
+
+    /// One CRP sweep over all units (Neal's Algorithm 8 with `aux_m`
+    /// auxiliary components redrawn per unit).
+    fn sweep_assignments(&mut self, rng: &mut StdRng) {
+        for unit in 0..self.table.units() {
+            self.unassign(unit);
+            let pat = self.table.pattern_of(unit);
+            self.weight_slots.clear();
+            self.weights.clear();
+            self.aux_params.clear();
+            for (slot, cluster) in self.slots.iter() {
+                self.weight_slots.push(slot);
+                self.weights
+                    .push((cluster.n as f64).ln() + cluster.loglik[pat]);
+            }
+            let ln_alpha_m = (self.alpha / self.aux_m as f64).ln();
+            let pat_obj = self.table.pattern(pat);
+            for _ in 0..self.aux_m {
+                let q = self.q_prior.sample(rng);
+                let c = self.c_prior_dist.sample(rng).max(1e-3);
+                self.aux_params.push((q, c));
+                self.weights
+                    .push(ln_alpha_m + pat_obj.log_marginal(q, c));
+            }
+            let choice = sample_from_log_weights(&self.weights, rng);
+            let slot = if choice < self.weight_slots.len() {
+                self.weight_slots[choice]
+            } else {
+                let (q, c) = self.aux_params[choice - self.weight_slots.len()];
+                self.slots.insert(Cluster::new(q, c, self.table))
+            };
+            self.assign(unit, slot);
+        }
+    }
+
+    /// Slice-update `(q_k, c_k)` for every live cluster and refresh caches.
+    fn sweep_parameters(&mut self, rng: &mut StdRng) {
+        let logit = Transform::Logit;
+        let log_t = Transform::Log;
+        for slot in self.slots.live_slots() {
+            let (q_cur, c_cur, counts) = {
+                let cl = self.slots.get(slot);
+                (cl.q, cl.c, cl.pattern_counts.clone())
+            };
+            let table = self.table;
+            let q_prior = self.q_prior;
+            let c_prior = self.c_prior_dist;
+            // q | rest
+            let c_fixed = c_cur;
+            let log_post_q = |y: f64| {
+                let q = logit.inverse(y);
+                q_prior.ln_pdf(q)
+                    + table.group_log_likelihood(&counts, q, c_fixed)
+                    + logit.ln_jacobian(y)
+            };
+            let y = self
+                .slice_q
+                .step(logit.forward(q_cur.clamp(1e-9, 1.0 - 1e-9)), &log_post_q, rng);
+            let q_new = logit.inverse(y).clamp(1e-9, 1.0 - 1e-9);
+            // c | rest
+            let log_post_c = |y: f64| {
+                let c = log_t.inverse(y);
+                if !(c.is_finite() && c > 0.0) {
+                    return f64::NEG_INFINITY;
+                }
+                c_prior.ln_pdf(c)
+                    + table.group_log_likelihood(&counts, q_new, c)
+                    + log_t.ln_jacobian(y)
+            };
+            let y = self.slice_c.step(log_t.forward(c_cur), &log_post_c, rng);
+            let c_new = log_t.inverse(y).clamp(1e-6, 1e9);
+            let cl = self.slots.get_mut(slot);
+            cl.q = q_new;
+            cl.c = c_new;
+            cl.refresh_cache(table);
+        }
+    }
+
+    fn sweep_alpha(&mut self, prior: (f64, f64), rng: &mut StdRng) {
+        self.alpha = resample_alpha(
+            self.alpha,
+            self.slots.len(),
+            self.table.units(),
+            prior.0,
+            prior.1,
+            rng,
+        );
+    }
+
+    /// Write the posterior mean of every unit's ρ under the current state
+    /// into `out`.
+    fn current_rho(&self, out: &mut [f64]) {
+        for (unit, &slot) in self.z.iter().enumerate() {
+            let cl = self.slots.get(slot);
+            out[unit] = self
+                .table
+                .pattern(self.table.pattern_of(unit))
+                .posterior_mean(cl.q, cl.c);
+        }
+    }
+
+    fn size_weighted_mean_q(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (_, cl) in self.slots.iter() {
+            num += cl.n as f64 * cl.q;
+            den += cl.n as f64;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Dpmhbp {
+    /// Fit and rank, also returning diagnostics (the trait method keeps them
+    /// on `self`).
+    pub fn fit_rank_detailed(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        class: PipeClass,
+        seed: u64,
+    ) -> Result<RiskRanking> {
+        let pipes: Vec<&pipefail_network::dataset::Pipe> =
+            dataset.pipes_of_class(class).collect();
+        if pipes.is_empty() {
+            return Err(CoreError::EmptyEvaluationSet("no pipes of requested class"));
+        }
+
+        // Segment-level sufficient statistics, exposure-scaled by covariates.
+        let seg_stats = dataset.segment_stats(split.train);
+        let adjuster = match self.config.covariates {
+            Some(mask) => CovariateAdjuster::fit(dataset, split, mask, class)?,
+            None => CovariateAdjuster::identity(dataset.segments().len()),
+        };
+        // Units: all segments of evaluated pipes, in pipe order.
+        let mut unit_pipe: Vec<usize> = Vec::new();
+        let mut unit_multiplier: Vec<f64> = Vec::new();
+        let mut rows: Vec<(f64, f64, f64)> = Vec::new();
+        for (pi, pipe) in pipes.iter().enumerate() {
+            for &sid in &pipe.segments {
+                let st = seg_stats[sid.index()];
+                let e = adjuster.multiplier(sid.index());
+                rows.push((st.failure_years as f64, st.clean_years() as f64, e));
+                unit_pipe.push(pi);
+                unit_multiplier.push(crate::hier::quantize_multiplier(e));
+            }
+        }
+        let table = PatternTable::build(rows.into_iter());
+
+        // Empirical hyper mean over units.
+        let q0 = self.config.q0.unwrap_or_else(|| {
+            let mut s = 0.0;
+            let mut m = 0.0;
+            for u in 0..table.units() {
+                let p = table.pattern(table.pattern_of(u));
+                s += p.s;
+                m += p.s + p.f;
+            }
+            ((s + 0.5) / (m + 1.0)).clamp(1e-6, 0.5)
+        });
+
+        let mut rng = seeded_rng(seed);
+        let mut sampler = Sampler8::new(&table, &self.config, q0, &mut rng)?;
+
+        let sched = self.config.schedule;
+        let mut rho_t = vec![0.0; table.units()];
+        let mut pipe_sum = vec![0.0; pipes.len()];
+        let mut pipe_sq = vec![0.0; pipes.len()];
+        let mut log_survive_t = vec![0.0; pipes.len()];
+        let mut retained = 0usize;
+        self.diagnostics = DpmhbpDiagnostics::default();
+        for it in 0..sched.total_iterations() {
+            sampler.sweep_assignments(&mut rng);
+            sampler.sweep_parameters(&mut rng);
+            if self.config.sample_alpha {
+                sampler.sweep_alpha(self.config.alpha_prior, &mut rng);
+            }
+            if sched.keep(it) {
+                retained += 1;
+                // Pipe-level combination at the current posterior draw:
+                // π_i = 1 − Π (1 − ρ̂_l), where each segment's predicted
+                // probability re-applies its covariate hazard multiplier
+                // (inference scaled the exposure, so ρ is the *base* rate):
+                // (1 − ρ̂) = (1 − ρ)^e. Accumulating π per sweep gives the
+                // exact Monte Carlo posterior mean plus an uncertainty.
+                sampler.current_rho(&mut rho_t);
+                log_survive_t.iter_mut().for_each(|v| *v = 0.0);
+                for (unit, &pi) in unit_pipe.iter().enumerate() {
+                    let rho = rho_t[unit].clamp(0.0, 1.0 - 1e-12);
+                    log_survive_t[pi] += unit_multiplier[unit] * (1.0 - rho).ln();
+                }
+                for (pi, ls) in log_survive_t.iter().enumerate() {
+                    let p = 1.0 - ls.exp();
+                    pipe_sum[pi] += p;
+                    pipe_sq[pi] += p * p;
+                }
+                self.diagnostics.clusters.push(sampler.slots.len() as f64);
+                self.diagnostics.alpha.push(sampler.alpha);
+                self.diagnostics.mean_q.push(sampler.size_weighted_mean_q());
+            }
+        }
+        if retained == 0 {
+            return Err(CoreError::BadConfig("schedule retained zero samples"));
+        }
+
+        let n = retained as f64;
+        self.posterior = pipes
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                let mean = pipe_sum[pi] / n;
+                let var = (pipe_sq[pi] / n - mean * mean).max(0.0);
+                RiskPosterior {
+                    pipe: p.id,
+                    mean,
+                    sd: var.sqrt(),
+                }
+            })
+            .collect();
+        let scores = self
+            .posterior
+            .iter()
+            .map(|rp| RiskScore {
+                pipe: rp.pipe,
+                score: rp.mean,
+            })
+            .collect();
+        Ok(RiskRanking::new(scores))
+    }
+}
+
+impl FailureModel for Dpmhbp {
+    fn name(&self) -> &'static str {
+        "DPMHBP"
+    }
+
+    fn fit_rank_class(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        class: PipeClass,
+        seed: u64,
+    ) -> Result<RiskRanking> {
+        self.fit_rank_detailed(dataset, split, class, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_synth::WorldConfig;
+
+    fn demo_region() -> Dataset {
+        WorldConfig::paper()
+            .scaled(0.02)
+            .only_region("Region A")
+            .build(5)
+            .regions()[0]
+            .clone()
+    }
+
+    #[test]
+    fn ranks_all_cwm_pipes_with_probability_scores() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+        let ranking = model.fit_rank(&ds, &split, 11).unwrap();
+        assert_eq!(
+            ranking.len(),
+            ds.pipes_of_class(PipeClass::Critical).count()
+        );
+        for s in ranking.scores() {
+            assert!(s.score > 0.0 && s.score < 1.0, "score {}", s.score);
+        }
+    }
+
+    #[test]
+    fn diagnostics_are_recorded() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+        model.fit_rank(&ds, &split, 11).unwrap();
+        let d = model.diagnostics();
+        assert_eq!(d.clusters.len(), DpmhbpConfig::fast().schedule.retained());
+        assert!(model.mean_cluster_count().unwrap() >= 1.0);
+        assert!(d.alpha.iter().all(|a| *a > 0.0));
+    }
+
+    #[test]
+    fn discovers_multiple_clusters_on_heterogeneous_data() {
+        // The synthetic world has multi-modal cohort hazards; the CRP should
+        // open more than one table.
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+        model.fit_rank(&ds, &split, 13).unwrap();
+        assert!(
+            model.mean_cluster_count().unwrap() > 1.2,
+            "mean clusters {}",
+            model.mean_cluster_count().unwrap()
+        );
+    }
+
+    #[test]
+    fn longer_pipes_of_equal_rate_score_higher() {
+        // π_i = 1 − Π(1 − ρ̄) rises with segment count; verify the pipe-level
+        // combination respects length.
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+        let ranking = model.fit_rank(&ds, &split, 17).unwrap();
+        // Compare average score of the longest vs shortest quartile of
+        // *clean* pipes (no train failures) — length should matter.
+        let failed = ds.pipe_failed_in(split.train);
+        let mut clean: Vec<(f64, f64)> = ranking
+            .scores()
+            .iter()
+            .filter(|s| !failed[s.pipe.index()])
+            .map(|s| (ds.pipe_length_m(s.pipe), s.score))
+            .collect();
+        clean.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let quarter = clean.len() / 4;
+        if quarter >= 5 {
+            let short: f64 =
+                clean[..quarter].iter().map(|x| x.1).sum::<f64>() / quarter as f64;
+            let long: f64 = clean[clean.len() - quarter..]
+                .iter()
+                .map(|x| x.1)
+                .sum::<f64>()
+                / quarter as f64;
+            assert!(long > short, "long {long} vs short {short}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let a = Dpmhbp::new(DpmhbpConfig::fast())
+            .fit_rank(&ds, &split, 99)
+            .unwrap();
+        let b = Dpmhbp::new(DpmhbpConfig::fast())
+            .fit_rank(&ds, &split, 99)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn posterior_summaries_are_consistent_with_scores() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+        let ranking = model.fit_rank(&ds, &split, 23).unwrap();
+        let post = model.risk_posterior();
+        assert_eq!(post.len(), ranking.len());
+        for rp in post {
+            assert!(rp.mean > 0.0 && rp.mean < 1.0);
+            assert!(rp.sd >= 0.0 && rp.sd < 0.5, "sd {}", rp.sd);
+            assert_eq!(ranking.score_of(rp.pipe), Some(rp.mean));
+        }
+        // MCMC uncertainty should be non-trivial for at least some pipes.
+        assert!(post.iter().any(|rp| rp.sd > 1e-6));
+    }
+
+    #[test]
+    fn covariate_free_variant_runs() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut model = Dpmhbp::new(DpmhbpConfig {
+            covariates: None,
+            ..DpmhbpConfig::fast()
+        });
+        let ranking = model.fit_rank(&ds, &split, 3).unwrap();
+        assert!(!ranking.is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! The hierarchical beta process with fixed expert groupings (§18.3.1.3).
+//!
+//! The strongest prior-work baseline [Li et al., Mach. Learn. 95(1), 2014]:
+//! pipes are grouped by a heuristic domain attribute (material, diameter
+//! band, or laid-year band), a beta process models each group's failure rate
+//! `q_k`, and pipe failure probabilities `π_i ~ Beta(c_k q_k, c_k (1−q_k))`
+//! shrink toward their group rate — sharing the sparse failure data within
+//! groups. Inference is Gibbs with slice-sampling for the non-conjugate
+//! `(q_k, c_k)` (Metropolis-within-Gibbs in the paper; our slice kernel is
+//! tuning-free and an RW-Metropolis kernel is available for the ablation
+//! benches).
+//!
+//! This model works at *pipe* level and ignores pipe length — exactly the
+//! two limitations (§18.3.3) the DPMHBP removes.
+
+use crate::covariates::CovariateAdjuster;
+use crate::hier::PatternTable;
+use crate::model::{FailureModel, RiskRanking, RiskScore};
+use crate::{CoreError, Result};
+use pipefail_mcmc::kernel::{KernelKind, UnivariateKernel};
+use pipefail_mcmc::transform::Transform;
+use pipefail_mcmc::Schedule;
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::features::FeatureMask;
+use pipefail_network::ids::PipeId;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_stats::dist::{Beta, ContinuousDist, Gamma};
+use pipefail_stats::rng::seeded_rng;
+
+/// How pipes are grouped (the domain-expert heuristics of §18.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupingScheme {
+    /// One group per material.
+    Material,
+    /// Diameter bands (one group per nominal diameter).
+    Diameter,
+    /// Laid-year bands of the given width in years.
+    LaidYear(u32),
+}
+
+impl GroupingScheme {
+    /// Group key of a pipe under this scheme.
+    fn key(&self, pipe: &pipefail_network::dataset::Pipe) -> u64 {
+        match self {
+            GroupingScheme::Material => pipe.material.code().bytes().fold(0u64, |a, b| a * 31 + b as u64),
+            GroupingScheme::Diameter => pipe.diameter_mm.round() as u64,
+            GroupingScheme::LaidYear(w) => {
+                (pipe.laid_year.max(0) as u64) / (*w).max(1) as u64
+            }
+        }
+    }
+
+    /// Display name for result tables.
+    pub fn label(&self) -> String {
+        match self {
+            GroupingScheme::Material => "material".into(),
+            GroupingScheme::Diameter => "diameter".into(),
+            GroupingScheme::LaidYear(w) => format!("laid-year/{w}"),
+        }
+    }
+}
+
+/// HBP configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbpConfig {
+    /// Fixed grouping scheme.
+    pub grouping: GroupingScheme,
+    /// MCMC schedule.
+    pub schedule: Schedule,
+    /// Hyper-prior mean failure rate `q₀`; `None` = empirical rate.
+    pub q0: Option<f64>,
+    /// Hyper concentration `c₀` of the group-rate prior.
+    pub c0: f64,
+    /// Gamma prior (shape, rate) on each group concentration `c_k`.
+    pub c_prior: (f64, f64),
+    /// Multiplicative covariate adjustment; `None` disables it.
+    pub covariates: Option<FeatureMask>,
+    /// Within-Gibbs kernel for the non-conjugate `(q_k, c_k)` updates:
+    /// slice sampling (default) or the paper's random-walk Metropolis.
+    pub kernel: KernelKind,
+}
+
+impl Default for HbpConfig {
+    fn default() -> Self {
+        Self {
+            grouping: GroupingScheme::Material,
+            schedule: Schedule::new(300, 700, 1),
+            q0: None,
+            c0: 5.0,
+            c_prior: (2.0, 0.05),
+            covariates: Some(FeatureMask::water_mains()),
+            kernel: KernelKind::Slice,
+        }
+    }
+}
+
+impl HbpConfig {
+    /// A reduced schedule for tests and demos.
+    pub fn fast() -> Self {
+        Self {
+            schedule: Schedule::new(100, 200, 1),
+            ..Self::default()
+        }
+    }
+}
+
+/// The HBP failure-prediction model.
+#[derive(Debug, Clone)]
+pub struct Hbp {
+    config: HbpConfig,
+    /// Posterior-mean group rates from the last fit, keyed by group label
+    /// order (for reports).
+    last_group_rates: Vec<f64>,
+}
+
+impl Hbp {
+    /// Create with a configuration.
+    pub fn new(config: HbpConfig) -> Self {
+        Self {
+            config,
+            last_group_rates: Vec::new(),
+        }
+    }
+
+    /// Posterior-mean group failure rates from the most recent fit.
+    pub fn group_rates(&self) -> &[f64] {
+        &self.last_group_rates
+    }
+}
+
+impl FailureModel for Hbp {
+    fn name(&self) -> &'static str {
+        "HBP"
+    }
+
+    fn fit_rank_class(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        class: PipeClass,
+        seed: u64,
+    ) -> Result<RiskRanking> {
+        let pipes: Vec<&pipefail_network::dataset::Pipe> =
+            dataset.pipes_of_class(class).collect();
+        if pipes.is_empty() {
+            return Err(CoreError::EmptyEvaluationSet("no pipes of requested class"));
+        }
+
+        // Pipe-level sufficient statistics over the training window.
+        let adjuster = match self.config.covariates {
+            Some(mask) => CovariateAdjuster::fit(dataset, split, mask, class)?,
+            None => CovariateAdjuster::identity(dataset.segments().len()),
+        };
+
+        // Pipe failure-years: distinct (pipe, year) pairs in train.
+        let mut pipe_fail_years: std::collections::HashSet<(PipeId, i32)> =
+            std::collections::HashSet::new();
+        for f in dataset.failures() {
+            if split.train.contains(f.year) {
+                pipe_fail_years.insert((f.pipe, f.year));
+            }
+        }
+        let mut s_by_pipe = vec![0u32; dataset.pipes().len()];
+        for (pid, _) in &pipe_fail_years {
+            s_by_pipe[pid.index()] += 1;
+        }
+
+        // Group assignment and pattern table rows per evaluated pipe.
+        let mut group_keys: Vec<u64> = Vec::with_capacity(pipes.len());
+        let mut key_index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<usize> = Vec::with_capacity(pipes.len());
+        let mut multipliers: Vec<f64> = Vec::with_capacity(pipes.len());
+        let rows: Vec<(f64, f64, f64)> = pipes
+            .iter()
+            .map(|p| {
+                let key = self.config.grouping.key(p);
+                let g = *key_index.entry(key).or_insert_with(|| {
+                    group_keys.push(key);
+                    group_keys.len() - 1
+                });
+                groups.push(g);
+                let s = s_by_pipe[p.id.index()] as f64;
+                let exposure = {
+                    let first = split.train.start.max(p.laid_year + 1);
+                    (split.train.end - first + 1).max(0) as f64
+                }
+                .max(s);
+                // Pipe multiplier: length-weighted mean of segment multipliers.
+                let mut w = 0.0;
+                let mut acc = 0.0;
+                for &sid in &p.segments {
+                    let len = dataset.segment(sid).length_m();
+                    acc += len * adjuster.multiplier(sid.index());
+                    w += len;
+                }
+                let e = if w > 0.0 { acc / w } else { 1.0 };
+                multipliers.push(crate::hier::quantize_multiplier(e));
+                (s, (exposure - s).max(0.0), e)
+            })
+            .collect();
+        let table = PatternTable::build(rows.into_iter());
+        let n_groups = group_keys.len();
+
+        // Per-group pattern counts.
+        let mut counts = vec![vec![0.0; table.len()]; n_groups];
+        for (i, &g) in groups.iter().enumerate() {
+            counts[g][table.pattern_of(i)] += 1.0;
+        }
+
+        // Empirical hyper mean.
+        let q0 = self.config.q0.unwrap_or_else(|| {
+            let total_s: f64 = (0..table.units()).map(|i| table.pattern(table.pattern_of(i)).s).sum();
+            let total_m: f64 = (0..table.units())
+                .map(|i| {
+                    let p = table.pattern(table.pattern_of(i));
+                    p.s + p.f
+                })
+                .sum();
+            ((total_s + 0.5) / (total_m + 1.0)).clamp(1e-6, 0.5)
+        });
+        let c0 = self.config.c0;
+        let (ca, cb) = self.config.c_prior;
+        let q_prior = Beta::with_mean_concentration(q0, c0)
+            .map_err(|_| CoreError::BadConfig("invalid (q0, c0) hyper-prior"))?;
+        let c_prior = Gamma::new(ca, cb).map_err(|_| CoreError::BadConfig("invalid c prior"))?;
+
+        // State: per-group (q, c), with one kernel instance per coordinate
+        // so random-walk adaptation (if selected) is per-coordinate.
+        let mut q = vec![q0; n_groups];
+        let mut c = vec![ca / cb; n_groups];
+        let mut kernels_q: Vec<UnivariateKernel> = (0..n_groups)
+            .map(|_| UnivariateKernel::new(self.config.kernel, 1.0))
+            .collect();
+        let mut kernels_c: Vec<UnivariateKernel> = (0..n_groups)
+            .map(|_| UnivariateKernel::new(self.config.kernel, 0.7))
+            .collect();
+        let logit = Transform::Logit;
+        let log_t = Transform::Log;
+
+        let mut rng = seeded_rng(seed);
+        let mut pi_acc = vec![0.0; table.units()];
+        let mut retained = 0usize;
+        let mut q_acc = vec![0.0; n_groups];
+
+        let sched = self.config.schedule;
+        for it in 0..sched.total_iterations() {
+            for g in 0..n_groups {
+                // q_k | rest via slice on logit scale.
+                let counts_g = &counts[g];
+                let c_g = c[g];
+                let log_post_q = |y: f64| {
+                    let qv = logit.inverse(y);
+                    q_prior.ln_pdf(qv)
+                        + table.group_log_likelihood(counts_g, qv, c_g)
+                        + logit.ln_jacobian(y)
+                };
+                let y = kernels_q[g].step(logit.forward(q[g]), &log_post_q, &mut rng);
+                q[g] = logit.inverse(y).clamp(1e-9, 1.0 - 1e-9);
+                // c_k | rest via slice on log scale.
+                let q_g = q[g];
+                let log_post_c = |y: f64| {
+                    let cv = log_t.inverse(y);
+                    if !(cv.is_finite() && cv > 0.0) {
+                        return f64::NEG_INFINITY;
+                    }
+                    c_prior.ln_pdf(cv)
+                        + table.group_log_likelihood(counts_g, q_g, cv)
+                        + log_t.ln_jacobian(y)
+                };
+                let y = kernels_c[g].step(log_t.forward(c[g]), &log_post_c, &mut rng);
+                c[g] = log_t.inverse(y).clamp(1e-6, 1e9);
+            }
+            if it + 1 == sched.burn_in {
+                // End of burn-in: freeze random-walk adaptation so the
+                // retained samples come from an exactly Markovian kernel.
+                for k in kernels_q.iter_mut().chain(kernels_c.iter_mut()) {
+                    k.freeze();
+                }
+            }
+            if sched.keep(it) {
+                retained += 1;
+                for (i, &g) in groups.iter().enumerate() {
+                    pi_acc[i] += table.pattern(table.pattern_of(i)).posterior_mean(q[g], c[g]);
+                }
+                for g in 0..n_groups {
+                    q_acc[g] += q[g];
+                }
+            }
+        }
+        if retained == 0 {
+            return Err(CoreError::BadConfig("schedule retained zero samples"));
+        }
+        self.last_group_rates = q_acc.iter().map(|v| v / retained as f64).collect();
+
+        // Prediction applies the covariate multiplier back: the posterior
+        // mean is the *base* annual failure probability (exposure was scaled
+        // during inference), so the next-year risk of a pipe with hazard
+        // multiplier e is 1 − (1 − ρ̄)^e.
+        let scores = pipes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let base = (pi_acc[i] / retained as f64).clamp(0.0, 1.0 - 1e-12);
+                RiskScore {
+                    pipe: p.id,
+                    score: 1.0 - (1.0 - base).powf(multipliers[i]),
+                }
+            })
+            .collect();
+        Ok(RiskRanking::new(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_synth::WorldConfig;
+
+    fn demo_region() -> Dataset {
+        WorldConfig::paper()
+            .scaled(0.02)
+            .only_region("Region A")
+            .build(5)
+            .regions()[0]
+            .clone()
+    }
+
+    #[test]
+    fn ranks_all_cwm_pipes() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut hbp = Hbp::new(HbpConfig::fast());
+        let ranking = hbp.fit_rank(&ds, &split, 9).unwrap();
+        assert_eq!(
+            ranking.len(),
+            ds.pipes_of_class(PipeClass::Critical).count()
+        );
+        // Scores are probabilities.
+        for s in ranking.scores() {
+            assert!(s.score > 0.0 && s.score < 1.0, "score {}", s.score);
+        }
+        assert!(!hbp.group_rates().is_empty());
+    }
+
+    #[test]
+    fn failed_pipes_rank_higher_on_average() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut hbp = Hbp::new(HbpConfig::fast());
+        let ranking = hbp.fit_rank(&ds, &split, 9).unwrap();
+        let train_failed = ds.pipe_failed_in(split.train);
+        let mut failed_scores = Vec::new();
+        let mut clean_scores = Vec::new();
+        for s in ranking.scores() {
+            if train_failed[s.pipe.index()] {
+                failed_scores.push(s.score);
+            } else {
+                clean_scores.push(s.score);
+            }
+        }
+        if !failed_scores.is_empty() && !clean_scores.is_empty() {
+            let mf: f64 = failed_scores.iter().sum::<f64>() / failed_scores.len() as f64;
+            let mc: f64 = clean_scores.iter().sum::<f64>() / clean_scores.len() as f64;
+            assert!(mf > mc, "train-failed pipes should score higher: {mf} vs {mc}");
+        }
+    }
+
+    #[test]
+    fn grouping_schemes_produce_different_rankings() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mk = |g| {
+            Hbp::new(HbpConfig {
+                grouping: g,
+                ..HbpConfig::fast()
+            })
+            .fit_rank(&ds, &split, 9)
+            .unwrap()
+        };
+        let by_material = mk(GroupingScheme::Material);
+        let by_year = mk(GroupingScheme::LaidYear(10));
+        // Same pipes, different order (almost surely).
+        assert_eq!(by_material.len(), by_year.len());
+        let top_m: Vec<_> = by_material.pipes_in_order().take(10).collect();
+        let top_y: Vec<_> = by_year.pipes_in_order().take(10).collect();
+        assert_ne!(top_m, top_y, "groupings should disagree somewhere");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let a = Hbp::new(HbpConfig::fast()).fit_rank(&ds, &split, 77).unwrap();
+        let b = Hbp::new(HbpConfig::fast()).fit_rank(&ds, &split, 77).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_walk_kernel_agrees_with_slice() {
+        // The paper's Metropolis-within-Gibbs kernel must target the same
+        // posterior as our default slice kernel: rankings should correlate
+        // strongly.
+        use pipefail_mcmc::kernel::KernelKind;
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let slice = Hbp::new(HbpConfig::fast()).fit_rank(&ds, &split, 55).unwrap();
+        let rw = Hbp::new(HbpConfig {
+            kernel: KernelKind::RandomWalk,
+            ..HbpConfig::fast()
+        })
+        .fit_rank(&ds, &split, 55)
+        .unwrap();
+        assert_eq!(slice.len(), rw.len());
+        let xs: Vec<f64> = slice.scores().iter().map(|s| s.score).collect();
+        let ys: Vec<f64> = slice
+            .scores()
+            .iter()
+            .map(|s| rw.score_of(s.pipe).expect("same pipe set"))
+            .collect();
+        let rho = pipefail_stats::descriptive::spearman(&xs, &ys).unwrap();
+        assert!(rho > 0.9, "kernel rankings diverge: spearman {rho}");
+    }
+
+    #[test]
+    fn errors_on_empty_class() {
+        // A dataset whose pipes are all RWM has no critical mains.
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let mut only_rwm_pipes = Vec::new();
+        let mut segs = Vec::new();
+        let mut remap = std::collections::HashMap::new();
+        for p in ds.pipes_of_class(PipeClass::Reticulation).take(5) {
+            let mut p2 = p.clone();
+            p2.id = PipeId(only_rwm_pipes.len() as u32);
+            let mut new_segs = Vec::new();
+            for &sid in &p.segments {
+                let mut s2 = ds.segment(sid).clone();
+                let nid = pipefail_network::ids::SegmentId(segs.len() as u32);
+                remap.insert(sid, nid);
+                s2.id = nid;
+                s2.pipe = p2.id;
+                segs.push(s2);
+                new_segs.push(nid);
+            }
+            p2.segments = new_segs;
+            only_rwm_pipes.push(p2);
+        }
+        let ds2 = Dataset::new(
+            "rwm-only",
+            ds.region(),
+            ds.observation(),
+            only_rwm_pipes,
+            segs,
+            vec![],
+        )
+        .unwrap();
+        let err = Hbp::new(HbpConfig::fast())
+            .fit_rank(&ds2, &split, 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyEvaluationSet(_)));
+    }
+}

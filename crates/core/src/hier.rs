@@ -1,0 +1,191 @@
+//! Shared machinery for the hierarchical beta-process models (HBP and
+//! DPMHBP): exposure-scaled observation patterns and the marginal
+//! Beta–Bernoulli likelihood.
+//!
+//! A unit (pipe for HBP, segment for DPMHBP) with `s` failure-years and `f`
+//! clean exposure-years has, after integrating its failure probability
+//! π ~ Beta(c·q, c·(1−q)) out, the marginal likelihood
+//!
+//! `B(c·q + s, c·(1−q) + f) / B(c·q, c·(1−q))`.
+//!
+//! Covariates enter by scaling the clean exposure `f → f·e` (the
+//! Poisson-offset view of "multiplicative features"); multipliers are
+//! quantised to a fixed grid so units collapse into a small set of distinct
+//! `(s, f·e)` *patterns* — the trick that keeps Gibbs sweeps O(units ×
+//! clusters) with tiny constants even though every likelihood involves six
+//! log-gamma evaluations.
+
+use pipefail_stats::special::ln_beta;
+
+/// Quantise a hazard multiplier onto a geometric grid (ln-steps of 0.25
+/// over [e⁻³, e³]), so pattern tables stay small.
+pub fn quantize_multiplier(e: f64) -> f64 {
+    let ln_e = e.max(1e-9).ln().clamp(-3.0, 3.0);
+    ((ln_e / 0.25).round() * 0.25).exp()
+}
+
+/// One distinct observation pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsPattern {
+    /// Failure-years.
+    pub s: f64,
+    /// Exposure-scaled clean years.
+    pub f: f64,
+}
+
+impl ObsPattern {
+    /// Marginal log-likelihood of this pattern under group parameters
+    /// `(q, c)`.
+    pub fn log_marginal(&self, q: f64, c: f64) -> f64 {
+        let a = c * q;
+        let b = c * (1.0 - q);
+        ln_beta(a + self.s, b + self.f) - ln_beta(a, b)
+    }
+
+    /// Posterior mean of the unit's failure probability given `(q, c)`:
+    /// `(c·q + s) / (c + s + f)`.
+    pub fn posterior_mean(&self, q: f64, c: f64) -> f64 {
+        (c * q + self.s) / (c + self.s + self.f)
+    }
+}
+
+/// A deduplicated pattern table over `n` units.
+#[derive(Debug, Clone)]
+pub struct PatternTable {
+    patterns: Vec<ObsPattern>,
+    index_of: Vec<usize>,
+}
+
+impl PatternTable {
+    /// Build from per-unit `(failure_years, clean_years, multiplier)`.
+    /// Multipliers are quantised; patterns keyed to 1e-9 resolution.
+    pub fn build(units: impl Iterator<Item = (f64, f64, f64)>) -> Self {
+        let mut patterns: Vec<ObsPattern> = Vec::new();
+        let mut keys: std::collections::HashMap<(u64, u64), usize> = std::collections::HashMap::new();
+        let mut index_of = Vec::new();
+        for (s, f, e) in units {
+            let fe = f * quantize_multiplier(e);
+            let key = ((s * 1e6).round() as u64, (fe * 1e6).round() as u64);
+            let idx = *keys.entry(key).or_insert_with(|| {
+                patterns.push(ObsPattern { s, f: fe });
+                patterns.len() - 1
+            });
+            index_of.push(idx);
+        }
+        Self { patterns, index_of }
+    }
+
+    /// Number of units.
+    pub fn units(&self) -> usize {
+        self.index_of.len()
+    }
+
+    /// Number of distinct patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Pattern index of unit `i`.
+    pub fn pattern_of(&self, i: usize) -> usize {
+        self.index_of[i]
+    }
+
+    /// Pattern by index.
+    pub fn pattern(&self, idx: usize) -> ObsPattern {
+        self.patterns[idx]
+    }
+
+    /// All patterns.
+    pub fn patterns(&self) -> &[ObsPattern] {
+        &self.patterns
+    }
+
+    /// Sum of `count[p] · log_marginal(p | q, c)` over pattern counts — the
+    /// group log-likelihood used when slice-sampling `(q, c)`.
+    pub fn group_log_likelihood(&self, counts: &[f64], q: f64, c: f64) -> f64 {
+        debug_assert_eq!(counts.len(), self.patterns.len());
+        let mut acc = 0.0;
+        for (pat, &cnt) in self.patterns.iter().zip(counts) {
+            if cnt > 0.0 {
+                acc += cnt * pat.log_marginal(q, c);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_is_idempotent_and_bounded() {
+        for &e in &[0.001, 0.1, 0.5, 1.0, 2.7, 100.0] {
+            let q = quantize_multiplier(e);
+            assert!((quantize_multiplier(q) - q).abs() < 1e-12);
+            assert!(q >= (-3.0_f64).exp() - 1e-9 && q <= (3.0_f64).exp() + 1e-9);
+        }
+        assert_eq!(quantize_multiplier(1.0), 1.0);
+    }
+
+    #[test]
+    fn log_marginal_matches_direct_integration() {
+        // For s=1, f=0: marginal = E[π] = q. For s=0, f=1: = 1 − q.
+        let p1 = ObsPattern { s: 1.0, f: 0.0 };
+        let p0 = ObsPattern { s: 0.0, f: 1.0 };
+        for &(q, c) in &[(0.1, 5.0), (0.7, 2.0), (0.01, 50.0)] {
+            assert!((p1.log_marginal(q, c) - q.ln()).abs() < 1e-10);
+            assert!((p0.log_marginal(q, c) - (1.0 - q).ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn posterior_mean_interpolates_prior_and_data() {
+        let pat = ObsPattern { s: 3.0, f: 7.0 };
+        // Huge c → prior mean dominates; c → 0 → empirical rate.
+        assert!((pat.posterior_mean(0.2, 1e9) - 0.2).abs() < 1e-6);
+        assert!((pat.posterior_mean(0.2, 1e-9) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_dedupes_patterns() {
+        let units = vec![
+            (0.0, 11.0, 1.0),
+            (0.0, 11.0, 1.0),
+            (1.0, 10.0, 1.0),
+            (0.0, 11.0, 2.0), // different multiplier → different pattern
+        ];
+        let t = PatternTable::build(units.into_iter());
+        assert_eq!(t.units(), 4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.pattern_of(0), t.pattern_of(1));
+        assert_ne!(t.pattern_of(0), t.pattern_of(2));
+        assert_ne!(t.pattern_of(0), t.pattern_of(3));
+    }
+
+    #[test]
+    fn group_log_likelihood_sums_counts() {
+        let t = PatternTable::build(vec![(0.0, 5.0, 1.0), (1.0, 4.0, 1.0)].into_iter());
+        let counts = vec![3.0, 2.0];
+        let direct = 3.0 * t.pattern(0).log_marginal(0.1, 10.0)
+            + 2.0 * t.pattern(1).log_marginal(0.1, 10.0);
+        assert!((t.group_log_likelihood(&counts, 0.1, 10.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_collapses_thousands_into_few_patterns() {
+        // The pipe regime: 12-year windows, almost everyone at (0, 11).
+        let units = (0..10_000).map(|i| {
+            let s = if i % 97 == 0 { 1.0 } else { 0.0 };
+            (s, 11.0 - s, 1.0)
+        });
+        let t = PatternTable::build(units);
+        assert_eq!(t.units(), 10_000);
+        assert!(t.len() <= 3, "patterns {}", t.len());
+    }
+}

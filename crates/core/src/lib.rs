@@ -1,0 +1,59 @@
+//! # pipefail-core
+//!
+//! The papers' contributions, implemented from scratch:
+//!
+//! * [`beta_process`] / [`bernoulli_process`] — the Beta–Bernoulli machinery
+//!   of §18.3.1: discrete beta processes, conjugate posterior updates
+//!   (Eq. 18.4), and the sparse binary failure matrices of Fig. 18.3;
+//! * [`crp`] — the Chinese restaurant process (Eq. 18.6), the constructive
+//!   Dirichlet-process prior used for flexible pipe grouping;
+//! * [`hbp`] — the hierarchical beta process with *fixed expert groupings*
+//!   (material / diameter / laid-year), the strongest prior-work baseline
+//!   [Li et al., Mach. Learn. 95(1)];
+//! * [`dpmhbp`] — the proposed Dirichlet-process mixture of hierarchical
+//!   beta processes (Eq. 18.7), fitted by Metropolis-within-Gibbs (Neal's
+//!   Algorithm 8 for assignments, slice sampling for group parameters,
+//!   Escobar–West for the DP concentration);
+//! * [`ranking`] — the rank-based data-mining method of the ICDE'13 paper
+//!   (Eq. 18.10): a linear scoring function optimised for AUC, via pairwise
+//!   hinge SGD and an evolution-strategy direct optimiser;
+//! * [`covariates`] — the multiplicative covariate adjustment ("features are
+//!   applied multiplicatively", §18.4.3) shared by the Bayesian models;
+//! * [`model`] — the [`model::FailureModel`] trait every predictor
+//!   implements, producing a [`model::RiskRanking`] over pipes.
+
+pub mod bernoulli_process;
+pub mod beta_process;
+pub mod covariates;
+pub mod crp;
+pub mod dpmhbp;
+pub mod hbp;
+pub mod hier;
+pub mod model;
+pub mod ranking;
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid configuration value.
+    BadConfig(&'static str),
+    /// The dataset lacks what the model needs (e.g. no pipes of the class).
+    EmptyEvaluationSet(&'static str),
+    /// An optimisation failed to make progress.
+    FitFailed(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadConfig(s) => write!(f, "bad config: {s}"),
+            CoreError::EmptyEvaluationSet(s) => write!(f, "empty evaluation set: {s}"),
+            CoreError::FitFailed(s) => write!(f, "fit failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

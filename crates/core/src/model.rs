@@ -1,0 +1,139 @@
+//! The model interface: every predictor ranks pipes by failure risk.
+//!
+//! The paper's evaluation protocol is a *prioritisation*: rank the critical
+//! water mains, inspect from the top, count detected failures. All five
+//! compared methods — DPMHBP, HBP, Cox, Weibull, the SVM-style ranker — are
+//! therefore unified behind one trait that takes a dataset plus a temporal
+//! split and produces a [`RiskRanking`].
+
+use crate::Result;
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::ids::PipeId;
+use pipefail_network::split::TrainTestSplit;
+
+/// One pipe's risk score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskScore {
+    /// The scored pipe.
+    pub pipe: PipeId,
+    /// Higher = more likely to fail in the test window. Scores are only
+    /// required to be ordinal; probabilities are welcome but not required
+    /// (the ranking method produces raw scores).
+    pub score: f64,
+}
+
+/// A ranking of pipes by predicted failure risk (descending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskRanking {
+    scores: Vec<RiskScore>,
+}
+
+impl RiskRanking {
+    /// Build from unordered scores; sorts descending (stable: ties keep
+    /// their input order so results are reproducible).
+    pub fn new(mut scores: Vec<RiskScore>) -> Self {
+        scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        Self { scores }
+    }
+
+    /// Scores in descending order.
+    pub fn scores(&self) -> &[RiskScore] {
+        &self.scores
+    }
+
+    /// Pipes from most to least risky.
+    pub fn pipes_in_order(&self) -> impl Iterator<Item = PipeId> + '_ {
+        self.scores.iter().map(|s| s.pipe)
+    }
+
+    /// Number of ranked pipes.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when nothing was ranked.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Score of a specific pipe, if ranked.
+    pub fn score_of(&self, pipe: PipeId) -> Option<f64> {
+        self.scores.iter().find(|s| s.pipe == pipe).map(|s| s.score)
+    }
+
+    /// The top `frac` (by count) of pipes, e.g. `top_fraction(0.1)` for the
+    /// risk map's red decile.
+    pub fn top_fraction(&self, frac: f64) -> &[RiskScore] {
+        let n = ((self.scores.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+        &self.scores[..n.min(self.scores.len())]
+    }
+}
+
+/// A pipe-failure prediction model.
+pub trait FailureModel {
+    /// Short display name used in result tables ("DPMHBP", "Cox", …).
+    fn name(&self) -> &'static str;
+
+    /// Train on `split.train` failures of `dataset` and rank all pipes of
+    /// `class` by predicted risk in the test window. `seed` makes stochastic
+    /// fits reproducible.
+    fn fit_rank_class(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        class: PipeClass,
+        seed: u64,
+    ) -> Result<RiskRanking>;
+
+    /// Convenience: rank the critical water mains, the paper's evaluation
+    /// set.
+    fn fit_rank(
+        &mut self,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+        seed: u64,
+    ) -> Result<RiskRanking> {
+        self.fit_rank_class(dataset, split, PipeClass::Critical, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let r = RiskRanking::new(vec![
+            RiskScore { pipe: PipeId(0), score: 0.1 },
+            RiskScore { pipe: PipeId(1), score: 0.9 },
+            RiskScore { pipe: PipeId(2), score: 0.5 },
+        ]);
+        let order: Vec<PipeId> = r.pipes_in_order().collect();
+        assert_eq!(order, vec![PipeId(1), PipeId(2), PipeId(0)]);
+        assert_eq!(r.score_of(PipeId(2)), Some(0.5));
+        assert_eq!(r.score_of(PipeId(9)), None);
+    }
+
+    #[test]
+    fn top_fraction_rounds_sanely() {
+        let r = RiskRanking::new(
+            (0..10)
+                .map(|i| RiskScore { pipe: PipeId(i), score: i as f64 })
+                .collect(),
+        );
+        assert_eq!(r.top_fraction(0.1).len(), 1);
+        assert_eq!(r.top_fraction(0.25).len(), 3); // 2.5 rounds to 3
+        assert_eq!(r.top_fraction(1.0).len(), 10);
+        assert_eq!(r.top_fraction(0.0).len(), 0);
+        assert_eq!(r.top_fraction(2.0).len(), 10);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = RiskRanking::new(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.top_fraction(0.5).len(), 0);
+    }
+}

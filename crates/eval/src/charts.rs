@@ -1,0 +1,318 @@
+//! Dependency-free SVG charts: multi-series line charts (Figs 18.7/18.5/
+//! 18.6) and grouped bar charts (Fig 18.8).
+//!
+//! Deliberately minimal — axes, ticks, legend, series — enough to render
+//! the paper's figures faithfully without a plotting dependency.
+
+use std::fmt::Write as _;
+
+/// Qualitative series palette (colour-blind-safe-ish).
+const PALETTE: [&str; 8] = [
+    "#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d5a97", "#00798c", "#5f0f40", "#2e4057",
+];
+
+/// One named line/bar series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points (line) or per-category values (bar).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart frame configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Pixel width.
+    pub width: f64,
+    /// Pixel height.
+    pub height: f64,
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        Self {
+            width: 720.0,
+            height: 480.0,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+
+struct Frame {
+    cfg: ChartConfig,
+    x_min: f64,
+    x_max: f64,
+    y_min: f64,
+    y_max: f64,
+}
+
+impl Frame {
+    fn tx(&self, x: f64) -> f64 {
+        let w = self.cfg.width - MARGIN_L - MARGIN_R;
+        MARGIN_L + (x - self.x_min) / (self.x_max - self.x_min).max(1e-12) * w
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        let h = self.cfg.height - MARGIN_T - MARGIN_B;
+        self.cfg.height - MARGIN_B - (y - self.y_min) / (self.y_max - self.y_min).max(1e-12) * h
+    }
+
+    fn chrome(&self, body: &str, legend: &[&str]) -> String {
+        let mut s = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" font-family=\"sans-serif\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+            self.cfg.width, self.cfg.height
+        );
+        // Title and axis labels.
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.0}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + self.cfg.width - MARGIN_R) / 2.0,
+            self.cfg.title
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.0}" y="{:.0}" font-size="12" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + self.cfg.width - MARGIN_R) / 2.0,
+            self.cfg.height - 12.0,
+            self.cfg.x_label
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{:.0}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+            self.cfg.height / 2.0,
+            self.cfg.height / 2.0,
+            self.cfg.y_label
+        );
+        // Axes box + ticks (5 per axis).
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.1}" y="{MARGIN_T}" width="{:.1}" height="{:.1}" fill="none" stroke="#444"/>"##,
+            MARGIN_L,
+            self.cfg.width - MARGIN_L - MARGIN_R,
+            self.cfg.height - MARGIN_T - MARGIN_B
+        );
+        for i in 0..=5 {
+            let fx = self.x_min + (self.x_max - self.x_min) * i as f64 / 5.0;
+            let fy = self.y_min + (self.y_max - self.y_min) * i as f64 / 5.0;
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"#,
+                self.tx(fx),
+                self.cfg.height - MARGIN_B + 16.0,
+                trim_num(fx)
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                self.ty(fy) + 3.0,
+                trim_num(fy)
+            );
+            let _ = writeln!(
+                s,
+                r##"<line x1="{:.1}" y1="{MARGIN_T}" x2="{:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                self.tx(fx),
+                self.tx(fx),
+                self.cfg.height - MARGIN_B
+            );
+        }
+        s.push_str(body);
+        // Legend.
+        for (i, name) in legend.iter().enumerate() {
+            let y = MARGIN_T + 14.0 + i as f64 * 18.0;
+            let x = self.cfg.width - MARGIN_R + 12.0;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{x:.1}" y="{:.1}" width="14" height="4" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="11">{name}</text>"#,
+                y - 2.0,
+                PALETTE[i % PALETTE.len()],
+                x + 20.0,
+                y + 3.0
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e6 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a multi-series line chart.
+pub fn line_chart(cfg: ChartConfig, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let (x_min, x_max) = bounds(all.iter().map(|p| p.0), 0.0, 1.0);
+    let (y_min, y_max) = bounds(all.iter().map(|p| p.1), 0.0, 1.0);
+    let frame = Frame {
+        cfg,
+        x_min,
+        x_max,
+        y_min: y_min.min(0.0),
+        y_max,
+    };
+    let mut body = String::new();
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", frame.tx(x), frame.ty(y)))
+            .collect();
+        let _ = writeln!(
+            body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+            pts.join(" "),
+            PALETTE[i % PALETTE.len()]
+        );
+    }
+    let legend: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+    frame.chrome(&body, &legend)
+}
+
+/// Render a grouped bar chart: one group per `categories` entry, one bar per
+/// series inside each group. Series points are indexed by category position
+/// (`points[i].1` is the value for category `i`).
+pub fn bar_chart(cfg: ChartConfig, categories: &[&str], series: &[Series]) -> String {
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let frame = Frame {
+        cfg,
+        x_min: 0.0,
+        x_max: categories.len() as f64,
+        y_min: 0.0,
+        y_max: y_max * 1.1,
+    };
+    let mut body = String::new();
+    let group_w = (frame.tx(1.0) - frame.tx(0.0)) * 0.8;
+    let bar_w = group_w / series.len().max(1) as f64;
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = frame.tx(ci as f64 + 0.1);
+        for (si, s) in series.iter().enumerate() {
+            let v = s.points.get(ci).map_or(0.0, |p| p.1);
+            let x = gx + si as f64 * bar_w;
+            let y = frame.ty(v);
+            let y0 = frame.ty(0.0);
+            let _ = writeln!(
+                body,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                bar_w * 0.9,
+                (y0 - y).max(0.0),
+                PALETTE[si % PALETTE.len()]
+            );
+        }
+        let _ = writeln!(
+            body,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{cat}</text>"#,
+            frame.tx(ci as f64 + 0.5),
+            frame.cfg.height - MARGIN_B + 30.0
+        );
+    }
+    let legend: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+    frame.chrome(&body, &legend)
+}
+
+fn bounds(vals: impl Iterator<Item = f64>, def_lo: f64, def_hi: f64) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (def_lo, def_hi)
+    } else if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "A".into(),
+                points: (0..=10).map(|i| (i as f64 / 10.0, (i as f64 / 10.0).sqrt())).collect(),
+            },
+            Series {
+                name: "B".into(),
+                points: (0..=10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn line_chart_is_wellformed() {
+        let svg = line_chart(
+            ChartConfig {
+                title: "Detection".into(),
+                x_label: "budget".into(),
+                y_label: "detected".into(),
+                ..ChartConfig::default()
+            },
+            &demo_series(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Detection"));
+        assert!(svg.contains(">A</text>") && svg.contains(">B</text>"));
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let svg = bar_chart(
+            ChartConfig::default(),
+            &["Region A", "Region B"],
+            &[
+                Series { name: "M1".into(), points: vec![(0.0, 0.3), (1.0, 0.5)] },
+                Series { name: "M2".into(), points: vec![(0.0, 0.2), (1.0, 0.4)] },
+            ],
+        );
+        // 2 categories × 2 series = 4 bars, plus background, frame and one
+        // legend swatch per series.
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 2);
+        assert!(svg.contains("Region A"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let svg = line_chart(ChartConfig::default(), &[Series { name: "x".into(), points: vec![] }]);
+        assert!(svg.contains("</svg>"));
+        let svg = bar_chart(ChartConfig::default(), &[], &[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn trim_num_formats() {
+        assert_eq!(trim_num(1.0), "1");
+        assert_eq!(trim_num(0.25), "0.25");
+    }
+}

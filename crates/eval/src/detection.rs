@@ -1,0 +1,306 @@
+//! Detection (prioritisation) curves.
+//!
+//! Inspect pipes from the top of the ranking; after each pipe, record the
+//! cumulative inspection budget spent (x) and the fraction of test-window
+//! failures detected (y). The paper draws x as the cumulative *percentage of
+//! pipes* for Fig 18.7 and as the cumulative *percentage of network length*
+//! for the 1%-budget analysis of Fig 18.8 (only 1% of CWM length can be
+//! physically inspected per year).
+
+use pipefail_core::model::RiskRanking;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::ObservationWindow;
+
+/// A monotone step curve through (0,0) … (1,1-ish).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionCurve {
+    /// Cumulative budget fraction after each inspected pipe (ascending).
+    xs: Vec<f64>,
+    /// Cumulative detected-failure fraction after each inspected pipe.
+    ys: Vec<f64>,
+}
+
+impl DetectionCurve {
+    /// Budget axis = fraction of pipes inspected (Fig 18.7).
+    pub fn by_count(
+        ranking: &RiskRanking,
+        dataset: &Dataset,
+        test_window: ObservationWindow,
+    ) -> Self {
+        let weights = vec![1.0; ranking.len()];
+        Self::build(ranking, dataset, test_window, &weights)
+    }
+
+    /// Budget axis = fraction of ranked network length inspected (Fig 18.8).
+    pub fn by_length(
+        ranking: &RiskRanking,
+        dataset: &Dataset,
+        test_window: ObservationWindow,
+    ) -> Self {
+        let weights: Vec<f64> = ranking
+            .scores()
+            .iter()
+            .map(|s| dataset.pipe_length_m(s.pipe).max(1e-9))
+            .collect();
+        Self::build(ranking, dataset, test_window, &weights)
+    }
+
+    /// Budget axis = fraction of network length, but with pipes *re-ordered
+    /// by risk density* (score per metre) — the greedy-knapsack inspection
+    /// plan for a length budget. Pipe failure probabilities rise with
+    /// length, so inspecting by raw score spends a length budget on few
+    /// long pipes; a utility planning against a km budget would inspect by
+    /// density instead.
+    pub fn by_length_density(
+        ranking: &RiskRanking,
+        dataset: &Dataset,
+        test_window: ObservationWindow,
+    ) -> Self {
+        let reordered = RiskRanking::new(
+            ranking
+                .scores()
+                .iter()
+                .map(|s| pipefail_core::model::RiskScore {
+                    pipe: s.pipe,
+                    score: s.score / dataset.pipe_length_m(s.pipe).max(1e-9),
+                })
+                .collect(),
+        );
+        Self::by_length(&reordered, dataset, test_window)
+    }
+
+    fn build(
+        ranking: &RiskRanking,
+        dataset: &Dataset,
+        test_window: ObservationWindow,
+        weights: &[f64],
+    ) -> Self {
+        let counts = dataset.pipe_failure_counts(test_window);
+        let total_budget: f64 = weights.iter().sum();
+        let total_failures: f64 = ranking
+            .scores()
+            .iter()
+            .map(|s| counts[s.pipe.index()] as f64)
+            .sum();
+        let mut xs = Vec::with_capacity(ranking.len());
+        let mut ys = Vec::with_capacity(ranking.len());
+        let mut spent = 0.0;
+        let mut found = 0.0;
+        for (s, w) in ranking.scores().iter().zip(weights) {
+            spent += w;
+            found += counts[s.pipe.index()] as f64;
+            xs.push(if total_budget > 0.0 { spent / total_budget } else { 1.0 });
+            ys.push(if total_failures > 0.0 {
+                found / total_failures
+            } else {
+                0.0
+            });
+        }
+        Self { xs, ys }
+    }
+
+    /// The x coordinates (ascending, ending at 1).
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y coordinates (non-decreasing).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of inspected-pipe steps.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the curve has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Detected-failure fraction at budget `x` (step interpolation; the
+    /// curve is right-continuous: you only get credit for fully inspected
+    /// pipes).
+    pub fn y_at(&self, x: f64) -> f64 {
+        if self.xs.is_empty() || x < self.xs[0] {
+            return 0.0;
+        }
+        // Last index with xs[i] <= x.
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(mut i) => {
+                // Step past ties.
+                while i + 1 < self.xs.len() && self.xs[i + 1] <= x {
+                    i += 1;
+                }
+                self.ys[i]
+            }
+            Err(0) => 0.0,
+            Err(i) => self.ys[i - 1],
+        }
+    }
+
+    /// Area under the curve from 0 to `up_to` (step integration). The
+    /// paper's AUC(100%) is `area(1.0)`; AUC(1%) is `area(0.01)` (quoted in
+    /// basis points).
+    pub fn area(&self, up_to: f64) -> f64 {
+        let up_to = up_to.clamp(0.0, 1.0);
+        let mut area = 0.0;
+        let mut prev_x = 0.0;
+        let mut prev_y = 0.0;
+        for (&x, &y) in self.xs.iter().zip(&self.ys) {
+            if x >= up_to {
+                area += (up_to - prev_x) * prev_y;
+                return area;
+            }
+            area += (x - prev_x) * prev_y;
+            prev_x = x;
+            prev_y = y;
+        }
+        area + (up_to - prev_x) * prev_y
+    }
+
+    /// Sample the curve at `n` evenly spaced budgets (for figure output).
+    pub fn sample(&self, n: usize) -> Vec<(f64, f64)> {
+        (1..=n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x, self.y_at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_core::model::RiskScore;
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+    use pipefail_network::ids::PipeId;
+
+    fn ranking(order: &[u32]) -> RiskRanking {
+        RiskRanking::new(
+            order
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| RiskScore {
+                    pipe: PipeId(p),
+                    score: (order.len() - i) as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_ranking_finds_failures_first() {
+        let ds = three_pipe_dataset();
+        // Pipe 0 fails in 2009; rank it first.
+        let curve = DetectionCurve::by_count(
+            &ranking(&[0, 1, 2]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        assert_eq!(curve.len(), 3);
+        assert!((curve.ys()[0] - 1.0).abs() < 1e-12, "all failures at step 1");
+        assert!((curve.y_at(1.0 / 3.0) - 1.0).abs() < 1e-12);
+        // Worst ranking: failure found last.
+        let bad = DetectionCurve::by_count(
+            &ranking(&[2, 1, 0]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        assert_eq!(bad.y_at(0.5), 0.0);
+        assert!((bad.y_at(1.0) - 1.0).abs() < 1e-12);
+        assert!(curve.area(1.0) > bad.area(1.0));
+    }
+
+    #[test]
+    fn area_of_perfect_vs_worst() {
+        let ds = three_pipe_dataset();
+        let perfect = DetectionCurve::by_count(
+            &ranking(&[0, 1, 2]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        // y=1 from x=1/3 on: area = (2/3)·1 = 0.666…
+        assert!((perfect.area(1.0) - 2.0 / 3.0).abs() < 1e-9);
+        let worst = DetectionCurve::by_count(
+            &ranking(&[2, 1, 0]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        assert!(worst.area(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn density_ordering_prefers_short_risky_pipes() {
+        let ds = three_pipe_dataset();
+        // Scores proportional to length: raw length ordering puts pipe 2
+        // (300 m) first; density ordering ties → stable order by input.
+        let ranking = RiskRanking::new(vec![
+            RiskScore { pipe: PipeId(0), score: 1.0 },
+            RiskScore { pipe: PipeId(1), score: 2.0 },
+            RiskScore { pipe: PipeId(2), score: 3.0 },
+        ]);
+        let w = ObservationWindow::new(2009, 2009);
+        let density = DetectionCurve::by_length_density(&ranking, &ds, w);
+        // Densities: 1/100, 2/200, 3/300 all equal — curve still valid.
+        assert_eq!(density.len(), 3);
+        assert!((density.y_at(1.0) - 1.0).abs() < 1e-12);
+        // Distinct densities: pipe 0 (score 2, 100 m) densest.
+        let ranking = RiskRanking::new(vec![
+            RiskScore { pipe: PipeId(0), score: 2.0 },
+            RiskScore { pipe: PipeId(1), score: 2.0 },
+            RiskScore { pipe: PipeId(2), score: 2.0 },
+        ]);
+        let density = DetectionCurve::by_length_density(&ranking, &ds, w);
+        // Pipe 0 (the 2009 failure, 100 m) is inspected first: full
+        // detection after 100/600 of the length.
+        assert!((density.y_at(100.0 / 600.0 + 1e-9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_axis_weights_by_pipe_length() {
+        let ds = three_pipe_dataset();
+        let curve = DetectionCurve::by_length(
+            &ranking(&[0, 1, 2]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        // Pipe 0 is 100 m of 100+200+300=600 m → first x is 1/6.
+        assert!((curve.xs()[0] - 100.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_area_is_small_fraction() {
+        let ds = three_pipe_dataset();
+        let curve = DetectionCurve::by_count(
+            &ranking(&[0, 1, 2]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        let a1 = curve.area(0.4);
+        // y=1 after x=1/3; area(0.4) = (0.4−1/3)·1 = 0.0666…
+        assert!((a1 - (0.4 - 1.0 / 3.0)).abs() < 1e-9);
+        assert!(curve.area(0.0) == 0.0);
+    }
+
+    #[test]
+    fn sample_is_monotone() {
+        let ds = three_pipe_dataset();
+        let curve = DetectionCurve::by_count(
+            &ranking(&[1, 0, 2]),
+            &ds,
+            ObservationWindow::new(2009, 2009),
+        );
+        let pts = curve.sample(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

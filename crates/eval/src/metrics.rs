@@ -1,0 +1,122 @@
+//! AUC metrics (Table 18.3).
+//!
+//! * `full_auc` — area under the detection curve over the whole budget, the
+//!   paper's "AUC (100%)" (e.g. DPMHBP 82.67% on Region A);
+//! * `auc_at_fraction` — area under the curve up to a restricted budget, the
+//!   paper's "AUC (1%)", quoted in basis points ‱ (e.g. 8.09‱);
+//! * `mann_whitney_auc` — the classical probability that a random failed
+//!   pipe outranks a random clean one, used by the unit tests to
+//!   cross-check the detection-curve area.
+
+use crate::detection::DetectionCurve;
+use pipefail_core::model::RiskRanking;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::ObservationWindow;
+use pipefail_stats::descriptive::ranks;
+
+/// Area under the detection curve over the full budget, in [0, 1].
+pub fn full_auc(curve: &DetectionCurve) -> f64 {
+    curve.area(1.0)
+}
+
+/// Area under the detection curve up to `fraction` of the budget (raw
+/// area; multiply by 1e4 for the paper's ‱ unit).
+pub fn auc_at_fraction(curve: &DetectionCurve, fraction: f64) -> f64 {
+    curve.area(fraction)
+}
+
+/// Format a raw restricted-budget area in basis points, as Table 18.3 does.
+pub fn to_basis_points(area: f64) -> f64 {
+    area * 1e4
+}
+
+/// Mann–Whitney AUC of a ranking against test-window failure labels: the
+/// probability a uniformly random failed pipe is ranked above a uniformly
+/// random clean pipe (ties = ½).
+pub fn mann_whitney_auc(
+    ranking: &RiskRanking,
+    dataset: &Dataset,
+    test_window: ObservationWindow,
+) -> Option<f64> {
+    let failed = dataset.pipe_failed_in(test_window);
+    let scores: Vec<f64> = ranking.scores().iter().map(|s| s.score).collect();
+    let labels: Vec<bool> = ranking
+        .scores()
+        .iter()
+        .map(|s| failed[s.pipe.index()])
+        .collect();
+    let np = labels.iter().filter(|&&l| l).count() as f64;
+    let nn = labels.len() as f64 - np;
+    if np == 0.0 || nn == 0.0 {
+        return None;
+    }
+    let r = ranks(&scores).ok()?;
+    let pos_rank_sum: f64 = r
+        .iter()
+        .zip(&labels)
+        .filter(|(_, &l)| l)
+        .map(|(r, _)| r)
+        .sum();
+    Some((pos_rank_sum - np * (np + 1.0) / 2.0) / (np * nn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_core::model::RiskScore;
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+    use pipefail_network::ids::PipeId;
+
+    fn ranking(order: &[u32]) -> RiskRanking {
+        RiskRanking::new(
+            order
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| RiskScore {
+                    pipe: PipeId(p),
+                    score: (order.len() - i) as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn mann_whitney_extremes() {
+        let ds = three_pipe_dataset();
+        let w = ObservationWindow::new(2009, 2009);
+        // Pipe 0 is the only test-year failure.
+        assert_eq!(mann_whitney_auc(&ranking(&[0, 1, 2]), &ds, w), Some(1.0));
+        assert_eq!(mann_whitney_auc(&ranking(&[1, 2, 0]), &ds, w), Some(0.0));
+        assert_eq!(mann_whitney_auc(&ranking(&[1, 0, 2]), &ds, w), Some(0.5));
+    }
+
+    #[test]
+    fn mann_whitney_none_without_positives() {
+        let ds = three_pipe_dataset();
+        let w = ObservationWindow::new(2008, 2008); // no failures that year
+        assert_eq!(mann_whitney_auc(&ranking(&[0, 1, 2]), &ds, w), None);
+    }
+
+    #[test]
+    fn detection_auc_tracks_mann_whitney_ordering()  {
+        let ds = three_pipe_dataset();
+        let w = ObservationWindow::new(2009, 2009);
+        let good = DetectionCurve::by_count(&ranking(&[0, 1, 2]), &ds, w);
+        let bad = DetectionCurve::by_count(&ranking(&[2, 1, 0]), &ds, w);
+        assert!(full_auc(&good) > full_auc(&bad));
+    }
+
+    #[test]
+    fn basis_points_unit() {
+        assert!((to_basis_points(0.000809) - 8.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_auc_smaller_than_budget() {
+        let ds = three_pipe_dataset();
+        let w = ObservationWindow::new(2009, 2009);
+        let c = DetectionCurve::by_count(&ranking(&[0, 1, 2]), &ds, w);
+        let a = auc_at_fraction(&c, 0.01);
+        assert!((0.0..=0.01 + 1e-12).contains(&a));
+    }
+}

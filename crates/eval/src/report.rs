@@ -1,0 +1,178 @@
+//! Plain-text report formatting matching the paper's table layouts, plus
+//! CSV series output for the figures.
+
+use crate::runner::RegionResult;
+use crate::significance::Comparison;
+use std::fmt::Write as _;
+
+/// Format Table 18.3: AUC(100%) and AUC(1%, ‱) per model per region.
+pub fn format_auc_table(regions: &[RegionResult]) -> String {
+    let mut s = String::new();
+    for r in regions {
+        let _ = writeln!(s, "== {} ==", r.region);
+        let _ = writeln!(s, "{:<16} {:>12} {:>12}", "Model", "AUC(100%)", "AUC(1%) bp");
+        for m in &r.models {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>11.2}% {:>12.2}",
+                m.model,
+                m.auc_full * 100.0,
+                m.auc_restricted_bp
+            );
+        }
+    }
+    s
+}
+
+/// Format Table 18.4: one-sided paired t-tests of the proposed model
+/// against each baseline (t statistic, p-value, significance flag at 5%).
+pub fn format_significance_table(region: &str, comparisons: &[Comparison]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {region}: DPMHBP vs baselines (one-sided paired t) ==");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>6}   {:>10} {:>10} {:>6}",
+        "versus", "t(100%)", "p", "sig", "t(1%)", "p", "sig"
+    );
+    for c in comparisons {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10.2} {:>10.4} {:>6} {:>12.2} {:>10.4} {:>6}",
+            c.versus,
+            c.full.t,
+            c.full.p_value,
+            if c.full.significant_at(0.05) { "yes" } else { "no" },
+            c.restricted.t,
+            c.restricted.p_value,
+            if c.restricted.significant_at(0.05) { "yes" } else { "no" },
+        );
+    }
+    s
+}
+
+/// CSV of detection-curve series for one region (Fig 18.7): column per
+/// model, `points` rows sampled on the budget axis.
+pub fn detection_curves_csv(result: &RegionResult, points: usize) -> String {
+    let mut s = String::from("budget");
+    for m in &result.models {
+        let _ = write!(s, ",{}", m.model);
+    }
+    s.push('\n');
+    for i in 1..=points {
+        let x = i as f64 / points as f64;
+        let _ = write!(s, "{x:.4}");
+        for m in &result.models {
+            let _ = write!(s, ",{:.6}", m.curve_count.y_at(x));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// CSV of a binned scatter relationship (Figs 18.5/18.6): `(bin_center,
+/// value)` rows.
+pub fn binned_series_csv(name: &str, series: &[(f64, f64)]) -> String {
+    let mut s = format!("{name},failure_rate\n");
+    for (x, y) in series {
+        let _ = writeln!(s, "{x:.4},{y:.6}");
+    }
+    s
+}
+
+/// Bin a covariate/outcome relationship: mean outcome per equal-width
+/// covariate bin (weighted by exposure), skipping empty bins.
+pub fn binned_rates(
+    xs: &[f64],
+    events: &[f64],
+    exposure: &[f64],
+    bins: usize,
+) -> Vec<(f64, f64)> {
+    assert_eq!(xs.len(), events.len());
+    assert_eq!(xs.len(), exposure.len());
+    if xs.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / bins as f64).max(1e-12);
+    let mut ev = vec![0.0; bins];
+    let mut ex = vec![0.0; bins];
+    for ((&x, &e), &n) in xs.iter().zip(events).zip(exposure) {
+        let b = (((x - lo) / width) as usize).min(bins - 1);
+        ev[b] += e;
+        ex[b] += n;
+    }
+    (0..bins)
+        .filter(|&b| ex[b] > 0.0)
+        .map(|b| (lo + (b as f64 + 0.5) * width, ev[b] / ex[b]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::DetectionCurve;
+    use crate::runner::ModelResult;
+    use pipefail_core::model::{RiskRanking, RiskScore};
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+    use pipefail_network::ids::PipeId;
+    use pipefail_network::split::ObservationWindow;
+
+    fn fake_region() -> RegionResult {
+        let ds = three_pipe_dataset();
+        let ranking = RiskRanking::new(
+            (0..3)
+                .map(|i| RiskScore {
+                    pipe: PipeId(i),
+                    score: (3 - i) as f64,
+                })
+                .collect(),
+        );
+        let w = ObservationWindow::new(2009, 2009);
+        let curve = DetectionCurve::by_count(&ranking, &ds, w);
+        RegionResult {
+            region: "Region X".into(),
+            models: vec![ModelResult {
+                model: "DPMHBP".into(),
+                auc_full: 0.8267,
+                auc_restricted_bp: 8.09,
+                mann_whitney: Some(0.8),
+                curve_length: DetectionCurve::by_length(&ranking, &ds, w),
+                curve_length_density: DetectionCurve::by_length_density(&ranking, &ds, w),
+                curve_count: curve,
+            }],
+        }
+    }
+
+    #[test]
+    fn auc_table_contains_percentages() {
+        let text = format_auc_table(&[fake_region()]);
+        assert!(text.contains("Region X"));
+        assert!(text.contains("82.67%"));
+        assert!(text.contains("8.09"));
+    }
+
+    #[test]
+    fn curves_csv_has_header_and_rows() {
+        let csv = detection_curves_csv(&fake_region(), 10);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert_eq!(lines[0], "budget,DPMHBP");
+        assert!(lines[10].starts_with("1.0000,"));
+    }
+
+    #[test]
+    fn binned_rates_monotone_input() {
+        let xs = [0.1, 0.2, 0.5, 0.6, 0.9, 0.95];
+        let events = [0.0, 1.0, 2.0, 2.0, 8.0, 9.0];
+        let exposure = [10.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        let bins = binned_rates(&xs, &events, &exposure, 3);
+        assert_eq!(bins.len(), 3);
+        assert!(bins[0].1 < bins[1].1 && bins[1].1 < bins[2].1);
+    }
+
+    #[test]
+    fn binned_rates_empty_input() {
+        assert!(binned_rates(&[], &[], &[], 5).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Risk maps (Fig 18.9): pipes coloured by predicted-risk decile, with the
+//! test-year failures drawn as stars.
+
+use crate::svg::SvgCanvas;
+use pipefail_core::model::RiskRanking;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::ObservationWindow;
+
+/// Decile colour ramp: index 0 = top 10% risk (red) … 9 = bottom (green).
+const DECILE_COLORS: [&str; 10] = [
+    "#d73027", "#f46d43", "#fdae61", "#fee08b", "#ffffbf", "#d9ef8b", "#a6d96a", "#66bd63",
+    "#1a9850", "#006837",
+];
+
+/// Colour for risk decile `d` (0 = highest risk).
+pub fn decile_color(d: usize) -> &'static str {
+    DECILE_COLORS[d.min(9)]
+}
+
+/// Render the risk map of `ranking` over `dataset`: ranked pipes coloured by
+/// decile, unranked pipes grey, and failures in `test_window` as black
+/// stars.
+pub fn risk_map(
+    dataset: &Dataset,
+    ranking: &RiskRanking,
+    test_window: ObservationWindow,
+    width: f64,
+    height: f64,
+) -> String {
+    let mut canvas = SvgCanvas::new(width, height, dataset.bounds());
+    // Background: every pipe in light grey.
+    for seg in dataset.segments() {
+        canvas.polyline(seg.geometry.points(), "#cccccc", 0.5);
+    }
+    // Ranked pipes by decile (draw lowest risk first so red ends on top).
+    let n = ranking.len().max(1);
+    for (rank, score) in ranking.scores().iter().enumerate().rev() {
+        let decile = (rank * 10) / n;
+        let color = decile_color(decile);
+        let stroke = if decile == 0 { 2.0 } else { 1.0 };
+        for &sid in &dataset.pipe(score.pipe).segments {
+            canvas.polyline(dataset.segment(sid).geometry.points(), color, stroke);
+        }
+    }
+    // Test-year failures as stars at the failed segment midpoints.
+    for f in dataset.failures() {
+        if test_window.contains(f.year) {
+            canvas.star(dataset.segment(f.segment).geometry.midpoint(), 6.0, "black");
+        }
+    }
+    canvas.render()
+}
+
+/// Fraction of `test_window` failures that fall on the top-`frac` ranked
+/// pipes — the quantitative claim behind the risk map ("many failures could
+/// be prevented").
+pub fn top_fraction_capture(
+    dataset: &Dataset,
+    ranking: &RiskRanking,
+    test_window: ObservationWindow,
+    frac: f64,
+) -> f64 {
+    let top: std::collections::HashSet<_> = ranking
+        .top_fraction(frac)
+        .iter()
+        .map(|s| s.pipe)
+        .collect();
+    let mut total = 0.0;
+    let mut captured = 0.0;
+    for f in dataset.failures() {
+        if test_window.contains(f.year) && ranking.score_of(f.pipe).is_some() {
+            total += 1.0;
+            if top.contains(&f.pipe) {
+                captured += 1.0;
+            }
+        }
+    }
+    if total > 0.0 {
+        captured / total
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_core::model::RiskScore;
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+    use pipefail_network::ids::PipeId;
+
+    fn ranking(order: &[u32]) -> RiskRanking {
+        RiskRanking::new(
+            order
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| RiskScore {
+                    pipe: PipeId(p),
+                    score: (order.len() - i) as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn map_contains_stars_and_deciles() {
+        let ds = three_pipe_dataset();
+        let svg = risk_map(
+            &ds,
+            &ranking(&[0, 1, 2]),
+            ObservationWindow::new(2009, 2009),
+            400.0,
+            400.0,
+        );
+        assert!(svg.contains("<polygon"), "failure stars missing");
+        assert!(svg.contains(decile_color(0)), "top decile colour missing");
+    }
+
+    #[test]
+    fn capture_fraction_extremes() {
+        let ds = three_pipe_dataset();
+        let w = ObservationWindow::new(2009, 2009);
+        // Pipe 0 is the only 2009 failure. Top-1/3 = first pipe of ranking.
+        assert_eq!(top_fraction_capture(&ds, &ranking(&[0, 1, 2]), w, 0.34), 1.0);
+        assert_eq!(top_fraction_capture(&ds, &ranking(&[2, 1, 0]), w, 0.34), 0.0);
+    }
+
+    #[test]
+    fn decile_color_clamps() {
+        assert_eq!(decile_color(0), DECILE_COLORS[0]);
+        assert_eq!(decile_color(42), DECILE_COLORS[9]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal SVG writer (no external dependency) plus the network-map
+//! renderer of Fig 18.2.
+
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::geometry::{Bounds, Point};
+use std::fmt::Write as _;
+
+/// An SVG document builder with a world-to-view transform.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    bounds: Bounds,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Create a canvas of `width × height` pixels mapping `bounds` (world
+    /// coordinates, y-up) onto it with a small margin.
+    pub fn new(width: f64, height: f64, bounds: Bounds) -> Self {
+        Self {
+            width,
+            height,
+            bounds,
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        let margin = 10.0;
+        let w = self.bounds.width().max(1e-9);
+        let h = self.bounds.height().max(1e-9);
+        let sx = (self.width - 2.0 * margin) / w;
+        let sy = (self.height - 2.0 * margin) / h;
+        let s = sx.min(sy);
+        (
+            margin + (p.x - self.bounds.min.x) * s,
+            // SVG y grows downward.
+            self.height - margin - (p.y - self.bounds.min.y) * s,
+        )
+    }
+
+    /// Draw a polyline through world points.
+    pub fn polyline(&mut self, points: &[Point], color: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&p| {
+                let (x, y) = self.tx(p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{width}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Draw a circle at a world point.
+    pub fn circle(&mut self, at: Point, r: f64, color: &str) {
+        let (x, y) = self.tx(at);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"/>"#
+        );
+    }
+
+    /// Draw a five-pointed star at a world point (test-year failures in the
+    /// risk maps).
+    pub fn star(&mut self, at: Point, r: f64, color: &str) {
+        let (cx, cy) = self.tx(at);
+        let mut pts = Vec::with_capacity(10);
+        for i in 0..10 {
+            let rad = if i % 2 == 0 { r } else { r * 0.4 };
+            let a = -std::f64::consts::FRAC_PI_2 + i as f64 * std::f64::consts::PI / 5.0;
+            pts.push(format!("{:.1},{:.1}", cx + rad * a.cos(), cy + rad * a.sin()));
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{color}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Draw text at a world point.
+    pub fn text(&mut self, at: Point, size: f64, content: &str) {
+        let (x, y) = self.tx(at);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size}" font-family="sans-serif">{content}</text>"#
+        );
+    }
+
+    /// Finish the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Render a Fig 18.2-style network map: critical water mains red,
+/// reticulation mains blue.
+pub fn network_map(dataset: &Dataset, width: f64, height: f64) -> String {
+    let mut canvas = SvgCanvas::new(width, height, dataset.bounds());
+    for pipe in dataset.pipes() {
+        let (color, stroke) = match pipe.class() {
+            PipeClass::Critical => ("#cc2222", 1.6),
+            PipeClass::Reticulation => ("#2244cc", 0.7),
+        };
+        for &sid in &pipe.segments {
+            canvas.polyline(dataset.segment(sid).geometry.points(), color, stroke);
+        }
+    }
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+
+    #[test]
+    fn canvas_produces_wellformed_svg() {
+        let mut b = Bounds::empty();
+        b.expand(Point::new(0.0, 0.0));
+        b.expand(Point::new(100.0, 100.0));
+        let mut c = SvgCanvas::new(400.0, 300.0, b);
+        c.polyline(&[Point::new(0.0, 0.0), Point::new(100.0, 100.0)], "red", 1.0);
+        c.circle(Point::new(50.0, 50.0), 3.0, "black");
+        c.star(Point::new(10.0, 90.0), 5.0, "gold");
+        c.text(Point::new(5.0, 5.0), 12.0, "label");
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("label"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut b = Bounds::empty();
+        b.expand(Point::new(0.0, 0.0));
+        b.expand(Point::new(100.0, 100.0));
+        let c = SvgCanvas::new(200.0, 200.0, b);
+        let (_, y_low) = c.tx(Point::new(0.0, 0.0));
+        let (_, y_high) = c.tx(Point::new(0.0, 100.0));
+        assert!(y_low > y_high, "world y-up must map to SVG y-down");
+    }
+
+    #[test]
+    fn network_map_colours_classes() {
+        let ds = three_pipe_dataset();
+        let svg = network_map(&ds, 300.0, 300.0);
+        assert!(svg.contains("#cc2222"), "CWM colour missing");
+        assert!(svg.matches("<polyline").count() >= 3);
+    }
+}

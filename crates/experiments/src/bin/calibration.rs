@@ -1,0 +1,83 @@
+//! Extension — probability calibration of the DPMHBP scores.
+//!
+//! The DPMHBP outputs actual failure probabilities (unlike the ranking
+//! method), so they can be checked for calibration: bin pipes by predicted
+//! next-year probability, compare the bin's mean prediction against the
+//! observed test-year failure rate, and report the expected calibration
+//! error. The paper never validates its probabilities; a utility pricing
+//! renewals against failure cost needs this.
+
+use pipefail_eval::charts::{line_chart, ChartConfig, Series};
+use pipefail_eval::runner::ModelKind;
+use pipefail_experiments::{section, Context};
+
+fn main() {
+    let ctx = Context::from_env();
+    let world = ctx.build_world();
+    let split = ctx.split();
+    let mut out = String::new();
+    let mut chart_series = Vec::new();
+    for ds in world.regions() {
+        let mut model = ModelKind::Dpmhbp.build(ctx.fast);
+        let ranking = model.fit_rank(ds, &split, ctx.seed).expect("fit failed");
+        let failed = ds.pipe_failed_in(split.test);
+
+        // Quantile bins (equal-count) over predicted probability.
+        let n_bins = 8;
+        let scores = ranking.scores();
+        let per_bin = scores.len().div_ceil(n_bins);
+        out.push_str(&format!(
+            "== {} (predicted vs observed test-year failure rate, {} bins) ==\n",
+            ds.name(),
+            n_bins
+        ));
+        let mut ece = 0.0;
+        let mut points = Vec::new();
+        for (b, chunk) in scores.chunks(per_bin).enumerate() {
+            let pred: f64 =
+                chunk.iter().map(|s| s.score).sum::<f64>() / chunk.len() as f64;
+            let obs: f64 = chunk
+                .iter()
+                .filter(|s| failed[s.pipe.index()])
+                .count() as f64
+                / chunk.len() as f64;
+            ece += (pred - obs).abs() * chunk.len() as f64 / scores.len() as f64;
+            out.push_str(&format!(
+                "bin {:>2}  n={:>5}  predicted {:>7.4}  observed {:>7.4}\n",
+                b + 1,
+                chunk.len(),
+                pred,
+                obs
+            ));
+            points.push((pred, obs));
+        }
+        out.push_str(&format!("expected calibration error = {ece:.4}\n\n"));
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        chart_series.push(Series {
+            name: ds.name().to_string(),
+            points,
+        });
+    }
+    // Reliability diagram with the identity reference.
+    let max_p = chart_series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0.max(p.1)))
+        .fold(0.01_f64, f64::max);
+    let mut series = vec![Series {
+        name: "perfect".into(),
+        points: vec![(0.0, 0.0), (max_p, max_p)],
+    }];
+    series.extend(chart_series);
+    let svg = line_chart(
+        ChartConfig {
+            title: "DPMHBP reliability diagram (2009)".into(),
+            x_label: "mean predicted P(fail)".into(),
+            y_label: "observed failure rate".into(),
+            ..ChartConfig::default()
+        },
+        &series,
+    );
+    section("Calibration of DPMHBP probabilities", &out);
+    ctx.write_artifact("calibration.txt", &out).expect("write artifact");
+    ctx.write_artifact("calibration.svg", &svg).expect("write artifact");
+}

@@ -1,0 +1,28 @@
+//! E3 — Figure 18.2: water supply networks in the selected regions.
+//!
+//! Renders each region's network as SVG with critical water mains in red
+//! and reticulation mains in blue, matching the figure's colour coding.
+
+use pipefail_eval::svg::network_map;
+use pipefail_experiments::Context;
+use pipefail_network::attributes::PipeClass;
+
+fn main() {
+    let ctx = Context::from_env();
+    let world = ctx.build_world();
+    for ds in world.regions() {
+        let svg = network_map(ds, 900.0, 900.0);
+        let name = format!(
+            "fig18_2_{}.svg",
+            ds.name().to_lowercase().replace(' ', "_")
+        );
+        ctx.write_artifact(&name, &svg).expect("write artifact");
+        println!(
+            "{}: {} CWM pipes (red), {} RWM pipes (blue), total length {:.1} km",
+            ds.name(),
+            ds.pipes_of_class(PipeClass::Critical).count(),
+            ds.pipes_of_class(PipeClass::Reticulation).count(),
+            ds.total_length_m(None) / 1000.0
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! E7 — Figure 18.7: failure prediction (detection) curves for the selected
+//! regions by different models.
+//!
+//! For each region, fits the five compared models and writes the
+//! cumulative-%-inspected vs %-failures-detected curves as CSV (one column
+//! per model), plus a stdout preview at the 10% budget marks.
+
+use pipefail_eval::charts::{line_chart, ChartConfig, Series};
+use pipefail_eval::report::detection_curves_csv;
+use pipefail_experiments::{run_comparison, section, Context};
+
+fn main() {
+    let ctx = Context::from_env();
+    let world = ctx.build_world();
+    let results = run_comparison(&ctx, &world);
+    for r in &results {
+        let csv = detection_curves_csv(r, 100);
+        let slug = r.region.to_lowercase().replace(' ', "_");
+        ctx.write_artifact(&format!("fig18_7_{slug}.csv"), &csv)
+            .expect("write artifact");
+        let series: Vec<Series> = r
+            .models
+            .iter()
+            .map(|m| Series {
+                name: m.model.clone(),
+                points: m.curve_count.sample(100),
+            })
+            .collect();
+        let svg = line_chart(
+            ChartConfig {
+                title: format!("Failure prediction results — {}", r.region),
+                x_label: "cumulative fraction of CWM pipes inspected".into(),
+                y_label: "fraction of 2009 failures detected".into(),
+                ..ChartConfig::default()
+            },
+            &series,
+        );
+        ctx.write_artifact(&format!("fig18_7_{slug}.svg"), &svg)
+            .expect("write artifact");
+
+        let mut preview = String::from("budget  ");
+        for m in &r.models {
+            preview.push_str(&format!("{:>10}", m.model));
+        }
+        preview.push('\n');
+        for decile in 1..=10 {
+            let x = decile as f64 / 10.0;
+            preview.push_str(&format!("{:>5.0}%  ", x * 100.0));
+            for m in &r.models {
+                preview.push_str(&format!("{:>9.1}%", m.curve_count.y_at(x) * 100.0));
+            }
+            preview.push('\n');
+        }
+        section(&format!("Figure 18.7 — {}", r.region), &preview);
+    }
+}

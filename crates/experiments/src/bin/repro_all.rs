@@ -1,0 +1,49 @@
+//! Run every experiment in sequence, writing all artefacts under the output
+//! directory. This is the one command behind EXPERIMENTS.md:
+//!
+//! ```text
+//! PIPEFAIL_SCALE=0.12 cargo run --release -p pipefail-experiments --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table18_1",
+        "table18_2",
+        "fig18_2",
+        "fig18_3",
+        "fig18_5_6",
+        "fig18_7",
+        "table18_3",
+        "table18_4",
+        "fig18_8",
+        "fig18_9",
+        "ablation_grouping",
+        "ablation_domain_knowledge",
+        "mcmc_diagnostics",
+        "rolling_origin",
+        "calibration",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        // Prefer the sibling executable (present after `cargo build`); fall
+        // back to `cargo run` so `cargo run --bin repro_all` works alone.
+        let sibling = exe_dir.join(bin);
+        let status = if sibling.exists() {
+            Command::new(sibling).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "pipefail-experiments", "--bin", bin])
+                .status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

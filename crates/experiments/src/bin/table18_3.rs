@@ -1,0 +1,33 @@
+//! E8 — Table 18.3: AUC of the compared approaches, at the full inspection
+//! budget ("AUC (100%)") and at the 1% budget in basis points ("AUC (1%)").
+
+use pipefail_eval::report::format_auc_table;
+use pipefail_experiments::{run_comparison, section, Context};
+
+fn main() {
+    let ctx = Context::from_env();
+    let world = ctx.build_world();
+    let results = run_comparison(&ctx, &world);
+    let table = format_auc_table(&results);
+    section("Table 18.3 — AUC of different approaches", &table);
+
+    // Shape check mirrored from the paper: DPMHBP should lead per region.
+    let mut verdict = String::new();
+    for r in &results {
+        let best = r
+            .models
+            .iter()
+            .max_by(|a, b| a.auc_full.partial_cmp(&b.auc_full).expect("finite"))
+            .expect("models present");
+        verdict.push_str(&format!(
+            "{}: best AUC(100%) = {} ({:.2}%){}\n",
+            r.region,
+            best.model,
+            best.auc_full * 100.0,
+            if best.model == "DPMHBP" { "  <- matches the paper" } else { "" }
+        ));
+    }
+    section("Who wins", &verdict);
+    ctx.write_artifact("table18_3.txt", &format!("{table}\n{verdict}"))
+        .expect("write artifact");
+}

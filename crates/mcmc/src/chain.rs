@@ -1,0 +1,146 @@
+//! Sample storage for MCMC runs.
+
+use pipefail_stats::descriptive::{self, Summary};
+
+/// A recorded chain of scalar draws for one named quantity.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    name: String,
+    draws: Vec<f64>,
+}
+
+impl Chain {
+    /// Create an empty chain with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            draws: Vec::new(),
+        }
+    }
+
+    /// Create a chain from existing draws.
+    pub fn from_draws(name: impl Into<String>, draws: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            draws,
+        }
+    }
+
+    /// Record one draw.
+    pub fn push(&mut self, x: f64) {
+        self.draws.push(x);
+    }
+
+    /// Chain name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All recorded draws in order.
+    pub fn draws(&self) -> &[f64] {
+        &self.draws
+    }
+
+    /// Number of recorded draws.
+    pub fn len(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// True if no draws were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
+
+    /// Posterior mean estimate.
+    pub fn mean(&self) -> Option<f64> {
+        descriptive::mean(&self.draws).ok()
+    }
+
+    /// Equal-tailed credible interval at mass `level` (e.g. 0.95).
+    pub fn credible_interval(&self, level: f64) -> Option<(f64, f64)> {
+        if self.draws.is_empty() || !(0.0 < level && level < 1.0) {
+            return None;
+        }
+        let alpha = 1.0 - level;
+        let lo = descriptive::quantile(&self.draws, alpha / 2.0).ok()?;
+        let hi = descriptive::quantile(&self.draws, 1.0 - alpha / 2.0).ok()?;
+        Some((lo, hi))
+    }
+
+    /// Five-number/moment summary.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::of(&self.draws).ok()
+    }
+}
+
+/// A collection of named chains recorded by one sampler run.
+#[derive(Debug, Clone, Default)]
+pub struct ChainSet {
+    chains: Vec<Chain>,
+}
+
+impl ChainSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the chain with the given name.
+    pub fn chain_mut(&mut self, name: &str) -> &mut Chain {
+        if let Some(i) = self.chains.iter().position(|c| c.name() == name) {
+            &mut self.chains[i]
+        } else {
+            self.chains.push(Chain::new(name));
+            self.chains.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Look up a chain by name.
+    pub fn get(&self, name: &str) -> Option<&Chain> {
+        self.chains.iter().find(|c| c.name() == name)
+    }
+
+    /// All chains.
+    pub fn chains(&self) -> &[Chain] {
+        &self.chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut c = Chain::new("q");
+        for i in 1..=100 {
+            c.push(i as f64);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.mean(), Some(50.5));
+        let (lo, hi) = c.credible_interval(0.9).unwrap();
+        assert!(lo > 1.0 && lo < 10.0);
+        assert!(hi > 90.0 && hi < 100.0);
+    }
+
+    #[test]
+    fn empty_chain_is_safe() {
+        let c = Chain::new("empty");
+        assert!(c.is_empty());
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.credible_interval(0.95), None);
+        assert!(c.summary().is_none());
+    }
+
+    #[test]
+    fn chainset_get_or_create() {
+        let mut s = ChainSet::new();
+        s.chain_mut("a").push(1.0);
+        s.chain_mut("b").push(2.0);
+        s.chain_mut("a").push(3.0);
+        assert_eq!(s.chains().len(), 2);
+        assert_eq!(s.get("a").unwrap().len(), 2);
+        assert_eq!(s.get("b").unwrap().len(), 1);
+        assert!(s.get("c").is_none());
+    }
+}

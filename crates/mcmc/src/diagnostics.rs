@@ -1,0 +1,188 @@
+//! Chain convergence diagnostics: autocorrelation, effective sample size,
+//! split-R̂ (Gelman–Rubin) and the Geweke score.
+
+use pipefail_stats::descriptive::{mean, variance};
+
+/// Autocorrelation of `xs` at `lag` (biased estimator, the standard choice
+/// for ESS computation). Returns 0 for degenerate inputs.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    let n = xs.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let m = match mean(xs) {
+        Ok(v) => v,
+        Err(_) => return 0.0,
+    };
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs[..n - lag]
+        .iter()
+        .zip(&xs[lag..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    num / denom
+}
+
+/// Effective sample size by Geyer's initial positive sequence: sum paired
+/// autocorrelations `ρ_{2t} + ρ_{2t+1}` until the pair goes non-positive.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mut acf_sum = 0.0;
+    let mut t = 1;
+    while 2 * t + 1 < n {
+        let pair = autocorrelation(xs, 2 * t - 1) + autocorrelation(xs, 2 * t);
+        if pair <= 0.0 {
+            break;
+        }
+        acf_sum += pair;
+        t += 1;
+    }
+    let ess = n as f64 / (1.0 + 2.0 * acf_sum);
+    ess.clamp(1.0, n as f64)
+}
+
+/// Split-R̂: fold one chain into halves and compute the Gelman–Rubin
+/// potential scale-reduction factor. Values near 1.0 indicate convergence;
+/// above ~1.05 the chain has not mixed.
+pub fn split_r_hat(xs: &[f64]) -> f64 {
+    let n = xs.len() / 2;
+    if n < 2 {
+        return f64::NAN;
+    }
+    let a = &xs[..n];
+    let b = &xs[n..2 * n];
+    r_hat_two(a, b)
+}
+
+/// R̂ for two chains of equal length.
+pub fn r_hat_two(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return f64::NAN;
+    }
+    let (a, b) = (&a[..n], &b[..n]);
+    let ma = mean(a).unwrap_or(0.0);
+    let mb = mean(b).unwrap_or(0.0);
+    let va = variance(a).unwrap_or(0.0);
+    let vb = variance(b).unwrap_or(0.0);
+    let w = 0.5 * (va + vb);
+    if w == 0.0 {
+        return 1.0; // constant chains: formally converged
+    }
+    let grand = 0.5 * (ma + mb);
+    let bvar = n as f64 * ((ma - grand).powi(2) + (mb - grand).powi(2)); // m−1 = 1
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + bvar / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Geweke convergence score: z-statistic comparing the mean of the first
+/// `frac_a` of the chain against the last `frac_b`. |z| > 2 suggests the
+/// chain has not reached stationarity.
+pub fn geweke(xs: &[f64], frac_a: f64, frac_b: f64) -> f64 {
+    let n = xs.len();
+    let na = (n as f64 * frac_a) as usize;
+    let nb = (n as f64 * frac_b) as usize;
+    if na < 2 || nb < 2 || na + nb > n {
+        return f64::NAN;
+    }
+    let a = &xs[..na];
+    let b = &xs[n - nb..];
+    let ma = mean(a).unwrap_or(0.0);
+    let mb = mean(b).unwrap_or(0.0);
+    // Spectral-density-at-zero estimate via ESS-corrected variance.
+    let se2_a = variance(a).unwrap_or(0.0) / effective_sample_size(a);
+    let se2_b = variance(b).unwrap_or(0.0) / effective_sample_size(b);
+    let denom = (se2_a + se2_b).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (ma - mb) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_stats::dist::{Normal, Sampler};
+    use pipefail_stats::rng::seeded_rng;
+
+    #[test]
+    fn iid_chain_has_near_full_ess() {
+        let mut rng = seeded_rng(50);
+        let xs = Normal::standard().sample_n(&mut rng, 5_000);
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 3_500.0, "ess {ess}");
+    }
+
+    #[test]
+    fn ar1_chain_has_reduced_ess() {
+        // AR(1) with φ = 0.9 has ESS ≈ n(1−φ)/(1+φ) ≈ n/19.
+        let mut rng = seeded_rng(51);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        let noise = Normal::standard();
+        for _ in 0..n {
+            x = 0.9 * x + noise.sample(&mut rng);
+            xs.push(x);
+        }
+        let ess = effective_sample_size(&xs);
+        let expected = n as f64 / 19.0;
+        assert!(
+            ess > expected * 0.5 && ess < expected * 2.0,
+            "ess {ess} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(autocorrelation(&xs, 10), 0.0);
+    }
+
+    #[test]
+    fn r_hat_near_one_for_same_distribution() {
+        let mut rng = seeded_rng(52);
+        let xs = Normal::standard().sample_n(&mut rng, 4_000);
+        let r = split_r_hat(&xs);
+        assert!((r - 1.0).abs() < 0.02, "r_hat {r}");
+    }
+
+    #[test]
+    fn r_hat_large_for_divergent_chains() {
+        let mut rng = seeded_rng(53);
+        let a = Normal::new(0.0, 1.0).unwrap().sample_n(&mut rng, 1_000);
+        let b = Normal::new(10.0, 1.0).unwrap().sample_n(&mut rng, 1_000);
+        let r = r_hat_two(&a, &b);
+        assert!(r > 2.0, "r_hat {r}");
+    }
+
+    #[test]
+    fn geweke_flags_trend() {
+        // Strong linear trend: early vs late means differ.
+        let xs: Vec<f64> = (0..2_000).map(|i| i as f64 * 0.01).collect();
+        let z = geweke(&xs, 0.1, 0.5);
+        assert!(z.abs() > 3.0, "geweke {z}");
+    }
+
+    #[test]
+    fn geweke_ok_for_stationary() {
+        let mut rng = seeded_rng(54);
+        let xs = Normal::standard().sample_n(&mut rng, 5_000);
+        let z = geweke(&xs, 0.1, 0.5);
+        assert!(z.abs() < 3.0, "geweke {z}");
+    }
+
+    #[test]
+    fn constant_chain_edge_cases() {
+        let xs = [2.0; 100];
+        assert_eq!(autocorrelation(&xs, 3), 0.0);
+        assert_eq!(split_r_hat(&xs), 1.0);
+    }
+}

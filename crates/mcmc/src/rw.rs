@@ -1,0 +1,157 @@
+//! Adaptive Gaussian random-walk Metropolis.
+//!
+//! The paper's stated kernel for the non-conjugate coordinates. Proposals are
+//! `y′ = y + σ·ε`, `ε ~ N(0,1)`, on an unconstrained coordinate (combine with
+//! [`crate::transform::Transform`] for bounded parameters). The scale `σ` is
+//! adapted during burn-in by a Robbins–Monro recursion toward a target
+//! acceptance rate (0.44 is optimal for univariate targets), then frozen so
+//! the chain is exactly Markovian during sampling.
+
+use pipefail_stats::dist::Normal;
+use rand::Rng;
+
+/// Adaptive univariate random-walk Metropolis kernel.
+#[derive(Debug, Clone)]
+pub struct RandomWalkMetropolis {
+    ln_scale: f64,
+    target_accept: f64,
+    adapting: bool,
+    steps: u64,
+    accepted: u64,
+}
+
+impl RandomWalkMetropolis {
+    /// Create a kernel with initial proposal scale `scale`.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "RW scale must be positive");
+        Self {
+            ln_scale: scale.ln(),
+            target_accept: 0.44,
+            adapting: true,
+            steps: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Override the target acceptance rate (must be in (0, 1)).
+    pub fn with_target_accept(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate < 1.0);
+        self.target_accept = rate;
+        self
+    }
+
+    /// Stop adapting (call at the end of burn-in to make the kernel
+    /// exactly Markovian).
+    pub fn freeze(&mut self) {
+        self.adapting = false;
+    }
+
+    /// Current proposal standard deviation.
+    pub fn scale(&self) -> f64 {
+        self.ln_scale.exp()
+    }
+
+    /// Empirical acceptance rate so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// One Metropolis transition from `x` under log-density `log_f`.
+    /// Returns the new state (possibly `x` itself on rejection).
+    pub fn step<R, F>(&mut self, x: f64, log_f: &F, rng: &mut R) -> f64
+    where
+        R: Rng + ?Sized,
+        F: Fn(f64) -> f64,
+    {
+        self.steps += 1;
+        let proposal = x + self.scale() * Normal::sample_standard(rng);
+        let log_alpha = log_f(proposal) - log_f(x);
+        let accept = log_alpha >= 0.0 || rng.gen::<f64>().ln() < log_alpha;
+        if accept {
+            self.accepted += 1;
+        }
+        if self.adapting {
+            // Robbins–Monro: step size ∝ 1/√t keeps adaptation diminishing.
+            let gamma = 1.0 / (self.steps as f64).sqrt().max(1.0);
+            let a = if accept { 1.0 } else { 0.0 };
+            self.ln_scale += gamma * (a - self.target_accept);
+            // Guard rails against run-away adaptation on pathological targets.
+            self.ln_scale = self.ln_scale.clamp(-23.0, 23.0);
+        }
+        if accept {
+            proposal
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_stats::descriptive::{mean, variance};
+    use pipefail_stats::rng::seeded_rng;
+
+    #[test]
+    fn adapts_toward_target_acceptance() {
+        let mut rng = seeded_rng(40);
+        let mut k = RandomWalkMetropolis::new(50.0); // deliberately bad start
+        let log_f = |x: f64| -0.5 * x * x;
+        let mut x = 0.0;
+        for _ in 0..5_000 {
+            x = k.step(x, &log_f, &mut rng);
+        }
+        let rate = k.acceptance_rate();
+        assert!((rate - 0.44).abs() < 0.12, "acceptance {rate}");
+        // Scale should have shrunk from 50 to the O(1) optimum.
+        assert!(k.scale() < 10.0, "scale {}", k.scale());
+    }
+
+    #[test]
+    fn frozen_kernel_targets_normal() {
+        let mut rng = seeded_rng(41);
+        let mut k = RandomWalkMetropolis::new(1.0);
+        let log_f = |x: f64| -0.5 * (x - 2.0) * (x - 2.0) / 4.0; // N(2, 2²)
+        let mut x = 0.0;
+        for _ in 0..2_000 {
+            x = k.step(x, &log_f, &mut rng);
+        }
+        k.freeze();
+        let mut xs = Vec::with_capacity(30_000);
+        for _ in 0..30_000 {
+            x = k.step(x, &log_f, &mut rng);
+            xs.push(x);
+        }
+        assert!((mean(&xs).unwrap() - 2.0).abs() < 0.15);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn respects_support_boundaries() {
+        // Target supported on (0, 1); the chain must never leave it.
+        let mut rng = seeded_rng(42);
+        let mut k = RandomWalkMetropolis::new(0.3);
+        let log_f = |p: f64| {
+            if p <= 0.0 || p >= 1.0 {
+                f64::NEG_INFINITY
+            } else {
+                3.0 * p.ln() + 2.0 * (1.0 - p).ln()
+            }
+        };
+        let mut x: f64 = 0.5;
+        for _ in 0..5_000 {
+            x = k.step(x, &log_f, &mut rng);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RW scale must be positive")]
+    fn rejects_bad_scale() {
+        let _ = RandomWalkMetropolis::new(-1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Bijections between constrained parameter spaces and ℝ.
+//!
+//! Group failure rates live in (0, 1) and concentrations in (0, ∞); sampling
+//! them with an unconstrained kernel requires transforming the target density
+//! with the log-Jacobian of the bijection. [`Transform`] packages the forward
+//! map, its inverse, and that Jacobian so samplers can work on ℝ and still
+//! target the right distribution.
+
+use pipefail_stats::special::{logit, sigmoid};
+
+/// A smooth bijection `constrained → ℝ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// Identity: parameter already lives on ℝ.
+    Identity,
+    /// `y = ln x` for `x ∈ (0, ∞)`.
+    Log,
+    /// `y = logit(x)` for `x ∈ (0, 1)`.
+    Logit,
+    /// `y = logit((x − lo)/(hi − lo))` for `x ∈ (lo, hi)`.
+    LogitBounded {
+        /// Lower bound of the constrained interval.
+        lo: f64,
+        /// Upper bound of the constrained interval.
+        hi: f64,
+    },
+}
+
+impl Transform {
+    /// Map a constrained value to ℝ.
+    pub fn forward(&self, x: f64) -> f64 {
+        match *self {
+            Transform::Identity => x,
+            Transform::Log => x.ln(),
+            Transform::Logit => logit(x),
+            Transform::LogitBounded { lo, hi } => logit((x - lo) / (hi - lo)),
+        }
+    }
+
+    /// Map an unconstrained value back to the constrained space.
+    pub fn inverse(&self, y: f64) -> f64 {
+        match *self {
+            Transform::Identity => y,
+            Transform::Log => y.exp(),
+            Transform::Logit => sigmoid(y),
+            Transform::LogitBounded { lo, hi } => lo + (hi - lo) * sigmoid(y),
+        }
+    }
+
+    /// `ln |d inverse(y) / dy|` — added to the log-density so that sampling
+    /// on ℝ targets the intended constrained distribution.
+    pub fn ln_jacobian(&self, y: f64) -> f64 {
+        match *self {
+            Transform::Identity => 0.0,
+            Transform::Log => y,
+            Transform::Logit => {
+                // d sigmoid/dy = s(1−s); ln = ln s + ln(1−s), stable form:
+                let s = sigmoid(y);
+                s.ln() + (1.0 - s).ln()
+            }
+            Transform::LogitBounded { lo, hi } => {
+                let s = sigmoid(y);
+                (hi - lo).ln() + s.ln() + (1.0 - s).ln()
+            }
+        }
+    }
+
+    /// Wrap a log-density on the constrained space into one on ℝ
+    /// (including the Jacobian correction).
+    pub fn wrap_log_density<'f>(
+        &self,
+        log_density: impl Fn(f64) -> f64 + 'f,
+    ) -> impl Fn(f64) -> f64 + 'f
+    where
+        Self: 'f,
+    {
+        let t = *self;
+        move |y: f64| {
+            let x = t.inverse(y);
+            let lp = log_density(x);
+            if lp == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                lp + t.ln_jacobian(y)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let cases = [
+            (Transform::Identity, 3.7),
+            (Transform::Log, 0.02),
+            (Transform::Logit, 0.85),
+            (Transform::LogitBounded { lo: 2.0, hi: 5.0 }, 3.1),
+        ];
+        for (t, x) in cases {
+            let y = t.forward(x);
+            assert!((t.inverse(y) - x).abs() < 1e-10, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        let ts = [
+            Transform::Log,
+            Transform::Logit,
+            Transform::LogitBounded { lo: -1.0, hi: 4.0 },
+        ];
+        for t in ts {
+            for &y in &[-2.0, -0.3, 0.0, 1.1, 2.5] {
+                let h = 1e-6;
+                let num = ((t.inverse(y + h) - t.inverse(y - h)) / (2.0 * h)).abs().ln();
+                assert!(
+                    (t.ln_jacobian(y) - num).abs() < 1e-5,
+                    "{t:?} at y={y}: {} vs {num}",
+                    t.ln_jacobian(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_density_integrates_to_same_mass() {
+        // Target: Beta(2,2) density on (0,1). After the logit transform the
+        // wrapped density on ℝ must integrate to the same total mass (1).
+        let beta = |p: f64| {
+            if p <= 0.0 || p >= 1.0 {
+                0.0
+            } else {
+                6.0 * p * (1.0 - p)
+            }
+        };
+        let log_beta = move |p: f64| {
+            let v = beta(p);
+            if v > 0.0 {
+                v.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let t = Transform::Logit;
+        let wrapped = t.wrap_log_density(log_beta);
+        // Trapezoid rule over a wide range of y.
+        let (a, b, n) = (-12.0, 12.0, 40_000);
+        let dy = (b - a) / n as f64;
+        let mut total = 0.0;
+        for i in 0..=n {
+            let y = a + i as f64 * dy;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            total += w * wrapped(y).exp() * dy;
+        }
+        assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Pipe asset attributes (Table 18.2, upper half).
+
+use serde::{Deserialize, Serialize};
+
+/// Pipe material.
+///
+/// The categorical attribute with the strongest failure signal in water-main
+/// data: early cast-iron cohorts corrode; PVC laid from the 1970s barely
+/// fails structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Cast iron cement lined.
+    Cicl,
+    /// Unlined cast iron (oldest cohorts).
+    CastIron,
+    /// Ductile iron cement lined.
+    Dicl,
+    /// Asbestos cement.
+    AsbestosCement,
+    /// Polyvinyl chloride.
+    Pvc,
+    /// Polyethylene.
+    Polyethylene,
+    /// Mild steel (large trunk mains).
+    Steel,
+    /// Vitrified clay (wastewater).
+    VitrifiedClay,
+    /// Reinforced concrete (wastewater trunk).
+    Concrete,
+}
+
+impl Material {
+    /// All variants, for encoders and generators.
+    pub const ALL: [Material; 9] = [
+        Material::Cicl,
+        Material::CastIron,
+        Material::Dicl,
+        Material::AsbestosCement,
+        Material::Pvc,
+        Material::Polyethylene,
+        Material::Steel,
+        Material::VitrifiedClay,
+        Material::Concrete,
+    ];
+
+    /// Short code used in CSV files.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Material::Cicl => "CICL",
+            Material::CastIron => "CI",
+            Material::Dicl => "DICL",
+            Material::AsbestosCement => "AC",
+            Material::Pvc => "PVC",
+            Material::Polyethylene => "PE",
+            Material::Steel => "STL",
+            Material::VitrifiedClay => "VC",
+            Material::Concrete => "CON",
+        }
+    }
+
+    /// Parse a CSV code.
+    pub fn from_code(code: &str) -> Option<Self> {
+        Material::ALL.iter().copied().find(|m| m.code() == code)
+    }
+
+    /// True for ferrous materials subject to electrochemical corrosion —
+    /// the cohort for which soil corrosiveness matters.
+    pub fn is_ferrous(&self) -> bool {
+        matches!(
+            self,
+            Material::Cicl | Material::CastIron | Material::Dicl | Material::Steel
+        )
+    }
+}
+
+/// Protective coating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Coating {
+    /// No protective coating.
+    None,
+    /// Loose polyethylene sleeve.
+    PolyethyleneSleeve,
+    /// Coal-tar enamel coating.
+    TarCoating,
+    /// Fusion-bonded epoxy.
+    Epoxy,
+}
+
+impl Coating {
+    /// All variants, for encoders and generators.
+    pub const ALL: [Coating; 4] = [
+        Coating::None,
+        Coating::PolyethyleneSleeve,
+        Coating::TarCoating,
+        Coating::Epoxy,
+    ];
+
+    /// Short code used in CSV files.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Coating::None => "NONE",
+            Coating::PolyethyleneSleeve => "PESLEEVE",
+            Coating::TarCoating => "TAR",
+            Coating::Epoxy => "EPOXY",
+        }
+    }
+
+    /// Parse a CSV code.
+    pub fn from_code(code: &str) -> Option<Self> {
+        Coating::ALL.iter().copied().find(|c| c.code() == code)
+    }
+}
+
+/// Pipe class: the paper splits networks into critical water mains (CWM,
+/// diameter ≥ 300 mm) and reticulation water mains (RWM, < 300 mm). Only
+/// CWMs receive proactive condition assessment, so the comparison
+/// experiments evaluate on CWMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipeClass {
+    /// Critical water main: diameter ≥ 300 mm.
+    Critical,
+    /// Reticulation water main: diameter < 300 mm.
+    Reticulation,
+}
+
+/// The CWM diameter threshold in millimetres.
+pub const CWM_DIAMETER_MM: f64 = 300.0;
+
+impl PipeClass {
+    /// Classify by diameter per the paper's definition.
+    pub fn from_diameter(diameter_mm: f64) -> Self {
+        if diameter_mm >= CWM_DIAMETER_MM {
+            PipeClass::Critical
+        } else {
+            PipeClass::Reticulation
+        }
+    }
+
+    /// Short code used in CSV files.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PipeClass::Critical => "CWM",
+            PipeClass::Reticulation => "RWM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_codes_roundtrip() {
+        for m in Material::ALL {
+            assert_eq!(Material::from_code(m.code()), Some(m));
+        }
+        assert_eq!(Material::from_code("XX"), None);
+    }
+
+    #[test]
+    fn coating_codes_roundtrip() {
+        for c in Coating::ALL {
+            assert_eq!(Coating::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Coating::from_code(""), None);
+    }
+
+    #[test]
+    fn ferrous_classification() {
+        assert!(Material::Cicl.is_ferrous());
+        assert!(Material::Steel.is_ferrous());
+        assert!(!Material::Pvc.is_ferrous());
+        assert!(!Material::VitrifiedClay.is_ferrous());
+    }
+
+    #[test]
+    fn class_threshold_matches_paper() {
+        assert_eq!(PipeClass::from_diameter(300.0), PipeClass::Critical);
+        assert_eq!(PipeClass::from_diameter(299.9), PipeClass::Reticulation);
+        assert_eq!(PipeClass::from_diameter(600.0), PipeClass::Critical);
+        assert_eq!(PipeClass::from_diameter(100.0), PipeClass::Reticulation);
+    }
+}

@@ -1,0 +1,281 @@
+//! CSV import/export for datasets.
+//!
+//! Hand-rolled reader/writer: the format is simple (no quoting needed —
+//! every field is numeric, a code, or a geometry string without commas),
+//! and the allowed dependency list has no CSV crate. Files written:
+//!
+//! * `meta.csv` — name, region, observation window;
+//! * `pipes.csv` — one row per pipe;
+//! * `segments.csv` — one row per segment, geometry as `x y;x y;…`;
+//! * `failures.csv` — one row per failure record.
+
+use crate::attributes::{Coating, Material};
+use crate::dataset::{Dataset, Pipe, Segment};
+use crate::failure::{FailureKind, FailureRecord};
+use crate::geometry::{Point, Polyline};
+use crate::ids::{PipeId, RegionId, SegmentId};
+use crate::soil::{
+    SoilCorrosiveness, SoilExpansiveness, SoilGeology, SoilLandscape, SoilProfile,
+};
+use crate::split::ObservationWindow;
+use crate::{NetworkError, Result};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Write `dataset` as four CSV files under `dir` (created if missing).
+pub fn write_dataset(dataset: &Dataset, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("meta.csv"), meta_csv(dataset))?;
+    fs::write(dir.join("pipes.csv"), pipes_csv(dataset))?;
+    fs::write(dir.join("segments.csv"), segments_csv(dataset))?;
+    fs::write(dir.join("failures.csv"), failures_csv(dataset))?;
+    Ok(())
+}
+
+/// Read a dataset previously written by [`write_dataset`].
+pub fn read_dataset(dir: &Path) -> Result<Dataset> {
+    let meta = fs::read_to_string(dir.join("meta.csv"))?;
+    let (name, region, window) = parse_meta(&meta)?;
+    let pipes = parse_pipes(&fs::read_to_string(dir.join("pipes.csv"))?)?;
+    let segments = parse_segments(&fs::read_to_string(dir.join("segments.csv"))?)?;
+    let failures = parse_failures(&fs::read_to_string(dir.join("failures.csv"))?)?;
+    Dataset::new(name, region, window, pipes, segments, failures)
+}
+
+fn meta_csv(ds: &Dataset) -> String {
+    format!(
+        "name,region,obs_start,obs_end\n{},{},{},{}\n",
+        ds.name(),
+        ds.region().0,
+        ds.observation().start,
+        ds.observation().end
+    )
+}
+
+fn pipes_csv(ds: &Dataset) -> String {
+    let mut s = String::from("pipe_id,region,material,coating,diameter_mm,laid_year,segments\n");
+    for p in ds.pipes() {
+        let segs: Vec<String> = p.segments.iter().map(|sid| sid.0.to_string()).collect();
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{}",
+            p.id.0,
+            p.region.0,
+            p.material.code(),
+            p.coating.code(),
+            p.diameter_mm,
+            p.laid_year,
+            segs.join(";")
+        );
+    }
+    s
+}
+
+fn segments_csv(ds: &Dataset) -> String {
+    let mut s = String::from(
+        "segment_id,pipe_id,corrosiveness,expansiveness,geology,landscape,dist_intersection_m,tree_canopy,soil_moisture,geometry\n",
+    );
+    for seg in ds.segments() {
+        let geom: Vec<String> = seg
+            .geometry
+            .points()
+            .iter()
+            .map(|p| format!("{} {}", p.x, p.y))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{}",
+            seg.id.0,
+            seg.pipe.0,
+            seg.soil.corrosiveness.code(),
+            seg.soil.expansiveness.code(),
+            seg.soil.geology.code(),
+            seg.soil.landscape.code(),
+            seg.dist_to_intersection_m,
+            seg.tree_canopy,
+            seg.soil_moisture,
+            geom.join(";")
+        );
+    }
+    s
+}
+
+fn failures_csv(ds: &Dataset) -> String {
+    let mut s = String::from("segment_id,pipe_id,year,kind\n");
+    for f in ds.failures() {
+        let _ = writeln!(s, "{},{},{},{}", f.segment.0, f.pipe.0, f.year, f.kind.code());
+    }
+    s
+}
+
+fn rows(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    text.lines()
+        .enumerate()
+        .skip(1) // header
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, l.split(',').collect()))
+}
+
+fn parse_err(line: usize, what: &str) -> NetworkError {
+    NetworkError::Parse(format!("line {line}: {what}"))
+}
+
+fn field<'a>(fields: &[&'a str], i: usize, line: usize) -> Result<&'a str> {
+    fields
+        .get(i)
+        .copied()
+        .ok_or_else(|| parse_err(line, "missing field"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T> {
+    s.trim()
+        .parse()
+        .map_err(|_| parse_err(line, &format!("bad {what}: {s:?}")))
+}
+
+fn parse_meta(text: &str) -> Result<(String, RegionId, ObservationWindow)> {
+    let (line, f) = rows(text)
+        .next()
+        .ok_or_else(|| parse_err(0, "empty meta.csv"))?;
+    let name = field(&f, 0, line)?.to_string();
+    let region = RegionId(parse_num(field(&f, 1, line)?, line, "region")?);
+    let start: i32 = parse_num(field(&f, 2, line)?, line, "obs_start")?;
+    let end: i32 = parse_num(field(&f, 3, line)?, line, "obs_end")?;
+    if end < start {
+        return Err(parse_err(line, "observation window inverted"));
+    }
+    Ok((name, region, ObservationWindow::new(start, end)))
+}
+
+fn parse_pipes(text: &str) -> Result<Vec<Pipe>> {
+    let mut out = Vec::new();
+    for (line, f) in rows(text) {
+        let segments = field(&f, 6, line)?
+            .split(';')
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_num::<u32>(s, line, "segment id").map(SegmentId))
+            .collect::<Result<Vec<_>>>()?;
+        out.push(Pipe {
+            id: PipeId(parse_num(field(&f, 0, line)?, line, "pipe id")?),
+            region: RegionId(parse_num(field(&f, 1, line)?, line, "region")?),
+            material: Material::from_code(field(&f, 2, line)?)
+                .ok_or_else(|| parse_err(line, "unknown material"))?,
+            coating: Coating::from_code(field(&f, 3, line)?)
+                .ok_or_else(|| parse_err(line, "unknown coating"))?,
+            diameter_mm: parse_num(field(&f, 4, line)?, line, "diameter")?,
+            laid_year: parse_num(field(&f, 5, line)?, line, "laid year")?,
+            segments,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_segments(text: &str) -> Result<Vec<Segment>> {
+    let mut out = Vec::new();
+    for (line, f) in rows(text) {
+        let points = field(&f, 9, line)?
+            .split(';')
+            .filter(|s| !s.is_empty())
+            .map(|pair| {
+                let mut it = pair.split_whitespace();
+                let x: f64 = parse_num(it.next().unwrap_or(""), line, "geometry x")?;
+                let y: f64 = parse_num(it.next().unwrap_or(""), line, "geometry y")?;
+                Ok(Point::new(x, y))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let geometry =
+            Polyline::new(points).ok_or_else(|| parse_err(line, "geometry needs >= 2 points"))?;
+        out.push(Segment {
+            id: SegmentId(parse_num(field(&f, 0, line)?, line, "segment id")?),
+            pipe: PipeId(parse_num(field(&f, 1, line)?, line, "pipe id")?),
+            soil: SoilProfile {
+                corrosiveness: SoilCorrosiveness::from_code(field(&f, 2, line)?)
+                    .ok_or_else(|| parse_err(line, "unknown corrosiveness"))?,
+                expansiveness: SoilExpansiveness::from_code(field(&f, 3, line)?)
+                    .ok_or_else(|| parse_err(line, "unknown expansiveness"))?,
+                geology: SoilGeology::from_code(field(&f, 4, line)?)
+                    .ok_or_else(|| parse_err(line, "unknown geology"))?,
+                landscape: SoilLandscape::from_code(field(&f, 5, line)?)
+                    .ok_or_else(|| parse_err(line, "unknown landscape"))?,
+            },
+            dist_to_intersection_m: parse_num(field(&f, 6, line)?, line, "distance")?,
+            tree_canopy: parse_num(field(&f, 7, line)?, line, "canopy")?,
+            soil_moisture: parse_num(field(&f, 8, line)?, line, "moisture")?,
+            geometry,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_failures(text: &str) -> Result<Vec<FailureRecord>> {
+    let mut out = Vec::new();
+    for (line, f) in rows(text) {
+        out.push(FailureRecord {
+            segment: SegmentId(parse_num(field(&f, 0, line)?, line, "segment id")?),
+            pipe: PipeId(parse_num(field(&f, 1, line)?, line, "pipe id")?),
+            year: parse_num(field(&f, 2, line)?, line, "year")?,
+            kind: FailureKind::from_code(field(&f, 3, line)?)
+                .ok_or_else(|| parse_err(line, "unknown failure kind"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::tiny_dataset;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pipefail_csvio_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = tiny_dataset();
+        let dir = tempdir("roundtrip");
+        write_dataset(&ds, &dir).unwrap();
+        let back = read_dataset(&dir).unwrap();
+        assert_eq!(back.name(), ds.name());
+        assert_eq!(back.region(), ds.region());
+        assert_eq!(back.observation(), ds.observation());
+        assert_eq!(back.pipes(), ds.pipes());
+        assert_eq!(back.segments(), ds.segments());
+        assert_eq!(back.failures(), ds.failures());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let err = read_dataset(Path::new("/nonexistent/pipefail")).unwrap_err();
+        assert!(matches!(err, NetworkError::Io(_)));
+    }
+
+    #[test]
+    fn bad_material_is_parse_error() {
+        let ds = tiny_dataset();
+        let dir = tempdir("badmat");
+        write_dataset(&ds, &dir).unwrap();
+        let pipes = fs::read_to_string(dir.join("pipes.csv"))
+            .unwrap()
+            .replace("CICL", "UNOBTANIUM");
+        fs::write(dir.join("pipes.csv"), pipes).unwrap();
+        let err = read_dataset(&dir).unwrap_err();
+        assert!(matches!(err, NetworkError::Parse(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_row_is_parse_error() {
+        let ds = tiny_dataset();
+        let dir = tempdir("trunc");
+        write_dataset(&ds, &dir).unwrap();
+        fs::write(dir.join("failures.csv"), "segment_id,pipe_id,year,kind\n0,0\n").unwrap();
+        let err = read_dataset(&dir).unwrap_err();
+        assert!(matches!(err, NetworkError::Parse(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

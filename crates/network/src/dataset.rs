@@ -1,0 +1,643 @@
+//! The assembled dataset: pipes, segments, failures and the observation
+//! window, with validation and the aggregate views the models consume.
+
+use crate::attributes::{Coating, Material, PipeClass};
+use crate::failure::{FailureKind, FailureRecord};
+use crate::geometry::{Bounds, Polyline};
+use crate::ids::{PipeId, RegionId, SegmentId};
+use crate::soil::SoilProfile;
+use crate::split::ObservationWindow;
+use crate::{NetworkError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A pipe: an asset-register row owning a series of segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipe {
+    /// Dense identifier (index into [`Dataset::pipes`]).
+    pub id: PipeId,
+    /// Region the pipe belongs to.
+    pub region: RegionId,
+    /// Pipe material.
+    pub material: Material,
+    /// Protective coating.
+    pub coating: Coating,
+    /// Nominal diameter in millimetres.
+    pub diameter_mm: f64,
+    /// Year the pipe was laid.
+    pub laid_year: i32,
+    /// The segments composing the pipe, in series order.
+    pub segments: Vec<SegmentId>,
+}
+
+impl Pipe {
+    /// CWM/RWM classification by diameter.
+    pub fn class(&self) -> PipeClass {
+        PipeClass::from_diameter(self.diameter_mm)
+    }
+
+    /// Age in years at the start of `year` (clamped at 0 for not-yet-laid).
+    pub fn age_in(&self, year: i32) -> f64 {
+        (year - self.laid_year).max(0) as f64
+    }
+}
+
+/// A pipe segment: the unit at which failures are recorded and at which the
+/// DPMHBP models failure probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Dense identifier (index into [`Dataset::segments`]).
+    pub id: SegmentId,
+    /// Owning pipe.
+    pub pipe: PipeId,
+    /// Planar geometry.
+    pub geometry: Polyline,
+    /// Soil layers sampled at the segment midpoint.
+    pub soil: SoilProfile,
+    /// Distance to the closest traffic intersection (metres).
+    pub dist_to_intersection_m: f64,
+    /// Tree-canopy cover fraction over the segment, in [0, 1]
+    /// (wastewater-relevant; 0 where the layer is not available).
+    pub tree_canopy: f64,
+    /// Soil-moisture index in [0, 1] (wastewater-relevant).
+    pub soil_moisture: f64,
+}
+
+impl Segment {
+    /// Segment length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.geometry.length()
+    }
+}
+
+/// Per-segment sufficient statistics over an observation window.
+///
+/// The failure matrices of Fig. 18.3 are extremely sparse, so inference never
+/// materialises them; a segment's Bernoulli-process likelihood over a window
+/// depends only on (failure-years, exposure-years).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Number of years in the window with at least one recorded failure.
+    pub failure_years: u32,
+    /// Number of years the segment was in service during the window.
+    pub exposure_years: u32,
+}
+
+impl SegmentStats {
+    /// Years without failure.
+    pub fn clean_years(&self) -> u32 {
+        self.exposure_years.saturating_sub(self.failure_years)
+    }
+}
+
+/// A complete region dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    region: RegionId,
+    observation: ObservationWindow,
+    pipes: Vec<Pipe>,
+    segments: Vec<Segment>,
+    failures: Vec<FailureRecord>,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset.
+    ///
+    /// Invariants enforced:
+    /// * pipe and segment ids equal their indices (dense);
+    /// * every segment's owning pipe exists and lists it;
+    /// * every pipe owns at least one segment, all existing;
+    /// * every failure references an existing segment and its correct pipe;
+    /// * failure years fall within the observation window.
+    pub fn new(
+        name: impl Into<String>,
+        region: RegionId,
+        observation: ObservationWindow,
+        pipes: Vec<Pipe>,
+        segments: Vec<Segment>,
+        failures: Vec<FailureRecord>,
+    ) -> Result<Self> {
+        let ds = Self {
+            name: name.into(),
+            region,
+            observation,
+            pipes,
+            segments,
+            failures,
+        };
+        ds.validate()?;
+        Ok(ds)
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (i, p) in self.pipes.iter().enumerate() {
+            if p.id.index() != i {
+                return Err(NetworkError::Invalid(format!(
+                    "pipe at index {i} has id {}",
+                    p.id
+                )));
+            }
+            if p.segments.is_empty() {
+                return Err(NetworkError::Invalid(format!("pipe {} has no segments", p.id)));
+            }
+            for &sid in &p.segments {
+                let seg = self
+                    .segments
+                    .get(sid.index())
+                    .ok_or_else(|| NetworkError::DanglingReference(format!(
+                        "pipe {} lists missing segment {sid}",
+                        p.id
+                    )))?;
+                if seg.pipe != p.id {
+                    return Err(NetworkError::Invalid(format!(
+                        "segment {sid} owned by {} but listed by pipe {}",
+                        seg.pipe, p.id
+                    )));
+                }
+            }
+        }
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(NetworkError::Invalid(format!(
+                    "segment at index {i} has id {}",
+                    s.id
+                )));
+            }
+            let pipe = self
+                .pipes
+                .get(s.pipe.index())
+                .ok_or_else(|| NetworkError::DanglingReference(format!(
+                    "segment {} references missing pipe {}",
+                    s.id, s.pipe
+                )))?;
+            if !pipe.segments.contains(&s.id) {
+                return Err(NetworkError::Invalid(format!(
+                    "segment {} not listed by its pipe {}",
+                    s.id, s.pipe
+                )));
+            }
+        }
+        for f in &self.failures {
+            let seg = self
+                .segments
+                .get(f.segment.index())
+                .ok_or_else(|| NetworkError::DanglingReference(format!(
+                    "failure references missing segment {}",
+                    f.segment
+                )))?;
+            if seg.pipe != f.pipe {
+                return Err(NetworkError::Invalid(format!(
+                    "failure on segment {} names pipe {} but segment belongs to {}",
+                    f.segment, f.pipe, seg.pipe
+                )));
+            }
+            if !self.observation.contains(f.year) {
+                return Err(NetworkError::Invalid(format!(
+                    "failure year {} outside observation window {:?}",
+                    f.year, self.observation
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dataset display name (e.g. "Region A").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Region id.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The period failures were recorded over.
+    pub fn observation(&self) -> ObservationWindow {
+        self.observation
+    }
+
+    /// All pipes, indexed by `PipeId`.
+    pub fn pipes(&self) -> &[Pipe] {
+        &self.pipes
+    }
+
+    /// All segments, indexed by `SegmentId`.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// All failure records.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Pipe by id.
+    pub fn pipe(&self, id: PipeId) -> &Pipe {
+        &self.pipes[id.index()]
+    }
+
+    /// Segment by id.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    /// Pipes of one class.
+    pub fn pipes_of_class(&self, class: PipeClass) -> impl Iterator<Item = &Pipe> {
+        self.pipes.iter().filter(move |p| p.class() == class)
+    }
+
+    /// Failures of pipes of one class within a window (by kind if given).
+    pub fn failures_in(
+        &self,
+        window: ObservationWindow,
+        class: Option<PipeClass>,
+        kind: Option<FailureKind>,
+    ) -> impl Iterator<Item = &FailureRecord> {
+        self.failures.iter().filter(move |f| {
+            window.contains(f.year)
+                && kind.is_none_or(|k| f.kind == k)
+                && class.is_none_or(|c| self.pipe(f.pipe).class() == c)
+        })
+    }
+
+    /// Total pipe length in metres (optionally restricted to one class).
+    pub fn total_length_m(&self, class: Option<PipeClass>) -> f64 {
+        self.pipes
+            .iter()
+            .filter(|p| class.is_none_or(|c| p.class() == c))
+            .flat_map(|p| p.segments.iter())
+            .map(|&sid| self.segment(sid).length_m())
+            .sum()
+    }
+
+    /// Length of one pipe in metres.
+    pub fn pipe_length_m(&self, id: PipeId) -> f64 {
+        self.pipe(id)
+            .segments
+            .iter()
+            .map(|&sid| self.segment(sid).length_m())
+            .sum()
+    }
+
+    /// Per-segment sufficient statistics over `window`.
+    ///
+    /// Exposure starts the year after the pipe is laid (a pipe laid mid-1990
+    /// is exposed from 1991); multiple failures of a segment within one year
+    /// collapse to a single failure-year, matching the Bernoulli-process view
+    /// ("it is very rare for a segment to fail twice in a year").
+    pub fn segment_stats(&self, window: ObservationWindow) -> Vec<SegmentStats> {
+        let mut stats = vec![SegmentStats::default(); self.segments.len()];
+        for seg in &self.segments {
+            let laid = self.pipe(seg.pipe).laid_year;
+            let first = window.start.max(laid + 1);
+            if first <= window.end {
+                stats[seg.id.index()].exposure_years = (window.end - first + 1) as u32;
+            }
+        }
+        // Collect distinct (segment, year) failure pairs.
+        let mut pairs: Vec<(SegmentId, i32)> = self
+            .failures
+            .iter()
+            .filter(|f| window.contains(f.year))
+            .map(|f| (f.segment, f.year))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (sid, _) in pairs {
+            let st = &mut stats[sid.index()];
+            // Defensive: a failure recorded before exposure begins still
+            // counts as one observed year.
+            st.failure_years += 1;
+            if st.failure_years > st.exposure_years {
+                st.exposure_years = st.failure_years;
+            }
+        }
+        stats
+    }
+
+    /// Per-pipe boolean label: did the pipe fail in `window`?
+    pub fn pipe_failed_in(&self, window: ObservationWindow) -> Vec<bool> {
+        let mut out = vec![false; self.pipes.len()];
+        for f in &self.failures {
+            if window.contains(f.year) {
+                out[f.pipe.index()] = true;
+            }
+        }
+        out
+    }
+
+    /// Per-pipe failure counts in `window`.
+    pub fn pipe_failure_counts(&self, window: ObservationWindow) -> Vec<u32> {
+        let mut out = vec![0u32; self.pipes.len()];
+        for f in &self.failures {
+            if window.contains(f.year) {
+                out[f.pipe.index()] += 1;
+            }
+        }
+        out
+    }
+
+    /// Bounding box of all segment geometry.
+    pub fn bounds(&self) -> Bounds {
+        let mut b = Bounds::empty();
+        for s in &self.segments {
+            for &p in s.geometry.points() {
+                b.expand(p);
+            }
+        }
+        b
+    }
+
+    /// Earliest and latest laid years, optionally for one class.
+    pub fn laid_year_range(&self, class: Option<PipeClass>) -> Option<(i32, i32)> {
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for p in &self.pipes {
+            if class.is_none_or(|c| p.class() == c) {
+                lo = lo.min(p.laid_year);
+                hi = hi.max(p.laid_year);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+/// Tiny hand-built datasets for unit tests — public so downstream crates'
+/// tests (metrics, detection curves, renderers) can share them instead of
+/// generating worlds.
+pub mod test_helpers {
+    use super::*;
+    use crate::attributes::{Coating, Material};
+    use crate::geometry::{Point, Polyline};
+
+    /// Three single-segment CWM pipes with lengths 100/200/300 m; pipe 0
+    /// fails in 2009 (the test year) and pipe 2 fails in 2000 (training).
+    pub fn three_pipe_dataset() -> Dataset {
+        let mk_pipe = |id: u32| Pipe {
+            id: PipeId(id),
+            region: RegionId(0),
+            material: Material::Cicl,
+            coating: Coating::None,
+            diameter_mm: 450.0,
+            laid_year: 1950,
+            segments: vec![SegmentId(id)],
+        };
+        let mk_seg = |id: u32, len: f64| Segment {
+            id: SegmentId(id),
+            pipe: PipeId(id),
+            geometry: Polyline::line(
+                Point::new(0.0, id as f64 * 50.0),
+                Point::new(len, id as f64 * 50.0),
+            ),
+            soil: SoilProfile::benign(),
+            dist_to_intersection_m: 100.0,
+            tree_canopy: 0.0,
+            soil_moisture: 0.2,
+        };
+        Dataset::new(
+            "ThreePipes",
+            RegionId(0),
+            ObservationWindow::new(1998, 2009),
+            vec![mk_pipe(0), mk_pipe(1), mk_pipe(2)],
+            vec![mk_seg(0, 100.0), mk_seg(1, 200.0), mk_seg(2, 300.0)],
+            vec![
+                FailureRecord::new(SegmentId(0), PipeId(0), 2009, FailureKind::Break),
+                FailureRecord::new(SegmentId(2), PipeId(2), 2000, FailureKind::Break),
+            ],
+        )
+        .expect("fixture is valid")
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+    use crate::geometry::Point;
+
+    /// A tiny two-pipe dataset used across the crate's unit tests.
+    ///
+    /// Pipe 0 (CWM, CICL, laid 1950): segments 0, 1 along y = 0.
+    /// Pipe 1 (RWM, PVC, laid 1980): segment 2 along y = 100.
+    /// Failures: segment 0 in 2000 and 2005 (+ a duplicate in 2005),
+    ///           segment 2 in 2009.
+    pub fn tiny_dataset() -> Dataset {
+        let pipes = vec![
+            Pipe {
+                id: PipeId(0),
+                region: RegionId(0),
+                material: Material::Cicl,
+                coating: Coating::None,
+                diameter_mm: 450.0,
+                laid_year: 1950,
+                segments: vec![SegmentId(0), SegmentId(1)],
+            },
+            Pipe {
+                id: PipeId(1),
+                region: RegionId(0),
+                material: Material::Pvc,
+                coating: Coating::None,
+                diameter_mm: 100.0,
+                laid_year: 1980,
+                segments: vec![SegmentId(2)],
+            },
+        ];
+        let seg = |id: u32, pipe: u32, x0: f64, x1: f64, y: f64| Segment {
+            id: SegmentId(id),
+            pipe: PipeId(pipe),
+            geometry: Polyline::line(Point::new(x0, y), Point::new(x1, y)),
+            soil: SoilProfile::benign(),
+            dist_to_intersection_m: 50.0,
+            tree_canopy: 0.0,
+            soil_moisture: 0.2,
+        };
+        let segments = vec![
+            seg(0, 0, 0.0, 100.0, 0.0),
+            seg(1, 0, 100.0, 250.0, 0.0),
+            seg(2, 1, 0.0, 80.0, 100.0),
+        ];
+        let failures = vec![
+            FailureRecord::new(SegmentId(0), PipeId(0), 2000, FailureKind::Break),
+            FailureRecord::new(SegmentId(0), PipeId(0), 2005, FailureKind::Break),
+            FailureRecord::new(SegmentId(0), PipeId(0), 2005, FailureKind::Break),
+            FailureRecord::new(SegmentId(2), PipeId(1), 2009, FailureKind::Break),
+        ];
+        Dataset::new(
+            "Tiny",
+            RegionId(0),
+            ObservationWindow::new(1998, 2009),
+            pipes,
+            segments,
+            failures,
+        )
+        .expect("fixture is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::tiny_dataset;
+    use super::*;
+    use crate::geometry::Point;
+
+    #[test]
+    fn fixture_validates_and_indexes() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.pipes().len(), 2);
+        assert_eq!(ds.segments().len(), 3);
+        assert_eq!(ds.failures().len(), 4);
+        assert_eq!(ds.pipe(PipeId(0)).class(), PipeClass::Critical);
+        assert_eq!(ds.pipe(PipeId(1)).class(), PipeClass::Reticulation);
+        assert_eq!(ds.pipes_of_class(PipeClass::Critical).count(), 1);
+    }
+
+    #[test]
+    fn lengths() {
+        let ds = tiny_dataset();
+        assert!((ds.pipe_length_m(PipeId(0)) - 250.0).abs() < 1e-9);
+        assert!((ds.total_length_m(None) - 330.0).abs() < 1e-9);
+        assert!((ds.total_length_m(Some(PipeClass::Critical)) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_stats_collapse_same_year_failures() {
+        let ds = tiny_dataset();
+        let stats = ds.segment_stats(ObservationWindow::new(1998, 2008));
+        // Segment 0: failures in 2000 and 2005 (duplicate 2005 collapses) → 2.
+        assert_eq!(stats[0].failure_years, 2);
+        assert_eq!(stats[0].exposure_years, 11);
+        assert_eq!(stats[0].clean_years(), 9);
+        // Segment 2's failure is in 2009, outside the window.
+        assert_eq!(stats[2].failure_years, 0);
+        assert_eq!(stats[2].exposure_years, 11);
+    }
+
+    #[test]
+    fn exposure_starts_after_laid_year() {
+        let ds = tiny_dataset();
+        // Window starting before pipe 1's laid year (1980).
+        let stats = ds.segment_stats(ObservationWindow::new(1975, 1985));
+        // Exposure 1981..=1985 → 5 years.
+        assert_eq!(stats[2].exposure_years, 5);
+    }
+
+    #[test]
+    fn pipe_labels_and_counts() {
+        let ds = tiny_dataset();
+        let test_w = ObservationWindow::new(2009, 2009);
+        assert_eq!(ds.pipe_failed_in(test_w), vec![false, true]);
+        let train_w = ObservationWindow::new(1998, 2008);
+        assert_eq!(ds.pipe_failure_counts(train_w), vec![3, 0]);
+    }
+
+    #[test]
+    fn failures_in_filters() {
+        let ds = tiny_dataset();
+        let w = ObservationWindow::new(1998, 2009);
+        assert_eq!(ds.failures_in(w, None, None).count(), 4);
+        assert_eq!(
+            ds.failures_in(w, Some(PipeClass::Critical), None).count(),
+            3
+        );
+        assert_eq!(
+            ds.failures_in(w, None, Some(FailureKind::Choke)).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn bounds_cover_geometry() {
+        let ds = tiny_dataset();
+        let b = ds.bounds();
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(250.0, 0.0)));
+        assert!(b.contains(Point::new(80.0, 100.0)));
+    }
+
+    #[test]
+    fn laid_year_range_by_class() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.laid_year_range(None), Some((1950, 1980)));
+        assert_eq!(ds.laid_year_range(Some(PipeClass::Critical)), Some((1950, 1950)));
+    }
+
+    #[test]
+    fn rejects_dangling_failure() {
+        let ds = tiny_dataset();
+        let mut failures = ds.failures().to_vec();
+        failures.push(FailureRecord::new(
+            SegmentId(99),
+            PipeId(0),
+            2000,
+            FailureKind::Break,
+        ));
+        let err = Dataset::new(
+            "bad",
+            RegionId(0),
+            ds.observation(),
+            ds.pipes().to_vec(),
+            ds.segments().to_vec(),
+            failures,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::DanglingReference(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_pipe_on_failure() {
+        let ds = tiny_dataset();
+        let mut failures = ds.failures().to_vec();
+        failures.push(FailureRecord::new(
+            SegmentId(0),
+            PipeId(1),
+            2000,
+            FailureKind::Break,
+        ));
+        let err = Dataset::new(
+            "bad",
+            RegionId(0),
+            ds.observation(),
+            ds.pipes().to_vec(),
+            ds.segments().to_vec(),
+            failures,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_failure_outside_window() {
+        let ds = tiny_dataset();
+        let mut failures = ds.failures().to_vec();
+        failures.push(FailureRecord::new(
+            SegmentId(0),
+            PipeId(0),
+            1990,
+            FailureKind::Break,
+        ));
+        assert!(Dataset::new(
+            "bad",
+            RegionId(0),
+            ds.observation(),
+            ds.pipes().to_vec(),
+            ds.segments().to_vec(),
+            failures,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_pipe() {
+        let ds = tiny_dataset();
+        let mut pipes = ds.pipes().to_vec();
+        pipes[1].segments.clear();
+        assert!(Dataset::new(
+            "bad",
+            RegionId(0),
+            ds.observation(),
+            pipes,
+            ds.segments().to_vec(),
+            vec![],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Failure records: work orders matched to pipe segments.
+
+use crate::ids::{PipeId, SegmentId};
+use serde::{Deserialize, Serialize};
+
+/// What failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Drinking-water main break (burst/leak work order).
+    Break,
+    /// Waste-water pipe blockage ("choke"), typically tree-root intrusion.
+    Choke,
+}
+
+impl FailureKind {
+    /// Short code used in CSV files.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FailureKind::Break => "BREAK",
+            FailureKind::Choke => "CHOKE",
+        }
+    }
+
+    /// Parse a CSV code.
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "BREAK" => Some(FailureKind::Break),
+            "CHOKE" => Some(FailureKind::Choke),
+            _ => None,
+        }
+    }
+}
+
+/// One failure event, located to a segment and dated to a calendar year.
+///
+/// The paper's failure data carries dates and coordinates; after matching to
+/// segments (which the synthetic generator does exactly), the models only
+/// consume `(segment, year)`, so that is what we keep, plus the redundant
+/// pipe id for O(1) pipe-level aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The failed segment.
+    pub segment: SegmentId,
+    /// The pipe the segment belongs to.
+    pub pipe: PipeId,
+    /// Calendar year of the work order.
+    pub year: i32,
+    /// Break or choke.
+    pub kind: FailureKind,
+}
+
+impl FailureRecord {
+    /// Construct a record.
+    pub fn new(segment: SegmentId, pipe: PipeId, year: i32, kind: FailureKind) -> Self {
+        Self {
+            segment,
+            pipe,
+            year,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        assert_eq!(FailureKind::from_code("BREAK"), Some(FailureKind::Break));
+        assert_eq!(FailureKind::from_code("CHOKE"), Some(FailureKind::Choke));
+        assert_eq!(FailureKind::from_code("?"), None);
+        assert_eq!(FailureKind::Break.code(), "BREAK");
+    }
+
+    #[test]
+    fn record_construction() {
+        let r = FailureRecord::new(SegmentId(5), PipeId(2), 2003, FailureKind::Break);
+        assert_eq!(r.segment, SegmentId(5));
+        assert_eq!(r.pipe, PipeId(2));
+        assert_eq!(r.year, 2003);
+    }
+}

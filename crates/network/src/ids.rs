@@ -1,0 +1,74 @@
+//! Strongly-typed identifiers.
+//!
+//! Pipes, segments and regions are referenced by dense indices everywhere in
+//! the workspace; newtypes prevent the classic bug of indexing the segment
+//! table with a pipe id (both are plain integers in utility asset registers).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a pipe (a series of segments).
+    PipeId,
+    u32
+);
+id_type!(
+    /// Identifier of a pipe segment.
+    SegmentId,
+    u32
+);
+id_type!(
+    /// Identifier of a region (local government area).
+    RegionId,
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_index() {
+        let p = PipeId(3);
+        let s = SegmentId(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(format!("{p}"), "PipeId(3)");
+        assert_eq!(format!("{s}"), "SegmentId(3)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(PipeId(1) < PipeId(2));
+        assert_eq!(RegionId::from(7u16), RegionId(7));
+    }
+}

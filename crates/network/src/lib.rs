@@ -1,0 +1,80 @@
+//! # pipefail-network
+//!
+//! The pipe-network data model: the substrate every model and experiment in
+//! the workspace runs on.
+//!
+//! A water utility's asset register is, for modelling purposes, four linked
+//! tables — pipes, pipe segments (pipes are segments connected in series),
+//! failure work-orders matched to segments, and environmental layers sampled
+//! at segment locations. This crate provides exactly that, with:
+//!
+//! * strongly-typed identifiers ([`ids`]) so pipe/segment indices can't be
+//!   confused,
+//! * planar geometry ([`geometry`]) for polyline lengths and distances,
+//! * asset attributes and environmental factors ([`attributes`], [`soil`]) —
+//!   the features of Table 18.2,
+//! * failure records with per-segment, per-year granularity ([`failure`]),
+//! * the assembled [`dataset::Dataset`] with validation and indexing,
+//! * temporal train/test splitting ([`split`]) matching the paper's
+//!   1998–2008-train / 2009-test protocol,
+//! * a uniform-grid spatial index ([`spatial`]) for distance-to-intersection
+//!   features,
+//! * feature-vector encoding with domain-knowledge masks ([`features`]),
+//! * CSV import/export ([`csvio`]) and Table 18.1-style summaries
+//!   ([`summary`]).
+
+pub mod attributes;
+pub mod csvio;
+pub mod dataset;
+pub mod failure;
+pub mod features;
+pub mod geometry;
+pub mod ids;
+#[cfg(test)]
+mod proptests;
+pub mod soil;
+pub mod spatial;
+pub mod split;
+pub mod summary;
+
+pub use attributes::{Coating, Material, PipeClass};
+pub use dataset::{Dataset, Pipe, Segment};
+pub use failure::{FailureKind, FailureRecord};
+pub use ids::{PipeId, RegionId, SegmentId};
+pub use soil::SoilProfile;
+pub use split::{ObservationWindow, TrainTestSplit};
+
+/// Errors raised by the data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A record referenced an id that does not exist in the dataset.
+    DanglingReference(String),
+    /// A structural invariant was violated (duplicate ids, empty pipe, …).
+    Invalid(String),
+    /// CSV parsing failed.
+    Parse(String),
+    /// I/O failure while reading or writing files.
+    Io(String),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::DanglingReference(s) => write!(f, "dangling reference: {s}"),
+            NetworkError::Invalid(s) => write!(f, "invalid dataset: {s}"),
+            NetworkError::Parse(s) => write!(f, "parse error: {s}"),
+            NetworkError::Io(s) => write!(f, "io error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<std::io::Error> for NetworkError {
+    fn from(e: std::io::Error) -> Self {
+        NetworkError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetworkError>;

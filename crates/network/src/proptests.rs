@@ -1,0 +1,161 @@
+//! Property-based tests: randomly generated miniature datasets must
+//! validate, round-trip through CSV byte-identically, and keep their
+//! aggregate invariants.
+
+#![cfg(test)]
+
+use crate::attributes::{Coating, Material};
+use crate::csvio::{read_dataset, write_dataset};
+use crate::dataset::{Dataset, Pipe, Segment};
+use crate::failure::{FailureKind, FailureRecord};
+use crate::geometry::{Point, Polyline};
+use crate::ids::{PipeId, RegionId, SegmentId};
+use crate::soil::{
+    SoilCorrosiveness, SoilExpansiveness, SoilGeology, SoilLandscape, SoilProfile,
+};
+use crate::split::ObservationWindow;
+use proptest::prelude::*;
+
+/// Blueprint for one random pipe: (material idx, coating idx, diameter,
+/// laid year, segment lengths).
+type PipeSpec = (usize, usize, f64, i32, Vec<f64>);
+
+fn pipe_spec() -> impl Strategy<Value = PipeSpec> {
+    (
+        0..Material::ALL.len(),
+        0..Coating::ALL.len(),
+        80.0f64..800.0,
+        1900..1998i32,
+        proptest::collection::vec(20.0f64..300.0, 1..4),
+    )
+}
+
+fn soil_profile(seed: usize) -> SoilProfile {
+    SoilProfile {
+        corrosiveness: SoilCorrosiveness::ALL[seed % SoilCorrosiveness::ALL.len()],
+        expansiveness: SoilExpansiveness::ALL[(seed / 3) % SoilExpansiveness::ALL.len()],
+        geology: SoilGeology::ALL[(seed / 7) % SoilGeology::ALL.len()],
+        landscape: SoilLandscape::ALL[(seed / 11) % SoilLandscape::ALL.len()],
+    }
+}
+
+/// Assemble a valid dataset from pipe specs plus failure picks
+/// (segment-index, year-offset) modulo the real ranges.
+fn build_dataset(specs: Vec<PipeSpec>, failure_picks: Vec<(usize, usize)>) -> Dataset {
+    let window = ObservationWindow::new(1998, 2009);
+    let mut pipes = Vec::new();
+    let mut segments = Vec::new();
+    for (pi, (mi, ci, diameter, laid, seg_lens)) in specs.into_iter().enumerate() {
+        let mut seg_ids = Vec::new();
+        let mut x0 = 0.0;
+        for len in seg_lens {
+            let sid = SegmentId(segments.len() as u32);
+            segments.push(Segment {
+                id: sid,
+                pipe: PipeId(pi as u32),
+                geometry: Polyline::line(
+                    Point::new(x0, pi as f64 * 10.0),
+                    Point::new(x0 + len, pi as f64 * 10.0),
+                ),
+                soil: soil_profile(segments.len()),
+                dist_to_intersection_m: 10.0 + (segments.len() as f64 * 37.0) % 900.0,
+                tree_canopy: (segments.len() as f64 * 0.13) % 1.0,
+                soil_moisture: (segments.len() as f64 * 0.29) % 1.0,
+            });
+            seg_ids.push(sid);
+            x0 += len;
+        }
+        pipes.push(Pipe {
+            id: PipeId(pi as u32),
+            region: RegionId(0),
+            material: Material::ALL[mi],
+            coating: Coating::ALL[ci],
+            diameter_mm: diameter,
+            laid_year: laid,
+            segments: seg_ids,
+        });
+    }
+    let failures: Vec<FailureRecord> = failure_picks
+        .into_iter()
+        .map(|(si, yo)| {
+            let seg = &segments[si % segments.len()];
+            FailureRecord::new(
+                seg.id,
+                seg.pipe,
+                window.start + (yo % window.years() as usize) as i32,
+                if yo % 2 == 0 { FailureKind::Break } else { FailureKind::Choke },
+            )
+        })
+        .collect();
+    Dataset::new("proptest", RegionId(0), window, pipes, segments, failures)
+        .expect("constructed dataset is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every randomly assembled dataset survives the CSV round trip
+    /// exactly.
+    #[test]
+    fn csv_roundtrip_random_datasets(
+        specs in proptest::collection::vec(pipe_spec(), 1..6),
+        picks in proptest::collection::vec((0usize..100, 0usize..100), 0..8),
+        tag in 0u32..1_000_000,
+    ) {
+        let ds = build_dataset(specs, picks);
+        let dir = std::env::temp_dir().join(format!(
+            "pipefail_prop_{}_{}",
+            std::process::id(),
+            tag
+        ));
+        write_dataset(&ds, &dir).expect("write");
+        let back = read_dataset(&dir).expect("read");
+        prop_assert_eq!(back.pipes(), ds.pipes());
+        prop_assert_eq!(back.segments(), ds.segments());
+        prop_assert_eq!(back.failures(), ds.failures());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Segment statistics conserve totals: failure-years never exceed
+    /// exposure, and exposure never exceeds the window length.
+    #[test]
+    fn segment_stats_invariants(
+        specs in proptest::collection::vec(pipe_spec(), 1..6),
+        picks in proptest::collection::vec((0usize..100, 0usize..100), 0..12),
+    ) {
+        let ds = build_dataset(specs, picks);
+        let w = ds.observation();
+        for st in ds.segment_stats(w) {
+            prop_assert!(st.failure_years <= st.exposure_years);
+            prop_assert!(st.exposure_years <= w.years().max(st.failure_years));
+            prop_assert_eq!(st.clean_years(), st.exposure_years - st.failure_years);
+        }
+    }
+
+    /// Total length equals the sum over classes, and per-pipe lengths sum
+    /// to the total.
+    #[test]
+    fn length_accounting(
+        specs in proptest::collection::vec(pipe_spec(), 1..6),
+    ) {
+        let ds = build_dataset(specs, vec![]);
+        let total = ds.total_length_m(None);
+        let by_class = ds.total_length_m(Some(crate::attributes::PipeClass::Critical))
+            + ds.total_length_m(Some(crate::attributes::PipeClass::Reticulation));
+        prop_assert!((total - by_class).abs() < 1e-6);
+        let by_pipe: f64 = ds.pipes().iter().map(|p| ds.pipe_length_m(p.id)).sum();
+        prop_assert!((total - by_pipe).abs() < 1e-6);
+    }
+
+    /// Pipe failure counts over the full window equal the record count.
+    #[test]
+    fn failure_count_conservation(
+        specs in proptest::collection::vec(pipe_spec(), 1..6),
+        picks in proptest::collection::vec((0usize..100, 0usize..100), 0..12),
+    ) {
+        let ds = build_dataset(specs, picks);
+        let counts = ds.pipe_failure_counts(ds.observation());
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(total as usize, ds.failures().len());
+    }
+}

@@ -1,0 +1,165 @@
+//! Environmental soil factors (Table 18.2, lower half).
+//!
+//! Four categorical soil layers, each partitioning the region plane into
+//! zones; every segment inherits the zone values at its midpoint. The
+//! variants follow the paper's descriptions: corrosiveness (linear
+//! polarisation resistance classes), expansiveness (shrink–swell classes),
+//! geology (rock types) and soil map (landscape classes).
+
+use serde::{Deserialize, Serialize};
+
+/// Risk of pipe pitting from electrochemical corrosion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SoilCorrosiveness {
+    /// Negligible corrosion risk.
+    Low,
+    /// Moderate corrosion risk.
+    Moderate,
+    /// High corrosion risk.
+    High,
+    /// Severe corrosion risk (saline/acid-sulfate soils).
+    Severe,
+}
+
+/// Shrink–swell reactivity of expansive clays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SoilExpansiveness {
+    /// Stable soils.
+    Low,
+    /// Moderately reactive.
+    Moderate,
+    /// Highly reactive clays.
+    High,
+}
+
+/// Underlying rock type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SoilGeology {
+    /// Sandstone.
+    Sandstone,
+    /// Shale.
+    Shale,
+    /// Alluvium.
+    Alluvium,
+    /// Granite.
+    Granite,
+}
+
+/// Landscape class from the soil map layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SoilLandscape {
+    /// River-deposited.
+    Fluvial,
+    /// Slope-deposited.
+    Colluvial,
+    /// Actively eroding.
+    Erosional,
+    /// In-place weathered.
+    Residual,
+}
+
+macro_rules! soil_codes {
+    ($ty:ident, $( $variant:ident => $code:literal ),+ $(,)?) => {
+        impl $ty {
+            /// All variants, for encoders and generators.
+            pub const ALL: &'static [$ty] = &[$($ty::$variant),+];
+
+            /// Short code used in CSV files.
+            pub fn code(&self) -> &'static str {
+                match self { $( $ty::$variant => $code ),+ }
+            }
+
+            /// Parse a CSV code.
+            pub fn from_code(code: &str) -> Option<Self> {
+                match code { $( $code => Some($ty::$variant), )+ _ => None }
+            }
+        }
+    };
+}
+
+soil_codes!(SoilCorrosiveness, Low => "LOW", Moderate => "MOD", High => "HIGH", Severe => "SEV");
+soil_codes!(SoilExpansiveness, Low => "LOW", Moderate => "MOD", High => "HIGH");
+soil_codes!(SoilGeology, Sandstone => "SAND", Shale => "SHALE", Alluvium => "ALLUV", Granite => "GRAN");
+soil_codes!(SoilLandscape, Fluvial => "FLUV", Colluvial => "COLL", Erosional => "EROS", Residual => "RESID");
+
+/// The complete soil description at a segment location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SoilProfile {
+    /// Corrosion-risk class.
+    pub corrosiveness: SoilCorrosiveness,
+    /// Shrink–swell class.
+    pub expansiveness: SoilExpansiveness,
+    /// Rock type.
+    pub geology: SoilGeology,
+    /// Landscape class.
+    pub landscape: SoilLandscape,
+}
+
+impl SoilProfile {
+    /// A benign default profile (stable sandstone residual soils).
+    pub fn benign() -> Self {
+        Self {
+            corrosiveness: SoilCorrosiveness::Low,
+            expansiveness: SoilExpansiveness::Low,
+            geology: SoilGeology::Sandstone,
+            landscape: SoilLandscape::Residual,
+        }
+    }
+
+    /// Ordinal corrosiveness score in [0, 1] (Low→0, Severe→1), used by the
+    /// synthetic hazard and by simple numeric encoders.
+    pub fn corrosiveness_score(&self) -> f64 {
+        match self.corrosiveness {
+            SoilCorrosiveness::Low => 0.0,
+            SoilCorrosiveness::Moderate => 1.0 / 3.0,
+            SoilCorrosiveness::High => 2.0 / 3.0,
+            SoilCorrosiveness::Severe => 1.0,
+        }
+    }
+
+    /// Ordinal expansiveness score in [0, 1].
+    pub fn expansiveness_score(&self) -> f64 {
+        match self.expansiveness {
+            SoilExpansiveness::Low => 0.0,
+            SoilExpansiveness::Moderate => 0.5,
+            SoilExpansiveness::High => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_all_layers() {
+        for &c in SoilCorrosiveness::ALL {
+            assert_eq!(SoilCorrosiveness::from_code(c.code()), Some(c));
+        }
+        for &e in SoilExpansiveness::ALL {
+            assert_eq!(SoilExpansiveness::from_code(e.code()), Some(e));
+        }
+        for &g in SoilGeology::ALL {
+            assert_eq!(SoilGeology::from_code(g.code()), Some(g));
+        }
+        for &l in SoilLandscape::ALL {
+            assert_eq!(SoilLandscape::from_code(l.code()), Some(l));
+        }
+    }
+
+    #[test]
+    fn corrosiveness_is_ordered() {
+        assert!(SoilCorrosiveness::Low < SoilCorrosiveness::Severe);
+        assert!(SoilCorrosiveness::Moderate < SoilCorrosiveness::High);
+    }
+
+    #[test]
+    fn scores_are_monotone() {
+        let mut profile = SoilProfile::benign();
+        assert_eq!(profile.corrosiveness_score(), 0.0);
+        profile.corrosiveness = SoilCorrosiveness::Severe;
+        assert_eq!(profile.corrosiveness_score(), 1.0);
+        profile.expansiveness = SoilExpansiveness::High;
+        assert_eq!(profile.expansiveness_score(), 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Dataset summaries in the shape of the paper's Table 18.1.
+
+use crate::attributes::PipeClass;
+use crate::dataset::Dataset;
+use crate::split::ObservationWindow;
+use std::fmt::Write as _;
+
+/// One row of Table 18.1: counts for either all pipes or one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Region/dataset label.
+    pub dataset: String,
+    /// "All" or a class code.
+    pub scope: String,
+    /// Number of pipes in scope.
+    pub pipes: usize,
+    /// Number of failure records in scope within the observation window.
+    pub failures: usize,
+    /// Earliest and latest laid year in scope.
+    pub laid_years: Option<(i32, i32)>,
+    /// The observation window.
+    pub observation: ObservationWindow,
+}
+
+/// Compute the "All" and "CWM" rows for one dataset (the structure of
+/// Table 18.1).
+pub fn summarize(ds: &Dataset) -> Vec<SummaryRow> {
+    let w = ds.observation();
+    let all = SummaryRow {
+        dataset: ds.name().to_string(),
+        scope: "All".to_string(),
+        pipes: ds.pipes().len(),
+        failures: ds.failures_in(w, None, None).count(),
+        laid_years: ds.laid_year_range(None),
+        observation: w,
+    };
+    let cwm = SummaryRow {
+        dataset: ds.name().to_string(),
+        scope: PipeClass::Critical.code().to_string(),
+        pipes: ds.pipes_of_class(PipeClass::Critical).count(),
+        failures: ds.failures_in(w, Some(PipeClass::Critical), None).count(),
+        laid_years: ds.laid_year_range(Some(PipeClass::Critical)),
+        observation: w,
+    };
+    vec![all, cwm]
+}
+
+/// Render rows as the aligned text table the `table18_1` experiment prints.
+pub fn format_table(rows: &[SummaryRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>5} {:>8} {:>10} {:>12} {:>12}",
+        "Dataset", "Scope", "#Pipes", "#Failures", "Laid years", "Observed"
+    );
+    for r in rows {
+        let laid = r
+            .laid_years
+            .map(|(a, b)| format!("{a}-{b}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            s,
+            "{:<12} {:>5} {:>8} {:>10} {:>12} {:>12}",
+            r.dataset,
+            r.scope,
+            r.pipes,
+            r.failures,
+            laid,
+            format!("{}-{}", r.observation.start, r.observation.end)
+        );
+    }
+    s
+}
+
+/// Fraction helpers the paper quotes under Table 18.1 (share of CWM pipes
+/// and of CWM failures).
+pub fn cwm_shares(ds: &Dataset) -> (f64, f64) {
+    let w = ds.observation();
+    let pipes_all = ds.pipes().len().max(1);
+    let pipes_cwm = ds.pipes_of_class(PipeClass::Critical).count();
+    let fail_all = ds.failures_in(w, None, None).count().max(1);
+    let fail_cwm = ds.failures_in(w, Some(PipeClass::Critical), None).count();
+    (
+        pipes_cwm as f64 / pipes_all as f64,
+        fail_cwm as f64 / fail_all as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::tiny_dataset;
+
+    #[test]
+    fn rows_match_fixture() {
+        let ds = tiny_dataset();
+        let rows = summarize(&ds);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scope, "All");
+        assert_eq!(rows[0].pipes, 2);
+        assert_eq!(rows[0].failures, 4);
+        assert_eq!(rows[1].scope, "CWM");
+        assert_eq!(rows[1].pipes, 1);
+        assert_eq!(rows[1].failures, 3);
+        assert_eq!(rows[1].laid_years, Some((1950, 1950)));
+    }
+
+    #[test]
+    fn table_formats_all_rows() {
+        let ds = tiny_dataset();
+        let text = format_table(&summarize(&ds));
+        assert!(text.contains("Tiny"));
+        assert!(text.contains("CWM"));
+        assert!(text.contains("1950-1950"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn shares() {
+        let ds = tiny_dataset();
+        let (pipe_share, fail_share) = cwm_shares(&ds);
+        assert!((pipe_share - 0.5).abs() < 1e-12);
+        assert!((fail_share - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Bernoulli distribution — failure / no-failure in one observation year.
+
+use super::{DiscreteDist, Sampler};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Bernoulli distribution with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a Bernoulli distribution; requires `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(StatsError::BadParameter("Bernoulli requires p in [0,1]"));
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw as a boolean.
+    pub fn sample_bool<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+impl Sampler for Bernoulli {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        u64::from(self.sample_bool(rng))
+    }
+}
+
+impl DiscreteDist for Bernoulli {
+    fn ln_pmf(&self, k: u64) -> f64 {
+        match k {
+            0 => (1.0 - self.p).ln(),
+            1 => self.p.ln(),
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = seeded_rng(10);
+        let zero = Bernoulli::new(0.0).unwrap();
+        let one = Bernoulli::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(zero.sample(&mut rng), 0);
+            assert_eq!(one.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_rate() {
+        let mut rng = seeded_rng(11);
+        let b = Bernoulli::new(0.03).unwrap();
+        let n = 200_000;
+        let hits: u64 = (0..n).map(|_| b.sample(&mut rng)).sum();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.03).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Bernoulli::new(0.42).unwrap();
+        assert!((b.pmf(0) + b.pmf(1) - 1.0).abs() < 1e-15);
+        assert_eq!(b.pmf(2), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Beta distribution — the workhorse of the beta-process models.
+
+use super::{ContinuousDist, Gamma, Sampler};
+use crate::special::{betainc_inv, betainc_reg, ln_beta};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Beta distribution `Beta(a, b)` on `(0, 1)`.
+///
+/// The hierarchical beta-process models parameterise betas as
+/// `Beta(c·q, c·(1−q))` with mean `q` and concentration `c`; the
+/// [`Beta::with_mean_concentration`] constructor exposes that form directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Create `Beta(a, b)`; requires `a > 0` and `b > 0`.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
+            return Err(StatsError::BadParameter("Beta requires a, b > 0"));
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Create `Beta(c·q, c·(1−q))`, the mean/concentration form used by beta
+    /// processes; requires `q ∈ (0, 1)` and `c > 0`.
+    pub fn with_mean_concentration(q: f64, c: f64) -> Result<Self> {
+        if !(q.is_finite() && c.is_finite() && q > 0.0 && q < 1.0 && c > 0.0) {
+            return Err(StatsError::BadParameter(
+                "Beta mean/concentration requires q in (0,1), c > 0",
+            ));
+        }
+        Self::new(c * q, c * (1.0 - q))
+    }
+
+    /// First shape parameter.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        betainc_inv(self.a, self.b, p)
+    }
+}
+
+impl Sampler for Beta {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Ratio of gammas; clamp away from exact 0/1 so downstream logs of
+        // p and 1−p stay finite (failure probabilities are never exactly 0/1).
+        let ga = Gamma::new(self.a, 1.0).expect("validated").sample(rng);
+        let gb = Gamma::new(self.b, 1.0).expect("validated").sample(rng);
+        let s = ga + gb;
+        if s == 0.0 {
+            return 0.5;
+        }
+        (ga / s).clamp(1e-300, 1.0 - 1e-16)
+    }
+}
+
+impl ContinuousDist for Beta {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        betainc_reg(self.a, self.b, x)
+    }
+
+    fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.a + self.b;
+        self.a * self.b / (s * s * (s + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -2.0).is_err());
+        assert!(Beta::with_mean_concentration(0.0, 1.0).is_err());
+        assert!(Beta::with_mean_concentration(1.0, 1.0).is_err());
+        assert!(Beta::with_mean_concentration(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn mean_concentration_form() {
+        let b = Beta::with_mean_concentration(0.2, 10.0).unwrap();
+        assert!((b.a() - 2.0).abs() < 1e-15);
+        assert!((b.b() - 8.0).abs() < 1e-15);
+        assert!((b.mean() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        let b = Beta::new(1.0, 1.0).unwrap();
+        assert!((b.pdf(0.3) - 1.0).abs() < 1e-12);
+        assert!((b.cdf(0.7) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_symmetric() {
+        let mut rng = seeded_rng(6);
+        let b = Beta::new(2.0, 2.0).unwrap();
+        check_moments(&b, &mut rng, 50_000, 0.5, 0.05, 0.02);
+    }
+
+    #[test]
+    fn sample_moments_sparse_failure_regime() {
+        // The regime the pipe models live in: tiny mean failure probability.
+        let mut rng = seeded_rng(7);
+        let b = Beta::with_mean_concentration(0.01, 50.0).unwrap();
+        check_moments(&b, &mut rng, 120_000, 0.01, 0.01 * 0.99 / 51.0, 0.05);
+        for _ in 0..500 {
+            let x = b.sample(&mut rng);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let b = Beta::new(3.0, 7.0).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = b.quantile(p);
+            assert!((b.cdf(x) - p).abs() < 1e-8);
+        }
+    }
+}

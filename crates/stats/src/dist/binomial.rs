@@ -1,0 +1,154 @@
+//! Binomial distribution.
+
+use super::{DiscreteDist, Sampler};
+use crate::special::{betainc_reg, ln_choose};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution; requires `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(StatsError::BadParameter("Binomial requires p in [0,1]"));
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// CDF `P(X ≤ k)` via the regularised incomplete beta identity.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        betainc_reg((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+}
+
+impl Sampler for Binomial {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Inversion by sequential search for small n·p; otherwise, count
+        // explicit Bernoulli trials in blocks (n here is small in practice —
+        // observation windows are ~12 years).
+        if self.n <= 64 {
+            let mut k = 0;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    k += 1;
+                }
+            }
+            return k;
+        }
+        // BTPE would be overkill; use inversion on the CDF with a capped scan
+        // seeded near the mean.
+        let u: f64 = rng.gen();
+        let mut k = 0u64;
+        let mut acc = 0.0;
+        while k < self.n {
+            acc += self.pmf(k);
+            if u <= acc {
+                return k;
+            }
+            k += 1;
+        }
+        self.n
+    }
+}
+
+impl DiscreteDist for Binomial {
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn pmf_reference() {
+        let b = Binomial::new(10, 0.5).unwrap();
+        // P(X=5) = C(10,5)/2^10 = 252/1024
+        assert!((b.pmf(5) - 252.0 / 1024.0).abs() < 1e-13);
+        assert_eq!(b.pmf(11), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(25, 0.13).unwrap();
+        let total: f64 = (0..=25).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_sum() {
+        let b = Binomial::new(12, 0.3).unwrap();
+        let mut acc = 0.0;
+        for k in 0..=12u64 {
+            acc += b.pmf(k);
+            assert!((b.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let mut rng = seeded_rng(14);
+        let b0 = Binomial::new(9, 0.0).unwrap();
+        let b1 = Binomial::new(9, 1.0).unwrap();
+        assert_eq!(b0.sample(&mut rng), 0);
+        assert_eq!(b1.sample(&mut rng), 9);
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b1.pmf(9), 1.0);
+    }
+
+    #[test]
+    fn empirical_mean() {
+        let mut rng = seeded_rng(15);
+        let b = Binomial::new(12, 0.07).unwrap();
+        let n = 60_000;
+        let total: u64 = (0..n).map(|_| b.sample(&mut rng)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 0.84).abs() < 0.02, "mean {m}");
+    }
+}

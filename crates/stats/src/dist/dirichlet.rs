@@ -1,0 +1,134 @@
+//! Dirichlet distribution over the probability simplex.
+
+use super::{Gamma, Sampler};
+use crate::special::ln_gamma;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Dirichlet distribution with concentration vector `alpha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Create a Dirichlet distribution; requires ≥ 2 strictly positive
+    /// concentrations.
+    pub fn new(alpha: Vec<f64>) -> Result<Self> {
+        if alpha.len() < 2 {
+            return Err(StatsError::BadParameter("Dirichlet needs >= 2 components"));
+        }
+        if alpha.iter().any(|a| !a.is_finite() || *a <= 0.0) {
+            return Err(StatsError::BadParameter("Dirichlet requires alpha_i > 0"));
+        }
+        Ok(Self { alpha })
+    }
+
+    /// Symmetric Dirichlet with `k` components of concentration `a`.
+    pub fn symmetric(k: usize, a: f64) -> Result<Self> {
+        Self::new(vec![a; k])
+    }
+
+    /// Concentration parameters.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Mean vector `alpha / Σ alpha`.
+    pub fn mean(&self) -> Vec<f64> {
+        let s: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|a| a / s).collect()
+    }
+
+    /// Log-density at a point on the simplex.
+    pub fn ln_pdf(&self, x: &[f64]) -> f64 {
+        if x.len() != self.alpha.len() {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = x.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 || x.iter().any(|&xi| xi <= 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let a0: f64 = self.alpha.iter().sum();
+        let mut lp = ln_gamma(a0);
+        for (&a, &xi) in self.alpha.iter().zip(x) {
+            lp += (a - 1.0) * xi.ln() - ln_gamma(a);
+        }
+        lp
+    }
+}
+
+impl Sampler for Dirichlet {
+    type Value = Vec<f64>;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| Gamma::new(a, 1.0).expect("validated").sample(rng))
+            .collect();
+        let total: f64 = draws.iter().sum();
+        if total > 0.0 {
+            for d in &mut draws {
+                *d /= total;
+            }
+        } else {
+            let k = draws.len() as f64;
+            for d in &mut draws {
+                *d = 1.0 / k;
+            }
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn samples_on_simplex() {
+        let mut rng = seeded_rng(20);
+        let d = Dirichlet::new(vec![0.5, 2.0, 5.0]).unwrap();
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            let s: f64 = x.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let mut rng = seeded_rng(21);
+        let d = Dirichlet::new(vec![1.0, 2.0, 7.0]).unwrap();
+        let n = 20_000;
+        let mut acc = [0.0; 3];
+        for _ in 0..n {
+            for (a, v) in acc.iter_mut().zip(d.sample(&mut rng)) {
+                *a += v;
+            }
+        }
+        let want = d.mean();
+        for (a, w) in acc.iter().zip(want) {
+            assert!((a / n as f64 - w).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn ln_pdf_uniform_case() {
+        // Dirichlet(1,1,1) is uniform on the simplex: pdf = Γ(3) = 2
+        let d = Dirichlet::symmetric(3, 1.0).unwrap();
+        let lp = d.ln_pdf(&[0.2, 0.3, 0.5]);
+        assert!((lp - 2.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(d.ln_pdf(&[0.5, 0.5, 0.5]), f64::NEG_INFINITY);
+    }
+}

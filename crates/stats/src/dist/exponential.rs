@@ -1,0 +1,91 @@
+//! Exponential distribution.
+
+use super::{ContinuousDist, Sampler};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution; requires `rate > 0`.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(StatsError::BadParameter("Exponential requires rate > 0"));
+        }
+        Ok(Self { rate })
+    }
+
+    /// Rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sampler for Exponential {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion; 1 − U avoids ln(0).
+        -(1.0 - rng.gen::<f64>()).ln() / self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn memoryless_cdf() {
+        let e = Exponential::new(0.5).unwrap();
+        // P(X > s + t) = P(X > s) P(X > t)
+        let s = 1.3;
+        let t = 2.1;
+        let tail = |x: f64| 1.0 - e.cdf(x);
+        assert!((tail(s + t) - tail(s) * tail(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments() {
+        let mut rng = seeded_rng(8);
+        let e = Exponential::new(4.0).unwrap();
+        check_moments(&e, &mut rng, 60_000, 0.25, 0.0625, 0.02);
+    }
+}

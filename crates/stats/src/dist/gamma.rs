@@ -1,0 +1,154 @@
+//! Gamma distribution (shape–rate parameterisation).
+
+use super::{ContinuousDist, Normal, Sampler};
+use crate::special::{gammainc_lower_reg, ln_gamma};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Gamma distribution with shape `k` and rate `theta⁻¹` — i.e. density
+/// `rate^shape x^{shape−1} e^{−rate·x} / Γ(shape)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Create a gamma distribution; requires `shape > 0` and `rate > 0`.
+    pub fn new(shape: f64, rate: f64) -> Result<Self> {
+        if !(shape.is_finite() && rate.is_finite() && shape > 0.0 && rate > 0.0) {
+            return Err(StatsError::BadParameter("Gamma requires shape, rate > 0"));
+        }
+        Ok(Self { shape, rate })
+    }
+
+    /// Shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter (inverse scale).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Marsaglia–Tsang squeeze sampler for a unit-rate gamma with shape ≥ 1;
+    /// boosting is applied for shape < 1.
+    fn sample_unit_rate<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        if shape < 1.0 {
+            // Boost: if X ~ Gamma(shape+1), U^{1/shape}·X ~ Gamma(shape).
+            let x = Self::sample_unit_rate(shape + 1.0, rng);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            return x * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = Normal::sample_standard(rng);
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            // Squeeze test first, then the full log test.
+            if u < 1.0 - 0.0331 * z.powi(4) || u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Sampler for Gamma {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::sample_unit_rate(self.shape, rng) / self.rate
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
+            - self.rate * x
+            - ln_gamma(self.shape)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gammainc_lower_reg(self.shape, self.rate * x)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 2.0).is_err());
+        assert!(Gamma::new(f64::NAN, 2.0).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // Gamma(1, rate) is Exponential(rate).
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        assert!((g.pdf(0.5) - 2.0 * (-1.0_f64).exp()).abs() < 1e-12);
+        assert!((g.cdf(1.0) - (1.0 - (-2.0_f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_shape_ge_one() {
+        let mut rng = seeded_rng(3);
+        let g = Gamma::new(4.5, 2.0).unwrap();
+        check_moments(&g, &mut rng, 60_000, 2.25, 1.125, 0.02);
+    }
+
+    #[test]
+    fn moments_shape_lt_one() {
+        let mut rng = seeded_rng(4);
+        let g = Gamma::new(0.3, 1.0).unwrap();
+        check_moments(&g, &mut rng, 80_000, 0.3, 0.3, 0.03);
+    }
+
+    #[test]
+    fn samples_positive() {
+        let mut rng = seeded_rng(5);
+        let g = Gamma::new(0.05, 3.0).unwrap();
+        for _ in 0..2000 {
+            assert!(g.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let g = Gamma::new(2.5, 1.5).unwrap();
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.1;
+            let c = g.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(prev > 0.999);
+    }
+}

@@ -1,0 +1,132 @@
+//! Normal (Gaussian) distribution.
+
+use super::{ContinuousDist, Sampler};
+use crate::special::{std_normal_cdf, std_normal_quantile};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+
+/// Normal distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; requires finite `mu` and `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma > 0.0) {
+            return Err(StatsError::BadParameter("Normal requires sigma > 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    /// Draw a standard-normal variate using the Marsaglia polar method.
+    pub fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sampler for Normal {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * Self::sample_standard(rng)
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn pdf_reference() {
+        let n = Normal::standard();
+        // φ(0) = 1/√(2π)
+        assert!((n.pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-14);
+        assert!((n.pdf(1.0) - 0.241_970_724_519_143_37).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        let n = Normal::new(1.0, 2.0).unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 4.5] {
+            let a = n.cdf(x);
+            let b = n.cdf(2.0 - x); // reflect around mu
+            assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_from_samples() {
+        let mut rng = seeded_rng(2);
+        let n = Normal::new(-3.0, 0.5).unwrap();
+        check_moments(&n, &mut rng, 50_000, -3.0, 0.25, 0.02);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        for &p in &[0.05, 0.25, 0.5, 0.9, 0.99] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Poisson distribution — failure counts under NHPP baselines and the
+//! synthetic world generator.
+
+use super::{DiscreteDist, Sampler};
+use crate::special::{gammainc_upper_reg, ln_gamma};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution; requires `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::BadParameter("Poisson requires lambda > 0"));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Mean parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// CDF `P(X ≤ k)` via the upper incomplete gamma identity.
+    pub fn cdf(&self, k: u64) -> f64 {
+        gammainc_upper_reg(k as f64 + 1.0, self.lambda)
+    }
+}
+
+impl Sampler for Poisson {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth multiplication method.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut prod: f64 = rng.gen();
+            while prod > limit {
+                k += 1;
+                prod *= rng.gen::<f64>();
+            }
+            k
+        } else {
+            // Atkinson's rejection method for large lambda.
+            let c = 0.767 - 3.36 / self.lambda;
+            let beta = std::f64::consts::PI / (3.0 * self.lambda).sqrt();
+            let alpha = beta * self.lambda;
+            let k = c.ln() - self.lambda - beta.ln();
+            loop {
+                let u: f64 = rng.gen();
+                let x = (alpha - ((1.0 - u) / u).ln()) / beta;
+                let n = (x + 0.5).floor();
+                if n < 0.0 {
+                    continue;
+                }
+                let v: f64 = rng.gen();
+                let y = alpha - beta * x;
+                let lhs = y + (v / (1.0 + y.exp()).powi(2)).ln();
+                let rhs = k + n * self.lambda.ln() - ln_gamma(n + 1.0);
+                if lhs <= rhs {
+                    return n as u64;
+                }
+            }
+        }
+    }
+}
+
+impl DiscreteDist for Poisson {
+    fn ln_pmf(&self, k: u64) -> f64 {
+        let kf = k as f64;
+        kf * self.lambda.ln() - self.lambda - ln_gamma(kf + 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_reference() {
+        let p = Poisson::new(2.0).unwrap();
+        // P(X=0) = e^{-2}
+        assert!((p.pmf(0) - (-2.0_f64).exp()).abs() < 1e-14);
+        // P(X=2) = 2 e^{-2}
+        assert!((p.pmf(2) - 2.0 * (-2.0_f64).exp()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(6.5).unwrap();
+        let total: f64 = (0..100).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(3.7).unwrap();
+        let mut acc = 0.0;
+        for k in 0..15u64 {
+            acc += p.pmf(k);
+            assert!((p.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empirical_mean_small_lambda() {
+        let mut rng = seeded_rng(12);
+        let p = Poisson::new(0.8).unwrap();
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 0.8).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn empirical_mean_large_lambda() {
+        let mut rng = seeded_rng(13);
+        let p = Poisson::new(120.0).unwrap();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 120.0).abs() < 1.0, "mean {m}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Student's t distribution — p-values for the paired t-tests of Table 18.4.
+
+use super::{ContinuousDist, Gamma, Normal, Sampler};
+use crate::special::{betainc_inv, betainc_reg, ln_gamma};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Student's t distribution with `nu` degrees of freedom (location 0, scale 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Create a t distribution; requires `nu > 0`.
+    pub fn new(nu: f64) -> Result<Self> {
+        if !(nu.is_finite() && nu > 0.0) {
+            return Err(StatsError::BadParameter("StudentT requires nu > 0"));
+        }
+        Ok(Self { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Upper-tail probability `P(T > t)` — the one-sided p-value.
+    pub fn sf(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p == 0.5 {
+            return 0.0;
+        }
+        // Invert through the incomplete-beta representation.
+        let tail = if p < 0.5 { p } else { 1.0 - p };
+        let x = betainc_inv(self.nu / 2.0, 0.5, 2.0 * tail);
+        let t = (self.nu * (1.0 - x) / x).sqrt();
+        if p < 0.5 {
+            -t
+        } else {
+            t
+        }
+    }
+}
+
+impl Sampler for StudentT {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // T = Z / sqrt(V/nu), V ~ chi²(nu) = Gamma(nu/2, 1/2)
+        let z = Normal::sample_standard(rng);
+        let v = Gamma::new(self.nu / 2.0, 0.5).expect("validated").sample(rng);
+        z / (v / self.nu).sqrt()
+    }
+}
+
+impl ContinuousDist for StudentT {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln()
+            - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        let x = self.nu / (self.nu + t * t);
+        let p = 0.5 * betainc_reg(self.nu / 2.0, 0.5, x);
+        if t >= 0.0 {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.nu > 1.0 {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.nu > 2.0 {
+            self.nu / (self.nu - 2.0)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_nu() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn cauchy_special_case() {
+        // nu = 1 is Cauchy: cdf(1) = 3/4, cdf(0) = 1/2
+        let t = StudentT::new(1.0).unwrap();
+        assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((t.cdf(1.0) - 0.75).abs() < 1e-10);
+        assert!((t.pdf(0.0) - 1.0 / std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_values() {
+        // t_{0.95, 10} = 1.812461; t_{0.975, 10} = 2.228139
+        let t = StudentT::new(10.0).unwrap();
+        assert!((t.quantile(0.95) - 1.812_461).abs() < 1e-4);
+        assert!((t.quantile(0.975) - 2.228_139).abs() < 1e-4);
+        // symmetry
+        assert!((t.quantile(0.05) + 1.812_461).abs() < 1e-4);
+    }
+
+    #[test]
+    fn approaches_normal_for_large_nu() {
+        let t = StudentT::new(1e6).unwrap();
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let n = crate::special::std_normal_cdf(x);
+            assert!((t.cdf(x) - n).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let t = StudentT::new(19.0).unwrap();
+        for &x in &[-3.0, -1.0, 0.0, 2.0, 5.0] {
+            assert!((t.sf(x) + t.cdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Continuous uniform distribution on `[lo, hi)`.
+
+use super::{ContinuousDist, Sampler};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Uniform distribution on the half-open interval `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution; requires `lo < hi` and finite bounds.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::BadParameter("Uniform requires finite lo < hi"));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The standard uniform on `[0, 1)`.
+    pub fn standard() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sampler for Uniform {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x < self.hi {
+            -(self.hi - self.lo).ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn samples_in_range_and_moments() {
+        let mut rng = seeded_rng(1);
+        let u = Uniform::new(-2.0, 3.0).unwrap();
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        check_moments(&u, &mut rng, 40_000, 0.5, 25.0 / 12.0, 0.03);
+    }
+
+    #[test]
+    fn cdf_and_pdf() {
+        let u = Uniform::new(0.0, 4.0).unwrap();
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(5.0), 1.0);
+        assert!((u.cdf(1.0) - 0.25).abs() < 1e-15);
+        assert!((u.pdf(2.0) - 0.25).abs() < 1e-15);
+        assert_eq!(u.pdf(-0.1), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Weibull distribution — the survival baseline's sampling distribution.
+
+use super::{ContinuousDist, Sampler};
+use crate::special::ln_gamma;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Weibull distribution with scale `lambda` and shape `k`:
+/// `F(x) = 1 − exp(−(x/λ)^k)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Create a Weibull distribution; requires `scale > 0` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self> {
+        if !(scale.is_finite() && shape.is_finite() && scale > 0.0 && shape > 0.0) {
+            return Err(StatsError::BadParameter("Weibull requires scale, shape > 0"));
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Hazard function `h(x) = (k/λ)(x/λ)^{k−1}`.
+    pub fn hazard(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            }
+        } else {
+            (self.shape / self.scale) * (x / self.scale).powf(self.shape - 1.0)
+        }
+    }
+
+    /// Cumulative hazard `H(x) = (x/λ)^k`.
+    pub fn cumulative_hazard(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            (x / self.scale).powf(self.shape)
+        }
+    }
+}
+
+impl Sampler for Weibull {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+impl ContinuousDist for Weibull {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if x == 0.0 {
+            // pdf(0) is 0 for k > 1, λ⁻¹ for k = 1, ∞ for k < 1.
+            return if self.shape > 1.0 {
+                f64::NEG_INFINITY
+            } else if self.shape == 1.0 {
+                -self.scale.ln()
+            } else {
+                f64::INFINITY
+            };
+        }
+        let z = x / self.scale;
+        self.shape.ln() - self.scale.ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // Weibull(λ, 1) = Exponential(1/λ)
+        let w = Weibull::new(2.0, 1.0).unwrap();
+        assert!((w.cdf(2.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-13);
+        assert!((w.hazard(5.0) - 0.5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn hazard_increasing_for_shape_gt_one() {
+        // Ageing infrastructure: k > 1 means wear-out (increasing hazard).
+        let w = Weibull::new(50.0, 2.5).unwrap();
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let h = w.hazard(i as f64);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn cumulative_hazard_consistency() {
+        // S(x) = exp(−H(x)) must equal 1 − F(x).
+        let w = Weibull::new(30.0, 1.7).unwrap();
+        for &x in &[0.5, 3.0, 20.0, 80.0] {
+            let s = 1.0 - w.cdf(x);
+            assert!((s - (-w.cumulative_hazard(x)).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let mut rng = seeded_rng(9);
+        let w = Weibull::new(1.0, 1.5).unwrap();
+        let mean = w.mean();
+        let var = w.variance();
+        check_moments(&w, &mut rng, 60_000, mean, var, 0.02);
+    }
+}

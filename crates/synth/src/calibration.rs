@@ -1,0 +1,112 @@
+//! Expectation-matching calibration against Table 18.1.
+//!
+//! The hazard's shape (which segments are riskier) is fixed by
+//! [`crate::hazard`]; calibration only rescales the per-class base rates so
+//! that the *expected* number of failure records over the observation window
+//! equals the Table 18.1 targets. Because the totals are in the thousands,
+//! realised Poisson draws land within a few percent of the targets.
+
+use crate::hazard::GroundTruthHazard;
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::{Pipe, Segment};
+use pipefail_network::split::ObservationWindow;
+
+/// Expected failure records (CWM, RWM) over `window` under the current
+/// hazard scales.
+pub fn expected_failures(
+    hazard: &GroundTruthHazard,
+    pipes: &[Pipe],
+    segments: &[Segment],
+    window: ObservationWindow,
+) -> (f64, f64) {
+    let mut cwm = 0.0;
+    let mut rwm = 0.0;
+    for seg in segments {
+        let pipe = &pipes[seg.pipe.index()];
+        let mut acc = 0.0;
+        for year in window.iter() {
+            acc += hazard.annual_intensity(pipe, seg, year);
+        }
+        match pipe.class() {
+            PipeClass::Critical => cwm += acc,
+            PipeClass::Reticulation => rwm += acc,
+        }
+    }
+    (cwm, rwm)
+}
+
+/// Set the hazard's class scales so expected counts hit
+/// (`target_cwm`, `target_rwm`). Returns the applied scales.
+pub fn calibrate(
+    hazard: &mut GroundTruthHazard,
+    pipes: &[Pipe],
+    segments: &[Segment],
+    window: ObservationWindow,
+    target_cwm: f64,
+    target_rwm: f64,
+) -> (f64, f64) {
+    hazard.cwm_scale = 1.0;
+    hazard.rwm_scale = 1.0;
+    let (e_cwm, e_rwm) = expected_failures(hazard, pipes, segments, window);
+    let s_cwm = if e_cwm > 0.0 { target_cwm / e_cwm } else { 0.0 };
+    let s_rwm = if e_rwm > 0.0 { target_rwm / e_rwm } else { 0.0 };
+    hazard.cwm_scale = s_cwm;
+    hazard.rwm_scale = s_rwm;
+    (s_cwm, s_rwm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::HazardConfig;
+    use pipefail_network::attributes::{Coating, Material};
+    use pipefail_network::geometry::{Point, Polyline};
+    use pipefail_network::ids::{PipeId, RegionId, SegmentId};
+    use pipefail_network::soil::SoilProfile;
+
+    fn mini_world() -> (Vec<Pipe>, Vec<Segment>) {
+        let mk_pipe = |id: u32, diameter: f64| Pipe {
+            id: PipeId(id),
+            region: RegionId(0),
+            material: Material::Cicl,
+            coating: Coating::None,
+            diameter_mm: diameter,
+            laid_year: 1950,
+            segments: vec![SegmentId(id)],
+        };
+        let mk_seg = |id: u32| Segment {
+            id: SegmentId(id),
+            pipe: PipeId(id),
+            geometry: Polyline::line(Point::new(0.0, 0.0), Point::new(120.0, 0.0)),
+            soil: SoilProfile::benign(),
+            dist_to_intersection_m: 300.0,
+            tree_canopy: 0.0,
+            soil_moisture: 0.0,
+        };
+        let pipes = vec![mk_pipe(0, 450.0), mk_pipe(1, 100.0)];
+        let segments = vec![mk_seg(0), mk_seg(1)];
+        (pipes, segments)
+    }
+
+    #[test]
+    fn calibration_hits_targets_in_expectation() {
+        let (pipes, segments) = mini_world();
+        let mut hazard = GroundTruthHazard::new(HazardConfig::default());
+        let window = ObservationWindow::new(1998, 2009);
+        calibrate(&mut hazard, &pipes, &segments, window, 3.0, 7.0);
+        let (e_cwm, e_rwm) = expected_failures(&hazard, &pipes, &segments, window);
+        assert!((e_cwm - 3.0).abs() < 1e-9, "cwm {e_cwm}");
+        assert!((e_rwm - 7.0).abs() < 1e-9, "rwm {e_rwm}");
+    }
+
+    #[test]
+    fn recalibration_is_idempotent() {
+        let (pipes, segments) = mini_world();
+        let mut hazard = GroundTruthHazard::new(HazardConfig::default());
+        let window = ObservationWindow::new(1998, 2009);
+        let s1 = calibrate(&mut hazard, &pipes, &segments, window, 3.0, 7.0);
+        let s2 = calibrate(&mut hazard, &pipes, &segments, window, 3.0, 7.0);
+        assert!((s1.0 - s2.0).abs() < 1e-12);
+        assert!((s1.1 - s2.1).abs() < 1e-12);
+    }
+}

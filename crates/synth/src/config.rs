@@ -1,0 +1,205 @@
+//! World configuration: region templates calibrated to Table 18.1.
+
+use pipefail_network::split::ObservationWindow;
+
+/// Everything needed to generate one region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTemplate {
+    /// Display name ("Region A").
+    pub name: String,
+    /// Population (for documentation; drives nothing directly).
+    pub population: u32,
+    /// Population density in people/km² — drives the street-grid spacing
+    /// (denser regions have tighter grids and shorter pipes).
+    pub density_per_km2: f64,
+    /// Total number of pipes to generate.
+    pub pipes: usize,
+    /// Fraction of pipes that are critical water mains (diameter ≥ 300 mm).
+    pub cwm_fraction: f64,
+    /// Earliest laid year.
+    pub laid_start: i32,
+    /// Latest laid year.
+    pub laid_end: i32,
+    /// Calibration target: total failures over the observation window.
+    pub target_failures_all: usize,
+    /// Calibration target: CWM failures over the observation window.
+    pub target_failures_cwm: usize,
+}
+
+impl RegionTemplate {
+    /// Region A of Table 18.1: populous suburban LGA.
+    pub fn region_a() -> Self {
+        Self {
+            name: "Region A".into(),
+            population: 210_000,
+            density_per_km2: 629.0,
+            pipes: 15_189,
+            cwm_fraction: 0.2497,
+            laid_start: 1930,
+            laid_end: 1997,
+            target_failures_all: 4_093,
+            target_failures_cwm: 520,
+        }
+    }
+
+    /// Region B of Table 18.1: dense inner-city LGA with the oldest stock.
+    pub fn region_b() -> Self {
+        Self {
+            name: "Region B".into(),
+            population: 182_000,
+            density_per_km2: 2_374.0,
+            pipes: 11_836,
+            cwm_fraction: 0.2076,
+            laid_start: 1888,
+            laid_end: 1997,
+            target_failures_all: 3_694,
+            target_failures_cwm: 432,
+        }
+    }
+
+    /// Region C of Table 18.1: low-density suburban LGA.
+    pub fn region_c() -> Self {
+        Self {
+            name: "Region C".into(),
+            population: 205_000,
+            density_per_km2: 300.0,
+            pipes: 18_001,
+            cwm_fraction: 0.2800,
+            laid_start: 1913,
+            laid_end: 1997,
+            target_failures_all: 4_421,
+            target_failures_cwm: 563,
+        }
+    }
+
+    /// Region area in km² implied by population and density.
+    pub fn area_km2(&self) -> f64 {
+        self.population as f64 / self.density_per_km2
+    }
+
+    /// Scale every count by `f` (for fast tests and benches); keeps
+    /// fractions and year ranges.
+    pub fn scaled(&self, f: f64) -> Self {
+        let scale = |n: usize| ((n as f64 * f).round() as usize).max(8);
+        Self {
+            name: self.name.clone(),
+            population: (self.population as f64 * f).round() as u32,
+            density_per_km2: self.density_per_km2,
+            pipes: scale(self.pipes),
+            cwm_fraction: self.cwm_fraction,
+            laid_start: self.laid_start,
+            laid_end: self.laid_end,
+            target_failures_all: scale(self.target_failures_all),
+            target_failures_cwm: ((self.target_failures_cwm as f64 * f).round() as usize).max(2),
+        }
+    }
+}
+
+/// Configuration for a whole synthetic world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// The regions to generate.
+    pub regions: Vec<RegionTemplate>,
+    /// Years failures are recorded over (the paper: 1998–2009).
+    pub observation: ObservationWindow,
+    /// Target mean segment length in metres (pipes are subdivided to this).
+    pub segment_length_m: f64,
+}
+
+impl WorldConfig {
+    /// The paper's three regions at full scale.
+    pub fn paper() -> Self {
+        Self {
+            regions: vec![
+                RegionTemplate::region_a(),
+                RegionTemplate::region_b(),
+                RegionTemplate::region_c(),
+            ],
+            observation: ObservationWindow::new(1998, 2009),
+            segment_length_m: 120.0,
+        }
+    }
+
+    /// A fast, small world for examples and tests (~3% of full scale).
+    pub fn demo() -> Self {
+        Self::paper().scaled(0.03)
+    }
+
+    /// Scale all regions by `f`.
+    pub fn scaled(&self, f: f64) -> Self {
+        Self {
+            regions: self.regions.iter().map(|r| r.scaled(f)).collect(),
+            observation: self.observation,
+            segment_length_m: self.segment_length_m,
+        }
+    }
+
+    /// Keep only the named region (e.g. to generate "Region B" alone).
+    pub fn only_region(&self, name: &str) -> Self {
+        Self {
+            regions: self
+                .regions
+                .iter()
+                .filter(|r| r.name == name)
+                .cloned()
+                .collect(),
+            observation: self.observation,
+            segment_length_m: self.segment_length_m,
+        }
+    }
+
+    /// Build the world with a master seed (delegates to
+    /// [`crate::worldgen::World::generate`]).
+    pub fn build(&self, seed: u64) -> crate::worldgen::World {
+        crate::worldgen::World::generate(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_templates_match_table_18_1() {
+        let a = RegionTemplate::region_a();
+        assert_eq!(a.pipes, 15_189);
+        assert_eq!(a.target_failures_all, 4_093);
+        assert_eq!(a.target_failures_cwm, 520);
+        assert_eq!((a.laid_start, a.laid_end), (1930, 1997));
+        let b = RegionTemplate::region_b();
+        assert_eq!(b.pipes, 11_836);
+        assert_eq!((b.laid_start, b.laid_end), (1888, 1997));
+        let c = RegionTemplate::region_c();
+        assert_eq!(c.pipes, 18_001);
+        assert_eq!(c.target_failures_cwm, 563);
+    }
+
+    #[test]
+    fn cwm_fractions_match_quoted_percentages() {
+        // The paper quotes 24.97%, 20.76%, 28.00%.
+        assert!((RegionTemplate::region_a().cwm_fraction - 0.2497).abs() < 1e-9);
+        assert!((RegionTemplate::region_b().cwm_fraction - 0.2076).abs() < 1e-9);
+        assert!((RegionTemplate::region_c().cwm_fraction - 0.2800).abs() < 1e-9);
+    }
+
+    #[test]
+    fn areas_are_plausible() {
+        let a = RegionTemplate::region_a().area_km2();
+        assert!(a > 300.0 && a < 400.0, "area {a}");
+        let b = RegionTemplate::region_b().area_km2();
+        assert!(b > 60.0 && b < 100.0, "area {b}");
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let demo = WorldConfig::demo();
+        assert_eq!(demo.regions.len(), 3);
+        for (d, p) in demo.regions.iter().zip(WorldConfig::paper().regions) {
+            assert!(d.pipes < p.pipes / 20);
+            assert_eq!(d.laid_start, p.laid_start);
+        }
+        let only_b = demo.only_region("Region B");
+        assert_eq!(only_b.regions.len(), 1);
+        assert_eq!(only_b.regions[0].name, "Region B");
+    }
+}

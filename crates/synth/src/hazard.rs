@@ -1,0 +1,297 @@
+//! The ground-truth failure process.
+//!
+//! Every mechanism the paper's domain experts name is encoded as a
+//! multiplicative term on an annual per-segment failure intensity:
+//! length-proportional exposure, age wear-out, material cohort effects,
+//! soil corrosion (ferrous materials only), expansive-clay movement, road
+//! pressure near traffic intersections, and a diameter effect. On top sits a
+//! *latent cohort multiplier* — a lognormal factor shared by all segments of
+//! one (material × laid-era × geology) cohort — which makes the failure
+//! landscape multi-modal in exactly the way the DPMHBP's nonparametric
+//! grouping can discover and a single parametric form cannot.
+//!
+//! Crucially, the models never see this module's parameters: they see only
+//! the attributes, environmental factors and drawn failure histories.
+
+use pipefail_network::attributes::Material;
+use pipefail_network::dataset::{Pipe, Segment};
+use pipefail_stats::dist::{Normal, Sampler};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tunable hazard parameters (defaults reproduce the paper's regime).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardConfig {
+    /// Base intensity per 100 m of pipe per year, before calibration.
+    pub base_per_100m_year: f64,
+    /// Exponent of the (age / 50yr) wear-out curve for ferrous pipes.
+    pub ferrous_aging_exp: f64,
+    /// Exponent of the wear-out curve for non-ferrous pipes.
+    pub other_aging_exp: f64,
+    /// Gain of the soil-corrosiveness effect on ferrous pipes.
+    pub corrosion_gain: f64,
+    /// Gain of the expansive-clay effect.
+    pub expansion_gain: f64,
+    /// Gain of the traffic-intersection proximity effect.
+    pub traffic_gain: f64,
+    /// Length scale (m) of the traffic effect decay.
+    pub traffic_scale_m: f64,
+    /// Standard deviation of the latent cohort log-multiplier (the
+    /// multi-modality knob; 0 switches cohort effects off).
+    pub cohort_sigma: f64,
+}
+
+impl Default for HazardConfig {
+    /// Defaults reproduce the paper's regime, including its central claim
+    /// that environmental (domain-knowledge) factors carry real signal:
+    /// severe-corrosion ferrous cohorts fail ~3.8× the benign-soil rate and
+    /// intersection-adjacent segments ~2.4× remote ones.
+    fn default() -> Self {
+        Self {
+            base_per_100m_year: 0.01,
+            ferrous_aging_exp: 1.25,
+            other_aging_exp: 0.55,
+            corrosion_gain: 2.8,
+            expansion_gain: 1.6,
+            traffic_gain: 1.4,
+            traffic_scale_m: 180.0,
+            cohort_sigma: 0.6,
+        }
+    }
+}
+
+/// Deterministic per-material base multiplier (relative failure propensity).
+pub fn material_multiplier(m: Material) -> f64 {
+    match m {
+        Material::CastIron => 2.2,
+        Material::AsbestosCement => 1.6,
+        Material::VitrifiedClay => 1.5,
+        Material::Cicl => 1.4,
+        Material::Dicl => 0.9,
+        Material::Steel => 0.8,
+        Material::Concrete => 0.7,
+        Material::Pvc => 0.45,
+        Material::Polyethylene => 0.35,
+    }
+}
+
+/// Cohort key: material × 15-year laid-era bucket × geology.
+type CohortKey = (Material, i32, pipefail_network::soil::SoilGeology);
+
+/// The sampled ground-truth hazard for one region.
+#[derive(Debug, Clone)]
+pub struct GroundTruthHazard {
+    config: HazardConfig,
+    cohort_multipliers: HashMap<CohortKey, f64>,
+    /// Multiplies the base rate; set by calibration (per class).
+    pub cwm_scale: f64,
+    /// RWM counterpart of `cwm_scale`.
+    pub rwm_scale: f64,
+}
+
+impl GroundTruthHazard {
+    /// Create with unit calibration scales; cohort multipliers are drawn
+    /// lazily (deterministically per key would require a keyed RNG, so we
+    /// pre-draw on first use with the provided RNG via
+    /// [`GroundTruthHazard::realize_cohorts`]).
+    pub fn new(config: HazardConfig) -> Self {
+        Self {
+            config,
+            cohort_multipliers: HashMap::new(),
+            cwm_scale: 1.0,
+            rwm_scale: 1.0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HazardConfig {
+        &self.config
+    }
+
+    fn cohort_key(pipe: &Pipe, seg: &Segment) -> CohortKey {
+        (pipe.material, pipe.laid_year.div_euclid(15), seg.soil.geology)
+    }
+
+    /// Draw a lognormal multiplier for every cohort present in the data.
+    /// Must be called once before [`Self::annual_intensity`]; idempotent for
+    /// already-seen cohorts.
+    pub fn realize_cohorts<'a, R, I>(&mut self, pairs: I, rng: &mut R)
+    where
+        R: Rng + ?Sized,
+        I: Iterator<Item = (&'a Pipe, &'a Segment)>,
+    {
+        let normal = Normal::standard();
+        for (pipe, seg) in pairs {
+            let key = Self::cohort_key(pipe, seg);
+            self.cohort_multipliers.entry(key).or_insert_with(|| {
+                (self.config.cohort_sigma * normal.sample(rng)).exp()
+            });
+        }
+    }
+
+    /// Number of realised cohorts.
+    pub fn cohort_count(&self) -> usize {
+        self.cohort_multipliers.len()
+    }
+
+    /// Annual failure intensity λ of `seg` in calendar year `year`
+    /// (expected failures; the annual failure probability is `1 − e^{−λ}`).
+    pub fn annual_intensity(&self, pipe: &Pipe, seg: &Segment, year: i32) -> f64 {
+        if year <= pipe.laid_year {
+            return 0.0;
+        }
+        let c = &self.config;
+        let class_scale = match pipe.class() {
+            pipefail_network::attributes::PipeClass::Critical => self.cwm_scale,
+            pipefail_network::attributes::PipeClass::Reticulation => self.rwm_scale,
+        };
+        let age = pipe.age_in(year);
+        let aging_exp = if pipe.material.is_ferrous() {
+            c.ferrous_aging_exp
+        } else {
+            c.other_aging_exp
+        };
+        let age_factor = (age / 50.0).max(0.02).powf(aging_exp);
+        let soil = &seg.soil;
+        let corrosion = if pipe.material.is_ferrous() {
+            1.0 + c.corrosion_gain * soil.corrosiveness_score()
+        } else {
+            1.0
+        };
+        let expansion = 1.0 + c.expansion_gain * soil.expansiveness_score();
+        let traffic = 1.0
+            + c.traffic_gain * (-seg.dist_to_intersection_m / c.traffic_scale_m).exp();
+        let diameter = (300.0 / pipe.diameter_mm.max(50.0)).powf(0.3);
+        let cohort = self
+            .cohort_multipliers
+            .get(&Self::cohort_key(pipe, seg))
+            .copied()
+            .unwrap_or(1.0);
+        class_scale
+            * c.base_per_100m_year
+            * (seg.length_m() / 100.0)
+            * age_factor
+            * material_multiplier(pipe.material)
+            * corrosion
+            * expansion
+            * traffic
+            * diameter
+            * cohort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_network::attributes::Coating;
+    use pipefail_network::geometry::{Point, Polyline};
+    use pipefail_network::ids::{PipeId, RegionId, SegmentId};
+    use pipefail_network::soil::{SoilCorrosiveness, SoilProfile};
+    use pipefail_stats::rng::seeded_rng;
+
+    fn pipe(material: Material, laid: i32, diameter: f64) -> Pipe {
+        Pipe {
+            id: PipeId(0),
+            region: RegionId(0),
+            material,
+            coating: Coating::None,
+            diameter_mm: diameter,
+            laid_year: laid,
+            segments: vec![SegmentId(0)],
+        }
+    }
+
+    fn segment(length: f64, soil: SoilProfile, dist: f64) -> Segment {
+        Segment {
+            id: SegmentId(0),
+            pipe: PipeId(0),
+            geometry: Polyline::line(Point::new(0.0, 0.0), Point::new(length, 0.0)),
+            soil,
+            dist_to_intersection_m: dist,
+            tree_canopy: 0.0,
+            soil_moisture: 0.0,
+        }
+    }
+
+    #[test]
+    fn intensity_zero_before_laid() {
+        let h = GroundTruthHazard::new(HazardConfig::default());
+        let p = pipe(Material::Cicl, 1980, 450.0);
+        let s = segment(100.0, SoilProfile::benign(), 500.0);
+        assert_eq!(h.annual_intensity(&p, &s, 1980), 0.0);
+        assert!(h.annual_intensity(&p, &s, 1981) > 0.0);
+    }
+
+    #[test]
+    fn older_pipes_fail_more() {
+        let h = GroundTruthHazard::new(HazardConfig::default());
+        let old = pipe(Material::Cicl, 1930, 450.0);
+        let new = pipe(Material::Cicl, 1990, 450.0);
+        let s = segment(100.0, SoilProfile::benign(), 500.0);
+        assert!(h.annual_intensity(&old, &s, 2005) > h.annual_intensity(&new, &s, 2005));
+    }
+
+    #[test]
+    fn corrosive_soil_hurts_ferrous_only() {
+        let h = GroundTruthHazard::new(HazardConfig::default());
+        let mut bad_soil = SoilProfile::benign();
+        bad_soil.corrosiveness = SoilCorrosiveness::Severe;
+        let s_benign = segment(100.0, SoilProfile::benign(), 500.0);
+        let s_bad = segment(100.0, bad_soil, 500.0);
+        let ferrous = pipe(Material::Cicl, 1950, 450.0);
+        let plastic = pipe(Material::Pvc, 1950, 450.0);
+        let f_ratio =
+            h.annual_intensity(&ferrous, &s_bad, 2005) / h.annual_intensity(&ferrous, &s_benign, 2005);
+        let p_ratio =
+            h.annual_intensity(&plastic, &s_bad, 2005) / h.annual_intensity(&plastic, &s_benign, 2005);
+        assert!(f_ratio > 2.0, "ferrous corrosion ratio {f_ratio}");
+        assert!((p_ratio - 1.0).abs() < 1e-12, "plastic ratio {p_ratio}");
+    }
+
+    #[test]
+    fn traffic_proximity_increases_hazard() {
+        let h = GroundTruthHazard::new(HazardConfig::default());
+        let p = pipe(Material::Cicl, 1950, 450.0);
+        let near = segment(100.0, SoilProfile::benign(), 10.0);
+        let far = segment(100.0, SoilProfile::benign(), 2_000.0);
+        assert!(h.annual_intensity(&p, &near, 2005) > 1.5 * h.annual_intensity(&p, &far, 2005));
+    }
+
+    #[test]
+    fn intensity_proportional_to_length() {
+        let h = GroundTruthHazard::new(HazardConfig::default());
+        let p = pipe(Material::Cicl, 1950, 450.0);
+        let short = segment(50.0, SoilProfile::benign(), 500.0);
+        let long = segment(200.0, SoilProfile::benign(), 500.0);
+        let ratio = h.annual_intensity(&p, &long, 2005) / h.annual_intensity(&p, &short, 2005);
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cohort_multipliers_create_heterogeneity() {
+        let mut h = GroundTruthHazard::new(HazardConfig::default());
+        let mut rng = seeded_rng(100);
+        // Two pipes in different cohorts (different laid eras).
+        let p1 = pipe(Material::Cicl, 1935, 450.0);
+        let p2 = pipe(Material::Cicl, 1975, 450.0);
+        let s = segment(100.0, SoilProfile::benign(), 500.0);
+        h.realize_cohorts([(&p1, &s), (&p2, &s)].into_iter(), &mut rng);
+        assert_eq!(h.cohort_count(), 2);
+        // Multipliers are drawn per cohort; with sigma 0.6 they differ.
+        let i1 = h.annual_intensity(&p1, &s, 2005);
+        let i2 = h.annual_intensity(&p2, &s, 2005);
+        // Remove the deterministic age difference before comparing.
+        let det1 = (p1.age_in(2005) / 50.0).powf(1.25);
+        let det2 = (p2.age_in(2005) / 50.0).powf(1.25);
+        let m1 = i1 / det1;
+        let m2 = i2 / det2;
+        assert!((m1 / m2 - 1.0).abs() > 1e-6, "cohort effects identical");
+    }
+
+    #[test]
+    fn material_ranking_is_sensible() {
+        assert!(material_multiplier(Material::CastIron) > material_multiplier(Material::Cicl));
+        assert!(material_multiplier(Material::Cicl) > material_multiplier(Material::Pvc));
+        assert!(material_multiplier(Material::Pvc) > material_multiplier(Material::Polyethylene));
+    }
+}

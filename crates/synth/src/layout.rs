@@ -1,0 +1,252 @@
+//! Street-grid pipe layout.
+//!
+//! Water mains follow streets. The generator lays a jittered rectangular
+//! street grid over the region's area, runs each pipe along a street for a
+//! lognormal-ish length, and subdivides it into segments of roughly the
+//! configured segment length — reproducing the "pipes are segments connected
+//! in series" structure that the segment-level models exploit. Street
+//! crossings double as traffic-intersection locations.
+
+use pipefail_network::geometry::{Point, Polyline};
+use rand::Rng;
+
+/// Geometry of one pipe before attributes are attached.
+#[derive(Debug, Clone)]
+pub struct PipeGeometry {
+    /// Segment polylines in series order (end of one = start of the next).
+    pub segments: Vec<Polyline>,
+}
+
+impl PipeGeometry {
+    /// Total length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.segments.iter().map(Polyline::length).sum()
+    }
+}
+
+/// The generated layout of one region.
+#[derive(Debug, Clone)]
+pub struct RegionLayout {
+    /// Region side length in metres (square region).
+    pub side_m: f64,
+    /// Street spacing in metres.
+    pub street_spacing_m: f64,
+    /// Pipe geometries.
+    pub pipes: Vec<PipeGeometry>,
+    /// Traffic-intersection locations (street crossings, thinned).
+    pub intersections: Vec<Point>,
+}
+
+/// Layout generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutParams {
+    /// Region area in km².
+    pub area_km2: f64,
+    /// Number of pipes.
+    pub pipes: usize,
+    /// Target mean segment length (m).
+    pub segment_length_m: f64,
+    /// Population density (people/km²); denser → tighter street grid.
+    pub density_per_km2: f64,
+}
+
+/// Generate a street-grid layout.
+pub fn generate<R: Rng + ?Sized>(params: &LayoutParams, rng: &mut R) -> RegionLayout {
+    let side_m = (params.area_km2.max(0.01).sqrt() * 1000.0).max(500.0);
+    // Street spacing shrinks with density: ~250 m at 300/km², ~120 m at 2400/km².
+    let street_spacing_m = (250.0 * (300.0 / params.density_per_km2.max(50.0)).powf(0.35))
+        .clamp(60.0, 400.0);
+    let n_streets = ((side_m / street_spacing_m).floor() as usize).max(2);
+
+    // Jittered street coordinates, horizontal and vertical.
+    let street_coord = |i: usize, rng: &mut R| {
+        let base = (i as f64 + 0.5) * side_m / n_streets as f64;
+        base + rng.gen_range(-0.15..0.15) * street_spacing_m
+    };
+    let h_streets: Vec<f64> = (0..n_streets).map(|i| street_coord(i, rng)).collect();
+    let v_streets: Vec<f64> = (0..n_streets).map(|i| street_coord(i, rng)).collect();
+
+    // Intersections at crossings, thinned to a realistic signalised subset.
+    let mut intersections = Vec::new();
+    for &y in &h_streets {
+        for &x in &v_streets {
+            if rng.gen::<f64>() < 0.35 {
+                intersections.push(Point::new(x, y));
+            }
+        }
+    }
+    if intersections.is_empty() {
+        intersections.push(Point::new(side_m / 2.0, side_m / 2.0));
+    }
+
+    // Pipes along streets.
+    let mut pipes = Vec::with_capacity(params.pipes);
+    for _ in 0..params.pipes {
+        let horizontal = rng.gen::<bool>();
+        let along = if horizontal {
+            h_streets[rng.gen_range(0..h_streets.len())]
+        } else {
+            v_streets[rng.gen_range(0..v_streets.len())]
+        };
+        // Lognormal-ish pipe length: median ~350 m, long tail, capped by the
+        // region side.
+        let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        let length = (350.0 * (0.9 * z).exp()).clamp(60.0, side_m * 0.6);
+        let start = rng.gen_range(0.0..(side_m - length).max(1.0));
+        let geometry = subdivide(
+            horizontal,
+            along,
+            start,
+            length,
+            params.segment_length_m,
+            rng,
+        );
+        pipes.push(geometry);
+    }
+
+    RegionLayout {
+        side_m,
+        street_spacing_m,
+        pipes,
+        intersections,
+    }
+}
+
+/// Split a street run into segment polylines of roughly `target_len` with a
+/// small perpendicular jitter at internal vertices (as-built drawings are
+/// never perfectly straight).
+fn subdivide<R: Rng + ?Sized>(
+    horizontal: bool,
+    along: f64,
+    start: f64,
+    length: f64,
+    target_len: f64,
+    rng: &mut R,
+) -> PipeGeometry {
+    let n_segs = ((length / target_len).round() as usize).max(1);
+    let seg_len = length / n_segs as f64;
+    let mut segments = Vec::with_capacity(n_segs);
+    let mut prev_offset = 0.0;
+    for i in 0..n_segs {
+        let a = start + i as f64 * seg_len;
+        let b = a + seg_len;
+        let next_offset = if i + 1 == n_segs {
+            0.0
+        } else {
+            rng.gen_range(-2.0..2.0)
+        };
+        let (p0, p1) = if horizontal {
+            (
+                Point::new(a, along + prev_offset),
+                Point::new(b, along + next_offset),
+            )
+        } else {
+            (
+                Point::new(along + prev_offset, a),
+                Point::new(along + next_offset, b),
+            )
+        };
+        segments.push(Polyline::line(p0, p1));
+        prev_offset = next_offset;
+    }
+    PipeGeometry { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_stats::rng::seeded_rng;
+
+    fn params() -> LayoutParams {
+        LayoutParams {
+            area_km2: 30.0,
+            pipes: 200,
+            segment_length_m: 120.0,
+            density_per_km2: 600.0,
+        }
+    }
+
+    #[test]
+    fn generates_requested_pipe_count() {
+        let mut rng = seeded_rng(80);
+        let layout = generate(&params(), &mut rng);
+        assert_eq!(layout.pipes.len(), 200);
+        assert!(!layout.intersections.is_empty());
+    }
+
+    #[test]
+    fn segments_are_contiguous_in_series() {
+        let mut rng = seeded_rng(81);
+        let layout = generate(&params(), &mut rng);
+        for pipe in &layout.pipes {
+            for w in pipe.segments.windows(2) {
+                let end = w[0].end();
+                let start = w[1].start();
+                assert!(end.distance(&start) < 1e-9, "segments not in series");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_lengths_near_target() {
+        let mut rng = seeded_rng(82);
+        let layout = generate(&params(), &mut rng);
+        let lens: Vec<f64> = layout
+            .pipes
+            .iter()
+            .flat_map(|p| p.segments.iter().map(Polyline::length))
+            .collect();
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        assert!(
+            mean > 60.0 && mean < 220.0,
+            "mean segment length {mean} far from the 120 m target"
+        );
+        // Paper: segment lengths are "relatively constant with small variance"
+        // compared to pipe lengths.
+        let pipe_lens: Vec<f64> = layout.pipes.iter().map(PipeGeometry::length_m).collect();
+        let seg_cv = cv(&lens);
+        let pipe_cv = cv(&pipe_lens);
+        assert!(seg_cv < pipe_cv, "segment CV {seg_cv} vs pipe CV {pipe_cv}");
+    }
+
+    fn cv(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        v.sqrt() / m
+    }
+
+    #[test]
+    fn geometry_within_region_bounds() {
+        let mut rng = seeded_rng(83);
+        let layout = generate(&params(), &mut rng);
+        let margin = 50.0;
+        for pipe in &layout.pipes {
+            for seg in &pipe.segments {
+                for p in seg.points() {
+                    assert!(p.x > -margin && p.x < layout.side_m + margin);
+                    assert!(p.y > -margin && p.y < layout.side_m + margin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denser_regions_get_tighter_grids() {
+        let mut rng = seeded_rng(84);
+        let sparse = generate(
+            &LayoutParams {
+                density_per_km2: 300.0,
+                ..params()
+            },
+            &mut rng,
+        );
+        let dense = generate(
+            &LayoutParams {
+                density_per_km2: 2400.0,
+                ..params()
+            },
+            &mut rng,
+        );
+        assert!(dense.street_spacing_m < sparse.street_spacing_m);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pipefail-synth
+//!
+//! Synthetic metropolis generator — the substitute for the proprietary
+//! utility data the paper evaluates on.
+//!
+//! The paper's experiments run on the water network of a ~5M-person
+//! metropolis: three local-government-area regions with the pipe counts,
+//! CWM/RWM mix, laid-year ranges and failure totals of Table 18.1. That data
+//! cannot be shipped, so this crate builds a statistically equivalent world:
+//!
+//! * [`layout`] — street-grid pipe layouts with jitter, pipes subdivided into
+//!   segments, and traffic intersections at street crossings;
+//! * [`soilgen`] — spatially correlated categorical soil layers (seeded
+//!   Voronoi zone fields) for the four soil factors of Table 18.2;
+//! * [`hazard`] — the ground-truth failure process: a multiplicative annual
+//!   hazard with *latent cohort multipliers* that make failure behaviour
+//!   multi-modal across (material × era × geology) cohorts — exactly the
+//!   structure the DPMHBP's nonparametric grouping is designed to discover
+//!   and fixed-grouping baselines miss;
+//! * [`worldgen`] — assembling calibrated regions A/B/C and drawing failure
+//!   histories over the 1998–2009 observation window;
+//! * [`wastewater`] — a waste-water network whose choke hazard rises with
+//!   tree canopy and soil moisture (Figs 18.5/18.6);
+//! * [`calibration`] — the Table 18.1 targets and the expectation-matching
+//!   scaler that hits them.
+//!
+//! The generated [`pipefail_network::Dataset`]s are indistinguishable to the
+//! models from parsed utility CSVs — same types, same sparsity regime (most
+//! pipes never fail in the window).
+
+pub mod calibration;
+pub mod config;
+pub mod hazard;
+pub mod layout;
+pub mod soilgen;
+pub mod trafficgen;
+pub mod wastewater;
+pub mod worldgen;
+
+pub use config::{RegionTemplate, WorldConfig};
+pub use hazard::{GroundTruthHazard, HazardConfig};
+pub use worldgen::World;

@@ -1,0 +1,193 @@
+//! Spatially correlated categorical soil layers.
+//!
+//! Real soil maps partition a region into contiguous zones. A seeded-Voronoi
+//! field reproduces that: scatter `n_sites` seed points, give each a category,
+//! and every query inherits the category of its nearest seed. Each of the four
+//! soil layers gets an independent field with its own category weights, so
+//! layers are correlated in space but not with each other (matching how
+//! corrosiveness and geology are distinct surveys).
+
+use pipefail_network::geometry::Point;
+use pipefail_network::soil::{
+    SoilCorrosiveness, SoilExpansiveness, SoilGeology, SoilLandscape, SoilProfile,
+};
+use pipefail_network::spatial::GridIndex;
+use pipefail_stats::dist::{Categorical, Sampler};
+use rand::Rng;
+
+/// A Voronoi zone field assigning one of `k` categories to any point.
+#[derive(Debug, Clone)]
+pub struct ZoneField {
+    index: GridIndex,
+    categories: Vec<usize>,
+}
+
+impl ZoneField {
+    /// Build a field over a `side × side` square with `n_sites` zones and
+    /// category weights `weights`.
+    pub fn generate<R: Rng + ?Sized>(
+        side: f64,
+        n_sites: usize,
+        weights: &[f64],
+        rng: &mut R,
+    ) -> Self {
+        let n_sites = n_sites.max(1);
+        let cat = Categorical::new(weights).expect("valid category weights");
+        let sites: Vec<Point> = (0..n_sites)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        let categories: Vec<usize> = (0..n_sites).map(|_| cat.sample(rng)).collect();
+        let cell = (side / (n_sites as f64).sqrt()).max(1.0);
+        Self {
+            index: GridIndex::new(sites, cell),
+            categories,
+        }
+    }
+
+    /// Category at `p`.
+    pub fn category_at(&self, p: Point) -> usize {
+        let (site, _) = self
+            .index
+            .nearest(p)
+            .expect("zone field always has >= 1 site");
+        self.categories[site]
+    }
+}
+
+/// The four soil layers of Table 18.2 as one queryable bundle.
+#[derive(Debug, Clone)]
+pub struct SoilLayers {
+    corrosiveness: ZoneField,
+    expansiveness: ZoneField,
+    geology: ZoneField,
+    landscape: ZoneField,
+}
+
+impl SoilLayers {
+    /// Generate all four layers for a `side × side` region. Zone counts scale
+    /// with area so zones stay ~1 km² regardless of region size.
+    pub fn generate<R: Rng + ?Sized>(side: f64, rng: &mut R) -> Self {
+        let zones = ((side / 1000.0).powi(2).ceil() as usize).clamp(4, 400);
+        Self {
+            // Most soil is benign; severe corrosion pockets are rare.
+            corrosiveness: ZoneField::generate(side, zones, &[0.45, 0.30, 0.18, 0.07], rng),
+            expansiveness: ZoneField::generate(side, zones, &[0.50, 0.35, 0.15], rng),
+            geology: ZoneField::generate(side, zones, &[0.40, 0.30, 0.20, 0.10], rng),
+            landscape: ZoneField::generate(side, zones, &[0.25, 0.25, 0.20, 0.30], rng),
+        }
+    }
+
+    /// The soil profile at a point.
+    pub fn profile_at(&self, p: Point) -> SoilProfile {
+        SoilProfile {
+            corrosiveness: SoilCorrosiveness::ALL[self.corrosiveness.category_at(p)],
+            expansiveness: SoilExpansiveness::ALL[self.expansiveness.category_at(p)],
+            geology: SoilGeology::ALL[self.geology.category_at(p)],
+            landscape: SoilLandscape::ALL[self.landscape.category_at(p)],
+        }
+    }
+}
+
+/// A smooth scalar field in [0, 1] built from random Gaussian bumps — used
+/// for the wastewater tree-canopy and soil-moisture rasters.
+#[derive(Debug, Clone)]
+pub struct SmoothField {
+    bumps: Vec<(Point, f64, f64)>, // centre, amplitude, radius
+    baseline: f64,
+}
+
+impl SmoothField {
+    /// Generate a field over a `side × side` square with roughly `n_bumps`
+    /// features and the given baseline level.
+    pub fn generate<R: Rng + ?Sized>(side: f64, n_bumps: usize, baseline: f64, rng: &mut R) -> Self {
+        let bumps = (0..n_bumps.max(1))
+            .map(|_| {
+                let c = Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side);
+                let amp = rng.gen_range(0.25..0.85);
+                let radius = rng.gen_range(0.02..0.08) * side;
+                (c, amp, radius)
+            })
+            .collect();
+        Self { bumps, baseline }
+    }
+
+    /// Field value at `p`, clamped to [0, 1].
+    pub fn value_at(&self, p: Point) -> f64 {
+        let mut v = self.baseline;
+        for &(c, amp, r) in &self.bumps {
+            let d2 = (p.x - c.x).powi(2) + (p.y - c.y).powi(2);
+            v += amp * (-d2 / (2.0 * r * r)).exp();
+        }
+        v.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_stats::rng::seeded_rng;
+
+    #[test]
+    fn zone_field_is_deterministic_and_piecewise_constant() {
+        let mut rng = seeded_rng(90);
+        let f = ZoneField::generate(5_000.0, 25, &[0.5, 0.5], &mut rng);
+        let p = Point::new(1234.0, 987.0);
+        assert_eq!(f.category_at(p), f.category_at(p));
+        // Nearby points usually share a zone: check spatial coherence.
+        let mut same = 0;
+        let mut total = 0;
+        for i in 0..50 {
+            let q = Point::new(100.0 + i as f64 * 90.0, 2_500.0);
+            let q2 = Point::new(q.x + 10.0, q.y + 10.0);
+            total += 1;
+            if f.category_at(q) == f.category_at(q2) {
+                same += 1;
+            }
+        }
+        assert!(same as f64 / total as f64 > 0.8, "{same}/{total} coherent");
+    }
+
+    #[test]
+    fn soil_layers_cover_all_variants_eventually() {
+        let mut rng = seeded_rng(91);
+        let layers = SoilLayers::generate(20_000.0, &mut rng);
+        let mut seen_corr = std::collections::HashSet::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 * 500.0, j as f64 * 500.0);
+                seen_corr.insert(layers.profile_at(p).corrosiveness);
+            }
+        }
+        assert!(seen_corr.len() >= 3, "only {seen_corr:?} corrosiveness classes");
+    }
+
+    #[test]
+    fn category_weights_respected_approximately() {
+        let mut rng = seeded_rng(92);
+        // Many zones so empirical shares converge to the weights.
+        let f = ZoneField::generate(10_000.0, 400, &[0.8, 0.2], &mut rng);
+        let mut count1 = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            let p = Point::new(rng.gen::<f64>() * 10_000.0, rng.gen::<f64>() * 10_000.0);
+            if f.category_at(p) == 1 {
+                count1 += 1;
+            }
+        }
+        let share = count1 as f64 / n as f64;
+        assert!((share - 0.2).abs() < 0.08, "share {share}");
+    }
+
+    #[test]
+    fn smooth_field_bounded_and_smooth() {
+        let mut rng = seeded_rng(93);
+        let f = SmoothField::generate(5_000.0, 10, 0.1, &mut rng);
+        for i in 0..100 {
+            let p = Point::new(i as f64 * 50.0, 2_000.0);
+            let v = f.value_at(p);
+            assert!((0.0..=1.0).contains(&v));
+            let v2 = f.value_at(Point::new(p.x + 5.0, p.y));
+            assert!((v - v2).abs() < 0.05, "field jumps: {v} → {v2}");
+        }
+    }
+}

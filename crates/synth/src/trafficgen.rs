@@ -1,0 +1,65 @@
+//! Traffic-intersection distance features.
+//!
+//! The paper measures road-surface pressure change by the distance from each
+//! pipe segment to its closest traffic intersection. The layout module
+//! already produced intersection points at street crossings; this module
+//! resolves the nearest-distance query for every segment midpoint through the
+//! uniform grid index.
+
+use pipefail_network::geometry::Point;
+use pipefail_network::spatial::GridIndex;
+
+/// Precomputed nearest-intersection query object.
+#[derive(Debug, Clone)]
+pub struct TrafficIndex {
+    index: GridIndex,
+}
+
+impl TrafficIndex {
+    /// Build from intersection locations. `typical_spacing_m` tunes the grid
+    /// cell size (street spacing is a good choice).
+    pub fn new(intersections: Vec<Point>, typical_spacing_m: f64) -> Self {
+        Self {
+            index: GridIndex::new(intersections, typical_spacing_m.max(1.0)),
+        }
+    }
+
+    /// Distance (m) from `p` to the closest intersection; `f64::INFINITY`
+    /// when there are no intersections.
+    pub fn distance_from(&self, p: Point) -> f64 {
+        self.index.nearest(p).map_or(f64::INFINITY, |(_, d)| d)
+    }
+
+    /// Number of intersections.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no intersections are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_exact() {
+        let t = TrafficIndex::new(
+            vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)],
+            100.0,
+        );
+        assert_eq!(t.len(), 2);
+        assert!((t.distance_from(Point::new(30.0, 40.0)) - 50.0).abs() < 1e-9);
+        assert!((t.distance_from(Point::new(199.0, 0.0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_returns_infinity() {
+        let t = TrafficIndex::new(vec![], 100.0);
+        assert!(t.is_empty());
+        assert_eq!(t.distance_from(Point::new(0.0, 0.0)), f64::INFINITY);
+    }
+}

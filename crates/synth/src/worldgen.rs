@@ -1,0 +1,375 @@
+//! Assembly of complete synthetic regions.
+
+use crate::calibration;
+use crate::config::{RegionTemplate, WorldConfig};
+use crate::hazard::{GroundTruthHazard, HazardConfig};
+use crate::layout::{self, LayoutParams};
+use crate::soilgen::{SmoothField, SoilLayers};
+use crate::trafficgen::TrafficIndex;
+use pipefail_network::attributes::{Coating, Material, PipeClass};
+use pipefail_network::dataset::{Dataset, Pipe, Segment};
+use pipefail_network::failure::{FailureKind, FailureRecord};
+use pipefail_network::ids::{PipeId, RegionId, SegmentId};
+use pipefail_network::split::ObservationWindow;
+use pipefail_stats::dist::{Poisson, Sampler};
+use pipefail_stats::rng::stream_rng;
+use rand::Rng;
+
+/// A generated world: one dataset per configured region.
+#[derive(Debug, Clone)]
+pub struct World {
+    regions: Vec<Dataset>,
+    seed: u64,
+}
+
+impl World {
+    /// Generate every region of `config` from a master `seed`. Each region
+    /// uses an independent derived RNG stream, so adding/removing regions
+    /// does not perturb the others.
+    pub fn generate(config: &WorldConfig, seed: u64) -> Self {
+        let regions = config
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, template)| {
+                let mut rng = stream_rng(seed, i as u64);
+                generate_region(
+                    template,
+                    RegionId(i as u16),
+                    config.observation,
+                    config.segment_length_m,
+                    &mut rng,
+                )
+            })
+            .collect();
+        Self { regions, seed }
+    }
+
+    /// The generated regions in template order.
+    pub fn regions(&self) -> &[Dataset] {
+        &self.regions
+    }
+
+    /// Look up a region by its display name.
+    pub fn region_named(&self, name: &str) -> Option<&Dataset> {
+        self.regions.iter().find(|r| r.name() == name)
+    }
+
+    /// The master seed the world was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Generate one region dataset.
+pub fn generate_region<R: Rng + ?Sized>(
+    template: &RegionTemplate,
+    region_id: RegionId,
+    observation: ObservationWindow,
+    segment_length_m: f64,
+    rng: &mut R,
+) -> Dataset {
+    // 1. Geometry.
+    let layout = layout::generate(
+        &LayoutParams {
+            area_km2: template.area_km2(),
+            pipes: template.pipes,
+            segment_length_m,
+            density_per_km2: template.density_per_km2,
+        },
+        rng,
+    );
+    // 2. Environmental layers.
+    let soil = SoilLayers::generate(layout.side_m, rng);
+    let canopy = SmoothField::generate(layout.side_m, 24, 0.08, rng);
+    let moisture = SmoothField::generate(layout.side_m, 16, 0.15, rng);
+    let traffic = TrafficIndex::new(layout.intersections.clone(), layout.street_spacing_m);
+
+    // 3. Attributes and the pipe/segment tables.
+    let mut pipes = Vec::with_capacity(layout.pipes.len());
+    let mut segments = Vec::new();
+    for (pi, geom) in layout.pipes.iter().enumerate() {
+        let class = if rng.gen::<f64>() < template.cwm_fraction {
+            PipeClass::Critical
+        } else {
+            PipeClass::Reticulation
+        };
+        let laid_year = sample_laid_year(template.laid_start, template.laid_end, rng);
+        let material = sample_material(class, laid_year, rng);
+        let coating = sample_coating(material, laid_year, rng);
+        let diameter_mm = sample_diameter(class, rng);
+        let mut seg_ids = Vec::with_capacity(geom.segments.len());
+        for pl in &geom.segments {
+            let sid = SegmentId(segments.len() as u32);
+            let mid = pl.midpoint();
+            segments.push(Segment {
+                id: sid,
+                pipe: PipeId(pi as u32),
+                geometry: pl.clone(),
+                soil: soil.profile_at(mid),
+                dist_to_intersection_m: traffic.distance_from(mid),
+                tree_canopy: canopy.value_at(mid),
+                soil_moisture: moisture.value_at(mid),
+            });
+            seg_ids.push(sid);
+        }
+        pipes.push(Pipe {
+            id: PipeId(pi as u32),
+            region: region_id,
+            material,
+            coating,
+            diameter_mm,
+            laid_year,
+            segments: seg_ids,
+        });
+    }
+
+    // 4. Ground-truth hazard: cohorts, then calibration to Table 18.1.
+    let mut hazard = GroundTruthHazard::new(HazardConfig::default());
+    hazard.realize_cohorts(
+        segments.iter().map(|s| (&pipes[s.pipe.index()], s)),
+        rng,
+    );
+    let target_cwm = template.target_failures_cwm as f64;
+    let target_rwm = (template.target_failures_all - template.target_failures_cwm) as f64;
+    calibration::calibrate(&mut hazard, &pipes, &segments, observation, target_cwm, target_rwm);
+
+    // 5. Draw failure records.
+    let failures = draw_failures(&hazard, &pipes, &segments, observation, rng);
+
+    Dataset::new(
+        template.name.clone(),
+        region_id,
+        observation,
+        pipes,
+        segments,
+        failures,
+    )
+    .expect("generated dataset is structurally valid")
+}
+
+/// Draw Poisson failure counts for every segment-year and emit records.
+pub fn draw_failures<R: Rng + ?Sized>(
+    hazard: &GroundTruthHazard,
+    pipes: &[Pipe],
+    segments: &[Segment],
+    window: ObservationWindow,
+    rng: &mut R,
+) -> Vec<FailureRecord> {
+    let mut failures = Vec::new();
+    for seg in segments {
+        let pipe = &pipes[seg.pipe.index()];
+        for year in window.iter() {
+            let lambda = hazard.annual_intensity(pipe, seg, year);
+            if lambda <= 0.0 {
+                continue;
+            }
+            let count = Poisson::new(lambda).expect("positive intensity").sample(rng);
+            for _ in 0..count {
+                failures.push(FailureRecord::new(seg.id, pipe.id, year, FailureKind::Break));
+            }
+        }
+    }
+    failures
+}
+
+/// Laid year skewed toward the later half of the range (networks grow with
+/// the city): `start + (end − start)·Beta(2, 1.4)`.
+fn sample_laid_year<R: Rng + ?Sized>(start: i32, end: i32, rng: &mut R) -> i32 {
+    use pipefail_stats::dist::Beta;
+    let b = Beta::new(2.0, 1.4).expect("valid");
+    let t = b.sample(rng);
+    start + ((end - start) as f64 * t).round() as i32
+}
+
+/// Era- and class-conditional material mix.
+fn sample_material<R: Rng + ?Sized>(class: PipeClass, year: i32, rng: &mut R) -> Material {
+    use Material::*;
+    let table: &[(Material, f64)] = match (class, year) {
+        (PipeClass::Critical, y) if y < 1930 => &[(CastIron, 0.7), (Steel, 0.3)],
+        (PipeClass::Critical, y) if y < 1960 => &[(Cicl, 0.7), (CastIron, 0.2), (Steel, 0.1)],
+        (PipeClass::Critical, y) if y < 1980 => {
+            &[(Cicl, 0.5), (Dicl, 0.3), (AsbestosCement, 0.1), (Steel, 0.1)]
+        }
+        (PipeClass::Critical, _) => &[(Dicl, 0.6), (Cicl, 0.2), (Steel, 0.1), (Concrete, 0.1)],
+        (PipeClass::Reticulation, y) if y < 1930 => &[(CastIron, 0.85), (Cicl, 0.15)],
+        (PipeClass::Reticulation, y) if y < 1960 => {
+            &[(Cicl, 0.6), (CastIron, 0.25), (AsbestosCement, 0.15)]
+        }
+        (PipeClass::Reticulation, y) if y < 1980 => {
+            &[(AsbestosCement, 0.45), (Cicl, 0.35), (Pvc, 0.2)]
+        }
+        (PipeClass::Reticulation, _) => &[(Pvc, 0.65), (Polyethylene, 0.2), (Dicl, 0.15)],
+    };
+    pick_weighted(table, rng)
+}
+
+/// Coating depends on material family and era (sleeves arrived ~1975).
+fn sample_coating<R: Rng + ?Sized>(material: Material, year: i32, rng: &mut R) -> Coating {
+    use Coating::*;
+    let table: &[(Coating, f64)] = if material.is_ferrous() {
+        if year >= 1975 {
+            &[(PolyethyleneSleeve, 0.45), (TarCoating, 0.25), (None, 0.30)]
+        } else {
+            &[(TarCoating, 0.35), (None, 0.65)]
+        }
+    } else {
+        &[(None, 0.9), (Epoxy, 0.1)]
+    };
+    pick_weighted(table, rng)
+}
+
+/// Nominal diameters by class.
+fn sample_diameter<R: Rng + ?Sized>(class: PipeClass, rng: &mut R) -> f64 {
+    let table: &[(f64, f64)] = match class {
+        PipeClass::Critical => &[
+            (300.0, 0.30),
+            (375.0, 0.25),
+            (450.0, 0.20),
+            (500.0, 0.10),
+            (600.0, 0.10),
+            (750.0, 0.05),
+        ],
+        PipeClass::Reticulation => &[
+            (100.0, 0.35),
+            (150.0, 0.30),
+            (200.0, 0.20),
+            (225.0, 0.10),
+            (250.0, 0.05),
+        ],
+    };
+    pick_weighted(table, rng)
+}
+
+fn pick_weighted<T: Copy, R: Rng + ?Sized>(table: &[(T, f64)], rng: &mut R) -> T {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for &(v, w) in table {
+        u -= w;
+        if u <= 0.0 {
+            return v;
+        }
+    }
+    table.last().expect("non-empty table").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use pipefail_stats::rng::seeded_rng;
+
+    fn small_world() -> World {
+        World::generate(&WorldConfig::paper().scaled(0.02), 7)
+    }
+
+    #[test]
+    fn generates_three_calibrated_regions() {
+        let w = small_world();
+        assert_eq!(w.regions().len(), 3);
+        assert!(w.region_named("Region B").is_some());
+        assert!(w.region_named("Region Z").is_none());
+        for (ds, template) in w.regions().iter().zip(WorldConfig::paper().scaled(0.02).regions) {
+            assert_eq!(ds.pipes().len(), template.pipes);
+            // Realised failures within ±40% of the (small-sample) target.
+            let total = ds.failures().len() as f64;
+            let target = template.target_failures_all as f64;
+            assert!(
+                total > target * 0.6 && total < target * 1.4,
+                "{}: {total} failures vs target {target}",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let a = World::generate(&WorldConfig::paper().scaled(0.01), 42);
+        let b = World::generate(&WorldConfig::paper().scaled(0.01), 42);
+        for (ra, rb) in a.regions().iter().zip(b.regions()) {
+            assert_eq!(ra.failures(), rb.failures());
+            assert_eq!(ra.pipes(), rb.pipes());
+        }
+        let c = World::generate(&WorldConfig::paper().scaled(0.01), 43);
+        assert_ne!(
+            a.regions()[0].failures(),
+            c.regions()[0].failures(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn cwm_share_near_template() {
+        let w = small_world();
+        let ds = &w.regions()[0];
+        let cwm = ds.pipes_of_class(PipeClass::Critical).count() as f64;
+        let share = cwm / ds.pipes().len() as f64;
+        assert!((share - 0.2497).abs() < 0.08, "share {share}");
+    }
+
+    #[test]
+    fn failure_sparsity_matches_paper_regime() {
+        // "Very few pipes have failure records": most pipes never fail.
+        let w = small_world();
+        for ds in w.regions() {
+            let failed = ds
+                .pipe_failed_in(ds.observation())
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            let frac = failed as f64 / ds.pipes().len() as f64;
+            assert!(frac < 0.5, "{}: {frac} of pipes failed", ds.name());
+        }
+    }
+
+    #[test]
+    fn laid_years_within_template_range() {
+        let w = small_world();
+        let ds = w.region_named("Region B").unwrap();
+        let (lo, hi) = ds.laid_year_range(None).unwrap();
+        assert!(lo >= 1888 && hi <= 1997, "range {lo}-{hi}");
+    }
+
+    #[test]
+    fn materials_match_class_conventions() {
+        let mut rng = seeded_rng(101);
+        for _ in 0..200 {
+            let m = sample_material(PipeClass::Critical, 1950, &mut rng);
+            assert!(
+                matches!(m, Material::Cicl | Material::CastIron | Material::Steel),
+                "unexpected CWM 1950 material {m:?}"
+            );
+            let m = sample_material(PipeClass::Reticulation, 1990, &mut rng);
+            assert!(
+                matches!(m, Material::Pvc | Material::Polyethylene | Material::Dicl),
+                "unexpected RWM 1990 material {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn old_cwm_fails_more_than_young_plastic() {
+        // Sanity: the generated data should reward age/material signals.
+        let w = small_world();
+        let ds = &w.regions()[0];
+        let counts = ds.pipe_failure_counts(ds.observation());
+        let mut old_rate = (0.0, 0.0);
+        let mut new_rate = (0.0, 0.0);
+        for p in ds.pipes() {
+            let c = counts[p.id.index()] as f64;
+            if p.laid_year < 1950 {
+                old_rate.0 += c;
+                old_rate.1 += 1.0;
+            } else if p.laid_year > 1985 {
+                new_rate.0 += c;
+                new_rate.1 += 1.0;
+            }
+        }
+        if old_rate.1 > 10.0 && new_rate.1 > 10.0 {
+            assert!(
+                old_rate.0 / old_rate.1 > new_rate.0 / new_rate.1,
+                "old pipes should fail more"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: generate a synthetic utility region, train the DPMHBP model
+//! on eleven years of failure records, and rank the critical water mains by
+//! next-year failure risk.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pipefail::prelude::*;
+
+fn main() {
+    // A small three-region world (~3% of the paper's metropolis). Every
+    // generator in the workspace is deterministic in the seed.
+    let world = WorldConfig::demo().build(42);
+    let region = world.region_named("Region A").expect("region exists");
+    println!(
+        "{}: {} pipes ({} critical water mains), {} failure records 1998-2009",
+        region.name(),
+        region.pipes().len(),
+        region.pipes_of_class(PipeClass::Critical).count(),
+        region.failures().len()
+    );
+
+    // The paper's protocol: train on 1998-2008, predict 2009.
+    let split = TrainTestSplit::paper_protocol();
+
+    // Fit the proposed model (fast schedule for the example).
+    let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+    let ranking = model.fit_rank(region, &split, 42).expect("fit failed");
+    println!(
+        "\nDPMHBP discovered ~{:.1} failure-behaviour clusters (posterior mean)",
+        model.mean_cluster_count().unwrap_or(f64::NAN)
+    );
+
+    println!("\nTop 10 highest-risk critical mains for 2009 (posterior mean ± sd):");
+    let sd_of = |pipe| {
+        model
+            .risk_posterior()
+            .iter()
+            .find(|rp| rp.pipe == pipe)
+            .map_or(0.0, |rp| rp.sd)
+    };
+    for (i, s) in ranking.scores().iter().take(10).enumerate() {
+        let pipe = region.pipe(s.pipe);
+        println!(
+            "  {:>2}. {}  P(fail) = {:.4} ± {:.4}  [{} mm {} laid {}, {:.0} m]",
+            i + 1,
+            s.pipe,
+            s.score,
+            sd_of(s.pipe),
+            pipe.diameter_mm,
+            pipe.material.code(),
+            pipe.laid_year,
+            region.pipe_length_m(s.pipe),
+        );
+    }
+
+    // Score the ranking against what actually failed in 2009.
+    let curve = DetectionCurve::by_count(&ranking, region, split.test);
+    println!(
+        "\nAUC(100%) = {:.2}%  |  failures found in the top 10% of the ranking: {:.0}%",
+        full_auc(&curve) * 100.0,
+        curve.y_at(0.10) * 100.0
+    );
+}

@@ -1,0 +1,172 @@
+//! `pipefail` — command-line interface for the generate → rank → evaluate
+//! workflow on CSV asset registers.
+//!
+//! ```text
+//! pipefail generate --scale 0.1 --seed 7 --out data/        # synthesize CSVs
+//! pipefail rank     --data data/region_a --model dpmhbp     # rank CWM pipes
+//! pipefail evaluate --data data/region_a                    # compare models
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set minimal.
+
+use pipefail::core::model::FailureModel;
+use pipefail::eval::report::format_auc_table;
+use pipefail::eval::runner::{evaluate_region, ModelKind, RunConfig};
+use pipefail::network::csvio::{read_dataset, write_dataset};
+use pipefail::network::Dataset;
+use pipefail::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&options),
+        "rank" => cmd_rank(&options),
+        "evaluate" => cmd_evaluate(&options),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pipefail — water pipe failure prediction
+
+USAGE:
+  pipefail generate [--scale F] [--seed N] [--out DIR]
+      Generate the calibrated synthetic metropolis and export each region
+      as CSV under DIR (default data/).
+  pipefail rank --data DIR [--model NAME] [--seed N] [--top N] [--out FILE]
+      Fit a model on a CSV dataset (train 1998-2008) and rank the critical
+      mains by 2009 risk. Models: dpmhbp (default), hbp, cox, weibull, svm.
+  pipefail evaluate --data DIR [--seed N] [--full]
+      Fit all five compared models and print the AUC table (--full uses the
+      full MCMC schedules).
+  pipefail help";
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let mut it = args.iter();
+    let command = it.next()?.clone();
+    let mut options = HashMap::new();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        if key == "full" {
+            options.insert(key.to_string(), "1".to_string());
+        } else {
+            options.insert(key.to_string(), it.next()?.clone());
+        }
+    }
+    Some((command, options))
+}
+
+fn opt_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    options
+        .get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad --{key}: {v:?}")))
+}
+
+fn opt_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    options
+        .get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad --{key}: {v:?}")))
+}
+
+fn load(options: &HashMap<String, String>) -> Result<Dataset, String> {
+    let dir = options
+        .get("data")
+        .ok_or("missing --data DIR (a directory written by `pipefail generate`)")?;
+    read_dataset(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
+}
+
+fn cmd_generate(options: &HashMap<String, String>) -> Result<(), String> {
+    let scale = opt_f64(options, "scale", 0.05)?;
+    let seed = opt_u64(options, "seed", 7)?;
+    let out = PathBuf::from(options.get("out").map_or("data", String::as_str));
+    let world = WorldConfig::paper().scaled(scale).build(seed);
+    for ds in world.regions() {
+        let dir = out.join(ds.name().to_lowercase().replace(' ', "_"));
+        write_dataset(ds, &dir).map_err(|e| e.to_string())?;
+        println!(
+            "{}: {} pipes, {} segments, {} failures -> {}",
+            ds.name(),
+            ds.pipes().len(),
+            ds.segments().len(),
+            ds.failures().len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_rank(options: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(options)?;
+    let seed = opt_u64(options, "seed", 7)?;
+    let top = opt_u64(options, "top", 20)? as usize;
+    let name = options.get("model").map_or("dpmhbp", String::as_str);
+    let mut model: Box<dyn FailureModel> = match name {
+        "dpmhbp" => Box::new(Dpmhbp::new(DpmhbpConfig::default())),
+        "hbp" => Box::new(Hbp::new(HbpConfig::default())),
+        "cox" => Box::new(pipefail::baselines::cox::CoxModel::default_config()),
+        "weibull" => Box::new(pipefail::baselines::weibull_nhpp::WeibullNhpp::default_config()),
+        "svm" => Box::new(RankSvm::new(RankSvmConfig::default())),
+        other => return Err(format!("unknown model {other:?} (dpmhbp|hbp|cox|weibull|svm)")),
+    };
+    let split = TrainTestSplit::paper_protocol();
+    let ranking = model
+        .fit_rank(&ds, &split, seed)
+        .map_err(|e| e.to_string())?;
+    println!("{} ranked {} critical mains; top {top}:", model.name(), ranking.len());
+    println!("{:<14} {:>12} {:>8} {:>6} {:>6} {:>9}", "pipe", "score", "dia_mm", "mat", "laid", "length_m");
+    for s in ranking.scores().iter().take(top) {
+        let p = ds.pipe(s.pipe);
+        println!(
+            "{:<14} {:>12.6} {:>8.0} {:>6} {:>6} {:>9.0}",
+            format!("{}", s.pipe),
+            s.score,
+            p.diameter_mm,
+            p.material.code(),
+            p.laid_year,
+            ds.pipe_length_m(s.pipe)
+        );
+    }
+    if let Some(path) = options.get("out") {
+        let mut csv = String::from("pipe_id,score\n");
+        for s in ranking.scores() {
+            csv.push_str(&format!("{},{}\n", s.pipe.0, s.score));
+        }
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        println!("wrote full ranking to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(options)?;
+    let seed = opt_u64(options, "seed", 7)?;
+    let fast = !options.contains_key("full");
+    let split = TrainTestSplit::paper_protocol();
+    let config = RunConfig {
+        fast,
+        ..RunConfig::default()
+    };
+    let result = evaluate_region(&ds, &split, &ModelKind::paper_five(), config, seed)
+        .map_err(|e| e.to_string())?;
+    println!("{}", format_auc_table(std::slice::from_ref(&result)));
+    Ok(())
+}

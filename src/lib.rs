@@ -1,0 +1,49 @@
+//! # pipefail
+//!
+//! Facade crate: one import for the whole water-pipe failure-prediction
+//! stack. Re-exports the public API of every workspace crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pipefail::prelude::*;
+//!
+//! // Generate a small synthetic utility network, train the DPMHBP model on
+//! // 1998–2008 failures and rank pipes by 2009 failure risk.
+//! let world = WorldConfig::demo().build(7);
+//! let region = &world.regions()[0];
+//! let split = TrainTestSplit::paper_protocol();
+//! let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+//! let ranking = model.fit_rank(region, &split, 7).unwrap();
+//! assert_eq!(ranking.len(), region.pipes_of_class(PipeClass::Critical).count());
+//! ```
+
+pub use pipefail_baselines as baselines;
+pub use pipefail_core as core;
+pub use pipefail_eval as eval;
+pub use pipefail_mcmc as mcmc;
+pub use pipefail_network as network;
+pub use pipefail_stats as stats;
+pub use pipefail_synth as synth;
+
+/// Convenience re-exports covering the common workflow: generate (or load)
+/// a network, split it temporally, fit models, evaluate rankings.
+pub mod prelude {
+    pub use pipefail_baselines::{
+        cox::CoxModel, time_models::TimeModel, weibull_nhpp::WeibullNhpp,
+    };
+    pub use pipefail_core::{
+        dpmhbp::{Dpmhbp, DpmhbpConfig},
+        hbp::{GroupingScheme, Hbp, HbpConfig},
+        model::{FailureModel, RiskRanking},
+        ranking::{RankSvm, RankSvmConfig},
+    };
+    pub use pipefail_eval::{
+        detection::DetectionCurve,
+        metrics::{auc_at_fraction, full_auc},
+    };
+    pub use pipefail_network::{
+        Dataset, FailureKind, Material, PipeClass, PipeId, SegmentId, TrainTestSplit,
+    };
+    pub use pipefail_synth::{RegionTemplate, WorldConfig};
+}

@@ -1,0 +1,38 @@
+//! Integration: generated worlds survive the CSV interchange format and
+//! models fit identically on the loaded copy.
+
+use pipefail::network::csvio::{read_dataset, write_dataset};
+use pipefail::prelude::*;
+
+#[test]
+fn generated_region_roundtrips_through_csv() {
+    let world = WorldConfig::paper().scaled(0.015).build(13);
+    for region in world.regions() {
+        let dir = std::env::temp_dir().join(format!(
+            "pipefail_it_csv_{}_{}",
+            std::process::id(),
+            region.region().0
+        ));
+        write_dataset(region, &dir).unwrap();
+        let loaded = read_dataset(&dir).unwrap();
+        assert_eq!(loaded.name(), region.name());
+        assert_eq!(loaded.pipes(), region.pipes());
+        assert_eq!(loaded.segments(), region.segments());
+        assert_eq!(loaded.failures(), region.failures());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn model_fit_is_identical_on_loaded_copy() {
+    let world = WorldConfig::paper().scaled(0.02).only_region("Region A").build(29);
+    let region = &world.regions()[0];
+    let dir = std::env::temp_dir().join(format!("pipefail_it_fit_{}", std::process::id()));
+    write_dataset(region, &dir).unwrap();
+    let loaded = read_dataset(&dir).unwrap();
+    let split = TrainTestSplit::paper_protocol();
+    let a = Hbp::new(HbpConfig::fast()).fit_rank(region, &split, 8).unwrap();
+    let b = Hbp::new(HbpConfig::fast()).fit_rank(&loaded, &split, 8).unwrap();
+    assert_eq!(a, b, "fit must not depend on in-memory vs loaded data");
+    let _ = std::fs::remove_dir_all(&dir);
+}
