@@ -143,6 +143,7 @@ impl FailureModel for TimeModel {
         class: PipeClass,
         _seed: u64,
     ) -> Result<RiskRanking> {
+        pipefail_core::validate::validate_fit_inputs(dataset, split, class)?;
         let pipes: Vec<_> = dataset.pipes_of_class(class).collect();
         if pipes.is_empty() {
             return Err(CoreError::EmptyEvaluationSet("no pipes of requested class"));
@@ -181,7 +182,7 @@ impl FailureModel for TimeModel {
                 score: self.rate_at(p.age_in(split.prediction_year())),
             })
             .collect();
-        Ok(RiskRanking::new(scores))
+        RiskRanking::try_new(scores)
     }
 }
 

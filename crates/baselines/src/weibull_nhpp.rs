@@ -223,6 +223,7 @@ impl FailureModel for WeibullNhpp {
         class: PipeClass,
         _seed: u64,
     ) -> Result<RiskRanking> {
+        pipefail_core::validate::validate_fit_inputs(dataset, split, class)?;
         let (rows, _) = build_survival(dataset, split, class, self.config.features);
         if rows.is_empty() {
             return Err(CoreError::EmptyEvaluationSet("no pipes with exposure"));
@@ -250,7 +251,7 @@ impl FailureModel for WeibullNhpp {
                 }
             })
             .collect();
-        Ok(RiskRanking::new(scores))
+        RiskRanking::try_new(scores)
     }
 }
 

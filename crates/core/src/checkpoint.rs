@@ -1,0 +1,323 @@
+//! Sampler checkpointing: a tiny atomic `key=value` codec.
+//!
+//! Long MCMC fits (DPMHBP on a full region) periodically serialize their
+//! complete state — RNG counters, cluster arena, accumulators — so an
+//! interrupted experiment can resume mid-chain and still produce **byte
+//! identical** artefacts to an uninterrupted run. No serde is available in
+//! this build environment, so the format is a hand-rolled text file:
+//!
+//! ```text
+//! version=1
+//! fingerprint=9f2c…            # FNV-1a over (seed, config, data)
+//! alpha=3ff0000000000000       # f64 as IEEE-754 bit pattern, hex
+//! z=0 0 1 4 …                  # sequences are space-separated
+//! ```
+//!
+//! Floats round-trip through `f64::to_bits` so no precision is lost — the
+//! resume-determinism guarantee depends on this. Files are written to
+//! `<path>.tmp` and renamed into place, so a crash mid-write never corrupts
+//! an existing checkpoint. Loading is deliberately forgiving: any parse
+//! failure or fingerprint mismatch means "no usable checkpoint" and the fit
+//! starts from scratch rather than erroring.
+
+use crate::Result;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Where and how often a fit should checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (one file per fit; overwritten in place).
+    pub path: PathBuf,
+    /// Write every `every` sweeps.
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// Create a spec; `every` is clamped to at least 1.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            path: path.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Incremental FNV-1a hasher used to fingerprint (seed, config, data) so a
+/// checkpoint is only ever resumed into the exact fit that wrote it.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push_byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Mix a u64 (little-endian bytes).
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.push_byte(b);
+        }
+        self
+    }
+
+    /// Mix an f64 by bit pattern (NaN-safe, sign-of-zero-sensitive).
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Mix a usize.
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Mix a string's bytes (length-prefixed so concatenations differ).
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.push_usize(s.len());
+        for b in s.bytes() {
+            self.push_byte(b);
+        }
+        self
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Checkpoint writer: accumulate keys, then [`Writer::save`] atomically.
+#[derive(Debug)]
+pub struct Writer {
+    buf: String,
+}
+
+impl Writer {
+    /// Start a checkpoint carrying the format version and fit fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        let mut w = Self { buf: String::new() };
+        w.put_u64("version", FORMAT_VERSION);
+        w.put_u64("fingerprint", fingerprint);
+        w
+    }
+
+    /// Record an unsigned integer.
+    pub fn put_u64(&mut self, key: &str, v: u64) {
+        self.buf.push_str(key);
+        self.buf.push('=');
+        self.buf.push_str(&v.to_string());
+        self.buf.push('\n');
+    }
+
+    /// Record a usize.
+    pub fn put_usize(&mut self, key: &str, v: usize) {
+        self.put_u64(key, v as u64);
+    }
+
+    /// Record an f64 losslessly (bit pattern, hex).
+    pub fn put_f64(&mut self, key: &str, v: f64) {
+        self.buf.push_str(key);
+        self.buf.push('=');
+        self.buf.push_str(&format!("{:016x}", v.to_bits()));
+        self.buf.push('\n');
+    }
+
+    /// Record a sequence of u64s.
+    pub fn put_u64_slice(&mut self, key: &str, vs: &[u64]) {
+        self.buf.push_str(key);
+        self.buf.push('=');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(' ');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push('\n');
+    }
+
+    /// Record a sequence of usizes.
+    pub fn put_usize_slice(&mut self, key: &str, vs: &[usize]) {
+        let as_u64: Vec<u64> = vs.iter().map(|&v| v as u64).collect();
+        self.put_u64_slice(key, &as_u64);
+    }
+
+    /// Record a sequence of f64s losslessly.
+    pub fn put_f64_slice(&mut self, key: &str, vs: &[f64]) {
+        self.buf.push_str(key);
+        self.buf.push('=');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(' ');
+            }
+            self.buf.push_str(&format!("{:016x}", v.to_bits()));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Write to `<path>.tmp` then rename into place.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, &self.buf)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// Checkpoint reader. Constructed only when the file exists, parses, and
+/// matches both format version and fingerprint; every accessor returns
+/// `Option` so a truncated file degrades to "start from scratch".
+#[derive(Debug)]
+pub struct Reader {
+    map: HashMap<String, String>,
+}
+
+impl Reader {
+    /// Load and validate; `None` means "no usable checkpoint here".
+    pub fn load(path: &Path, fingerprint: u64) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once('=')?;
+            map.insert(k.to_string(), v.to_string());
+        }
+        let r = Self { map };
+        if r.u64("version")? != FORMAT_VERSION || r.u64("fingerprint")? != fingerprint {
+            return None;
+        }
+        Some(r)
+    }
+
+    /// Read an unsigned integer.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.map.get(key)?.parse().ok()
+    }
+
+    /// Read a usize.
+    pub fn usize(&self, key: &str) -> Option<usize> {
+        self.u64(key).map(|v| v as usize)
+    }
+
+    /// Read an f64 (hex bit pattern).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        let bits = u64::from_str_radix(self.map.get(key)?, 16).ok()?;
+        Some(f64::from_bits(bits))
+    }
+
+    /// Read a u64 sequence.
+    pub fn u64_slice(&self, key: &str) -> Option<Vec<u64>> {
+        let s = self.map.get(key)?;
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        s.split(' ').map(|t| t.parse().ok()).collect()
+    }
+
+    /// Read a usize sequence.
+    pub fn usize_slice(&self, key: &str) -> Option<Vec<usize>> {
+        Some(self.u64_slice(key)?.into_iter().map(|v| v as usize).collect())
+    }
+
+    /// Read an f64 sequence (hex bit patterns).
+    pub fn f64_slice(&self, key: &str) -> Option<Vec<f64>> {
+        let s = self.map.get(key)?;
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        s.split(' ')
+            .map(|t| u64::from_str_radix(t, 16).ok().map(f64::from_bits))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_losslessly() {
+        let dir = std::env::temp_dir().join("pipefail_ckpt_test_roundtrip");
+        let path = dir.join("a.ckpt");
+        let vals = [
+            0.1,
+            -0.0,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            f64::NEG_INFINITY,
+            6.02214076e23,
+        ];
+        let mut w = Writer::new(42);
+        w.put_f64("x", 0.1 + 0.2);
+        w.put_f64_slice("xs", &vals);
+        w.put_usize_slice("zs", &[0, 7, usize::MAX]);
+        w.save(&path).unwrap();
+        let r = Reader::load(&path, 42).expect("valid checkpoint");
+        assert_eq!(r.f64("x").unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        let back = r.f64_slice("xs").unwrap();
+        assert_eq!(back.len(), vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.usize_slice("zs").unwrap(), vec![0, 7, usize::MAX]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejects() {
+        let dir = std::env::temp_dir().join("pipefail_ckpt_test_fp");
+        let path = dir.join("b.ckpt");
+        let mut w = Writer::new(1);
+        w.put_u64("it", 5);
+        w.save(&path).unwrap();
+        assert!(Reader::load(&path, 1).is_some());
+        assert!(Reader::load(&path, 2).is_none(), "wrong fingerprint accepted");
+        assert!(Reader::load(&dir.join("absent.ckpt"), 1).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_degrades_to_none() {
+        let dir = std::env::temp_dir().join("pipefail_ckpt_test_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        std::fs::write(&path, "version=1\nfingerprint=7\nz=1 2 oops\n").unwrap();
+        let r = Reader::load(&path, 7).expect("header parses");
+        assert_eq!(r.usize_slice("z"), None, "corrupt sequence must not parse");
+        std::fs::write(&path, "no equals sign here").unwrap();
+        assert!(Reader::load(&path, 7).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.push_f64(1.0).push_f64(2.0);
+        let mut b = Fingerprint::new();
+        b.push_f64(2.0).push_f64(1.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.push_str("ab").push_str("c");
+        let mut d = Fingerprint::new();
+        d.push_str("a").push_str("bc");
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -22,6 +22,7 @@
 
 mod state;
 
+use crate::checkpoint::{CheckpointSpec, Fingerprint, Reader, Writer};
 use crate::covariates::CovariateAdjuster;
 use crate::crp::resample_alpha;
 use crate::hier::PatternTable;
@@ -29,7 +30,7 @@ use crate::model::{FailureModel, RiskRanking, RiskScore};
 use crate::{CoreError, Result};
 use pipefail_mcmc::slice::SliceSampler;
 use pipefail_mcmc::transform::Transform;
-use pipefail_mcmc::Schedule;
+use pipefail_mcmc::{ChainHealth, HealthConfig, Schedule};
 use pipefail_network::attributes::PipeClass;
 use pipefail_network::dataset::Dataset;
 use pipefail_network::features::FeatureMask;
@@ -60,6 +61,11 @@ pub struct DpmhbpConfig {
     pub aux_m: usize,
     /// Multiplicative covariate adjustment; `None` disables it.
     pub covariates: Option<FeatureMask>,
+    /// Online chain-health thresholds (divergence budget, stuck detection,
+    /// optional wall-clock budget).
+    pub health: HealthConfig,
+    /// Periodic sampler-state checkpointing; `None` disables it.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for DpmhbpConfig {
@@ -74,6 +80,8 @@ impl Default for DpmhbpConfig {
             c_prior: (2.0, 0.05),
             aux_m: 3,
             covariates: Some(FeatureMask::water_mains()),
+            health: HealthConfig::default(),
+            checkpoint: None,
         }
     }
 }
@@ -250,7 +258,9 @@ impl<'a> Sampler8<'a> {
     }
 
     /// Slice-update `(q_k, c_k)` for every live cluster and refresh caches.
-    fn sweep_parameters(&mut self, rng: &mut StdRng) {
+    /// Errors (instead of panicking) when a cluster's current parameters
+    /// have non-finite posterior density.
+    fn sweep_parameters(&mut self, rng: &mut StdRng) -> Result<()> {
         let logit = Transform::Logit;
         let log_t = Transform::Log;
         for slot in self.slots.live_slots() {
@@ -269,9 +279,11 @@ impl<'a> Sampler8<'a> {
                     + table.group_log_likelihood(&counts, q, c_fixed)
                     + logit.ln_jacobian(y)
             };
-            let y = self
-                .slice_q
-                .step(logit.forward(q_cur.clamp(1e-9, 1.0 - 1e-9)), &log_post_q, rng);
+            let y = self.slice_q.try_step(
+                logit.forward(q_cur.clamp(1e-9, 1.0 - 1e-9)),
+                &log_post_q,
+                rng,
+            )?;
             let q_new = logit.inverse(y).clamp(1e-9, 1.0 - 1e-9);
             // c | rest
             let log_post_c = |y: f64| {
@@ -283,13 +295,14 @@ impl<'a> Sampler8<'a> {
                     + table.group_log_likelihood(&counts, q_new, c)
                     + log_t.ln_jacobian(y)
             };
-            let y = self.slice_c.step(log_t.forward(c_cur), &log_post_c, rng);
+            let y = self.slice_c.try_step(log_t.forward(c_cur), &log_post_c, rng)?;
             let c_new = log_t.inverse(y).clamp(1e-6, 1e9);
             let cl = self.slots.get_mut(slot);
             cl.q = q_new;
             cl.c = c_new;
             cl.refresh_cache(table);
         }
+        Ok(())
     }
 
     fn sweep_alpha(&mut self, prior: (f64, f64), rng: &mut StdRng) {
@@ -340,6 +353,7 @@ impl Dpmhbp {
         class: PipeClass,
         seed: u64,
     ) -> Result<RiskRanking> {
+        crate::validate::validate_fit_inputs(dataset, split, class)?;
         let pipes: Vec<&pipefail_network::dataset::Pipe> =
             dataset.pipes_of_class(class).collect();
         if pipes.is_empty() {
@@ -379,22 +393,79 @@ impl Dpmhbp {
             ((s + 0.5) / (m + 1.0)).clamp(1e-6, 0.5)
         });
 
+        // Fingerprint ties any checkpoint to this exact (seed, config, data)
+        // triple; a stale or foreign checkpoint is silently ignored.
+        let fingerprint = {
+            let mut fp = Fingerprint::new();
+            fp.push_str("dpmhbp").push_u64(seed);
+            let s = &self.config.schedule;
+            fp.push_usize(s.burn_in).push_usize(s.samples).push_usize(s.thin);
+            fp.push_f64(self.config.alpha)
+                .push_usize(self.config.sample_alpha as usize)
+                .push_f64(self.config.alpha_prior.0)
+                .push_f64(self.config.alpha_prior.1)
+                .push_f64(q0)
+                .push_f64(self.config.c0)
+                .push_f64(self.config.c_prior.0)
+                .push_f64(self.config.c_prior.1)
+                .push_usize(self.config.aux_m)
+                .push_str(&format!("{:?}", self.config.covariates))
+                .push_usize(table.units())
+                .push_usize(table.len());
+            for p in table.patterns() {
+                fp.push_f64(p.s).push_f64(p.f);
+            }
+            for u in 0..table.units() {
+                fp.push_usize(table.pattern_of(u));
+            }
+            for (&pi, &m) in unit_pipe.iter().zip(&unit_multiplier) {
+                fp.push_usize(pi).push_f64(m);
+            }
+            fp.finish()
+        };
+
         let mut rng = seeded_rng(seed);
         let mut sampler = Sampler8::new(&table, &self.config, q0, &mut rng)?;
 
         let sched = self.config.schedule;
+        let total = sched.total_iterations();
         let mut rho_t = vec![0.0; table.units()];
         let mut pipe_sum = vec![0.0; pipes.len()];
         let mut pipe_sq = vec![0.0; pipes.len()];
         let mut log_survive_t = vec![0.0; pipes.len()];
         let mut retained = 0usize;
+        let mut start_it = 0usize;
         self.diagnostics = DpmhbpDiagnostics::default();
-        for it in 0..sched.total_iterations() {
+
+        // Resume a matching checkpoint if one is on disk. All chain state —
+        // RNG counters, cluster arena (including free-list order), α,
+        // accumulators — is restored bit-for-bit, so the resumed run is
+        // indistinguishable from an uninterrupted one.
+        if let Some(spec) = &self.config.checkpoint {
+            if let Some(state) =
+                restore_checkpoint(&spec.path, fingerprint, &table, pipes.len(), total)
+            {
+                rng = state.rng;
+                sampler.slots = state.slots;
+                sampler.z = state.z;
+                sampler.alpha = state.alpha;
+                pipe_sum = state.pipe_sum;
+                pipe_sq = state.pipe_sq;
+                retained = state.retained;
+                start_it = state.next_iteration;
+                self.diagnostics = state.diagnostics;
+            }
+        }
+
+        let mut health = ChainHealth::new(self.config.health);
+        for it in start_it..total {
+            health.begin_sweep()?;
             sampler.sweep_assignments(&mut rng);
-            sampler.sweep_parameters(&mut rng);
+            sampler.sweep_parameters(&mut rng)?;
             if self.config.sample_alpha {
                 sampler.sweep_alpha(self.config.alpha_prior, &mut rng);
             }
+            health.observe_monitor(sampler.size_weighted_mean_q())?;
             if sched.keep(it) {
                 retained += 1;
                 // Pipe-level combination at the current posterior draw:
@@ -418,9 +489,28 @@ impl Dpmhbp {
                 self.diagnostics.alpha.push(sampler.alpha);
                 self.diagnostics.mean_q.push(sampler.size_weighted_mean_q());
             }
+            if let Some(spec) = &self.config.checkpoint {
+                if (it + 1).is_multiple_of(spec.every.max(1)) && it + 1 < total {
+                    save_checkpoint(
+                        &spec.path,
+                        fingerprint,
+                        it + 1,
+                        &rng,
+                        &sampler,
+                        retained,
+                        &pipe_sum,
+                        &pipe_sq,
+                        &self.diagnostics,
+                    )?;
+                }
+            }
         }
         if retained == 0 {
             return Err(CoreError::BadConfig("schedule retained zero samples"));
+        }
+        // The chain finished: a leftover checkpoint would be stale, so drop it.
+        if let Some(spec) = &self.config.checkpoint {
+            let _ = std::fs::remove_file(&spec.path);
         }
 
         let n = retained as f64;
@@ -445,8 +535,168 @@ impl Dpmhbp {
                 score: rp.mean,
             })
             .collect();
-        Ok(RiskRanking::new(scores))
+        RiskRanking::try_new(scores)
     }
+}
+
+/// Chain state reconstructed from a checkpoint file.
+struct ResumedFit {
+    rng: StdRng,
+    slots: ClusterSlots,
+    z: Vec<usize>,
+    alpha: f64,
+    retained: usize,
+    pipe_sum: Vec<f64>,
+    pipe_sq: Vec<f64>,
+    diagnostics: DpmhbpDiagnostics,
+    next_iteration: usize,
+}
+
+/// Serialize the complete chain state after `next_iteration` sweeps.
+#[allow(clippy::too_many_arguments)] // flat state snapshot, called from one place
+fn save_checkpoint(
+    path: &std::path::Path,
+    fingerprint: u64,
+    next_iteration: usize,
+    rng: &StdRng,
+    sampler: &Sampler8<'_>,
+    retained: usize,
+    pipe_sum: &[f64],
+    pipe_sq: &[f64],
+    diag: &DpmhbpDiagnostics,
+) -> Result<()> {
+    let mut w = Writer::new(fingerprint);
+    w.put_usize("next_iteration", next_iteration);
+    w.put_u64_slice("rng", &rng.to_raw_state());
+    w.put_f64("alpha", sampler.alpha);
+    w.put_usize_slice("z", &sampler.z);
+    let (slots, free) = sampler.slots.raw_parts();
+    w.put_usize("n_slots", slots.len());
+    w.put_usize_slice("free", free);
+    let live: Vec<usize> = slots.iter().map(|s| s.is_some() as usize).collect();
+    w.put_usize_slice("slot_live", &live);
+    let mut qs = Vec::with_capacity(slots.len());
+    let mut cs = Vec::with_capacity(slots.len());
+    let mut ns = Vec::with_capacity(slots.len());
+    let mut counts_flat = Vec::new();
+    for s in slots {
+        match s {
+            Some(c) => {
+                qs.push(c.q);
+                cs.push(c.c);
+                ns.push(c.n);
+                counts_flat.extend_from_slice(&c.pattern_counts);
+            }
+            None => {
+                qs.push(0.0);
+                cs.push(0.0);
+                ns.push(0);
+            }
+        }
+    }
+    w.put_f64_slice("slot_q", &qs);
+    w.put_f64_slice("slot_c", &cs);
+    w.put_usize_slice("slot_n", &ns);
+    w.put_f64_slice("pattern_counts", &counts_flat);
+    w.put_usize("retained", retained);
+    w.put_f64_slice("pipe_sum", pipe_sum);
+    w.put_f64_slice("pipe_sq", pipe_sq);
+    w.put_f64_slice("diag_clusters", &diag.clusters);
+    w.put_f64_slice("diag_alpha", &diag.alpha);
+    w.put_f64_slice("diag_mean_q", &diag.mean_q);
+    w.save(path)
+}
+
+/// Rebuild chain state from `path`, or `None` when the file is absent,
+/// corrupt, from a different (seed, config, data), or internally
+/// inconsistent — all of which mean "fit from scratch".
+fn restore_checkpoint(
+    path: &std::path::Path,
+    fingerprint: u64,
+    table: &PatternTable,
+    n_pipes: usize,
+    total_iterations: usize,
+) -> Option<ResumedFit> {
+    let r = Reader::load(path, fingerprint)?;
+    let next_iteration = r.usize("next_iteration")?;
+    if next_iteration == 0 || next_iteration > total_iterations {
+        return None;
+    }
+    let raw: [u64; 4] = r.u64_slice("rng")?.try_into().ok()?;
+    if raw == [0u64; 4] {
+        return None; // xoshiro cannot be in the all-zero state
+    }
+    let rng = StdRng::from_raw_state(raw);
+    let alpha = r.f64("alpha")?;
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return None;
+    }
+    let z = r.usize_slice("z")?;
+    if z.len() != table.units() {
+        return None;
+    }
+    let n_slots = r.usize("n_slots")?;
+    let live = r.usize_slice("slot_live")?;
+    let qs = r.f64_slice("slot_q")?;
+    let cs = r.f64_slice("slot_c")?;
+    let ns = r.usize_slice("slot_n")?;
+    let counts_flat = r.f64_slice("pattern_counts")?;
+    if live.len() != n_slots || qs.len() != n_slots || cs.len() != n_slots || ns.len() != n_slots {
+        return None;
+    }
+    let n_live = live.iter().filter(|&&l| l == 1).count();
+    if counts_flat.len() != n_live * table.len() {
+        return None;
+    }
+    let mut slot_vec: Vec<Option<Cluster>> = Vec::with_capacity(n_slots);
+    let mut k = 0;
+    for i in 0..n_slots {
+        if live[i] == 1 {
+            if !(qs[i].is_finite() && qs[i] > 0.0 && qs[i] < 1.0 && cs[i].is_finite() && cs[i] > 0.0)
+            {
+                return None;
+            }
+            let mut cl = Cluster {
+                q: qs[i],
+                c: cs[i],
+                n: ns[i],
+                pattern_counts: counts_flat[k * table.len()..(k + 1) * table.len()].to_vec(),
+                loglik: vec![0.0; table.len()],
+            };
+            cl.refresh_cache(table);
+            slot_vec.push(Some(cl));
+            k += 1;
+        } else {
+            slot_vec.push(None);
+        }
+    }
+    let free = r.usize_slice("free")?;
+    if free.iter().any(|&f| f >= n_slots || live[f] == 1) {
+        return None;
+    }
+    if z.iter().any(|&s| s >= n_slots || live[s] == 0) {
+        return None;
+    }
+    let pipe_sum = r.f64_slice("pipe_sum")?;
+    let pipe_sq = r.f64_slice("pipe_sq")?;
+    if pipe_sum.len() != n_pipes || pipe_sq.len() != n_pipes {
+        return None;
+    }
+    Some(ResumedFit {
+        rng,
+        slots: ClusterSlots::from_raw_parts(slot_vec, free),
+        z,
+        alpha,
+        retained: r.usize("retained")?,
+        pipe_sum,
+        pipe_sq,
+        diagnostics: DpmhbpDiagnostics {
+            clusters: r.f64_slice("diag_clusters")?,
+            alpha: r.f64_slice("diag_alpha")?,
+            mean_q: r.f64_slice("diag_mean_q")?,
+        },
+        next_iteration,
+    })
 }
 
 impl FailureModel for Dpmhbp {
@@ -580,6 +830,90 @@ mod tests {
         }
         // MCMC uncertainty should be non-trivial for at least some pipes.
         assert!(post.iter().any(|rp| rp.sd > 1e-6));
+    }
+
+    #[test]
+    fn interrupted_fit_resumes_to_identical_ranking() {
+        // Kill-and-resume determinism: repeatedly run the fit under a tiny
+        // wall-clock budget (each attempt times out mid-chain but leaves a
+        // checkpoint), then finish with no budget. The final ranking must be
+        // bit-identical to an uninterrupted reference run.
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let dir = std::env::temp_dir().join("pipefail_dpmhbp_ckpt_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("fit.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+
+        let mut reference_model = Dpmhbp::new(DpmhbpConfig::fast());
+        let reference = reference_model.fit_rank(&ds, &split, 41).unwrap();
+
+        let spec = CheckpointSpec::new(&ckpt, 20);
+        let mut timeouts = 0usize;
+        for _ in 0..300 {
+            let mut m = Dpmhbp::new(DpmhbpConfig {
+                checkpoint: Some(spec.clone()),
+                health: HealthConfig::default().with_budget_secs(0.05),
+                ..DpmhbpConfig::fast()
+            });
+            match m.fit_rank(&ds, &split, 41) {
+                Err(CoreError::Chain(pipefail_mcmc::McmcError::Timeout { .. })) => timeouts += 1,
+                Ok(_) => break,
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        let mut resumed_model = Dpmhbp::new(DpmhbpConfig {
+            checkpoint: Some(spec.clone()),
+            ..DpmhbpConfig::fast()
+        });
+        let resumed = resumed_model.fit_rank(&ds, &split, 41).unwrap();
+        assert_eq!(resumed, reference, "resume after {timeouts} interruptions diverged");
+        // Diagnostics traces must also be identical, bit for bit.
+        let (a, b) = (resumed_model.diagnostics(), reference_model.diagnostics());
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.mean_q, b.mean_q);
+        assert!(!ckpt.exists(), "checkpoint must be removed after completion");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_foreign_checkpoint_is_ignored() {
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let dir = std::env::temp_dir().join("pipefail_dpmhbp_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("fit.ckpt");
+
+        let reference = Dpmhbp::new(DpmhbpConfig::fast())
+            .fit_rank(&ds, &split, 43)
+            .unwrap();
+
+        // Corrupt file: not even key=value.
+        std::fs::write(&ckpt, "garbage\u{0} bytes \n\n===").unwrap();
+        let got = Dpmhbp::new(DpmhbpConfig {
+            checkpoint: Some(CheckpointSpec::new(&ckpt, 50)),
+            ..DpmhbpConfig::fast()
+        })
+        .fit_rank(&ds, &split, 43)
+        .unwrap();
+        assert_eq!(got, reference);
+
+        // Foreign checkpoint: valid format, different fit (other seed).
+        let mut other = Dpmhbp::new(DpmhbpConfig {
+            checkpoint: Some(CheckpointSpec::new(&ckpt, 20)),
+            health: HealthConfig::default().with_budget_secs(0.05),
+            ..DpmhbpConfig::fast()
+        });
+        let _ = other.fit_rank(&ds, &split, 999); // may time out, leaving a checkpoint
+        let got = Dpmhbp::new(DpmhbpConfig {
+            checkpoint: Some(CheckpointSpec::new(&ckpt, 50)),
+            ..DpmhbpConfig::fast()
+        })
+        .fit_rank(&ds, &split, 43)
+        .unwrap();
+        assert_eq!(got, reference, "checkpoint from another seed must not be resumed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -124,6 +124,23 @@ impl ClusterSlots {
     pub fn sizes(&self) -> Vec<usize> {
         self.iter().map(|(_, c)| c.n).collect()
     }
+
+    /// Raw arena view for checkpointing: `(slots, free_list)`. The free-list
+    /// *order* matters — slot reuse order affects which slot ids future
+    /// clusters get, and resume must replay it exactly.
+    pub fn raw_parts(&self) -> (&[Option<Cluster>], &[usize]) {
+        (&self.slots, &self.free)
+    }
+
+    /// Rebuild an arena from checkpointed raw parts.
+    pub fn from_raw_parts(slots: Vec<Option<Cluster>>, free: Vec<usize>) -> Self {
+        let occupied = slots.iter().filter(|s| s.is_some()).count();
+        Self {
+            slots,
+            free,
+            occupied,
+        }
+    }
 }
 
 #[cfg(test)]

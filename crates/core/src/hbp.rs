@@ -13,13 +13,16 @@
 //! This model works at *pipe* level and ignores pipe length — exactly the
 //! two limitations (§18.3.3) the DPMHBP removes.
 
+use crate::checkpoint::{CheckpointSpec, Fingerprint, Reader, Writer};
 use crate::covariates::CovariateAdjuster;
 use crate::hier::PatternTable;
 use crate::model::{FailureModel, RiskRanking, RiskScore};
 use crate::{CoreError, Result};
 use pipefail_mcmc::kernel::{KernelKind, UnivariateKernel};
+use pipefail_mcmc::rw::RandomWalkMetropolis;
 use pipefail_mcmc::transform::Transform;
-use pipefail_mcmc::Schedule;
+use pipefail_mcmc::{ChainHealth, HealthConfig, Schedule};
+use rand::rngs::StdRng;
 use pipefail_network::attributes::PipeClass;
 use pipefail_network::dataset::Dataset;
 use pipefail_network::features::FeatureMask;
@@ -79,6 +82,11 @@ pub struct HbpConfig {
     /// Within-Gibbs kernel for the non-conjugate `(q_k, c_k)` updates:
     /// slice sampling (default) or the paper's random-walk Metropolis.
     pub kernel: KernelKind,
+    /// Online chain-health thresholds (divergence budget, stuck detection,
+    /// optional wall-clock budget).
+    pub health: HealthConfig,
+    /// Periodic sampler-state checkpointing; `None` disables it.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for HbpConfig {
@@ -91,6 +99,8 @@ impl Default for HbpConfig {
             c_prior: (2.0, 0.05),
             covariates: Some(FeatureMask::water_mains()),
             kernel: KernelKind::Slice,
+            health: HealthConfig::default(),
+            checkpoint: None,
         }
     }
 }
@@ -141,6 +151,7 @@ impl FailureModel for Hbp {
         class: PipeClass,
         seed: u64,
     ) -> Result<RiskRanking> {
+        crate::validate::validate_fit_inputs(dataset, split, class)?;
         let pipes: Vec<&pipefail_network::dataset::Pipe> =
             dataset.pipes_of_class(class).collect();
         if pipes.is_empty() {
@@ -225,16 +236,45 @@ impl FailureModel for Hbp {
             .map_err(|_| CoreError::BadConfig("invalid (q0, c0) hyper-prior"))?;
         let c_prior = Gamma::new(ca, cb).map_err(|_| CoreError::BadConfig("invalid c prior"))?;
 
+        // Fingerprint ties any checkpoint to this exact (seed, config, data)
+        // triple; a stale or foreign checkpoint is silently ignored.
+        let fingerprint = {
+            let mut fp = Fingerprint::new();
+            fp.push_str("hbp").push_u64(seed);
+            let s = &self.config.schedule;
+            fp.push_usize(s.burn_in).push_usize(s.samples).push_usize(s.thin);
+            fp.push_str(&self.config.grouping.label())
+                .push_f64(q0)
+                .push_f64(c0)
+                .push_f64(ca)
+                .push_f64(cb)
+                .push_str(&format!("{:?}", self.config.kernel))
+                .push_str(&format!("{:?}", self.config.covariates))
+                .push_usize(table.units())
+                .push_usize(table.len())
+                .push_usize(n_groups);
+            for p in table.patterns() {
+                fp.push_f64(p.s).push_f64(p.f);
+            }
+            for u in 0..table.units() {
+                fp.push_usize(table.pattern_of(u));
+            }
+            for (&g, &m) in groups.iter().zip(&multipliers) {
+                fp.push_usize(g).push_f64(m);
+            }
+            fp.finish()
+        };
+
         // State: per-group (q, c), with one kernel instance per coordinate
         // so random-walk adaptation (if selected) is per-coordinate.
         let mut q = vec![q0; n_groups];
         let mut c = vec![ca / cb; n_groups];
         let mut kernels_q: Vec<UnivariateKernel> = (0..n_groups)
-            .map(|_| UnivariateKernel::new(self.config.kernel, 1.0))
-            .collect();
+            .map(|_| UnivariateKernel::try_new(self.config.kernel, 1.0))
+            .collect::<std::result::Result<_, _>>()?;
         let mut kernels_c: Vec<UnivariateKernel> = (0..n_groups)
-            .map(|_| UnivariateKernel::new(self.config.kernel, 0.7))
-            .collect();
+            .map(|_| UnivariateKernel::try_new(self.config.kernel, 0.7))
+            .collect::<std::result::Result<_, _>>()?;
         let logit = Transform::Logit;
         let log_t = Transform::Log;
 
@@ -242,9 +282,35 @@ impl FailureModel for Hbp {
         let mut pi_acc = vec![0.0; table.units()];
         let mut retained = 0usize;
         let mut q_acc = vec![0.0; n_groups];
+        let mut start_it = 0usize;
 
+        // Resume a matching checkpoint if one is on disk.
+        if let Some(spec) = &self.config.checkpoint {
+            if let Some(state) = restore_hbp_checkpoint(
+                &spec.path,
+                fingerprint,
+                self.config.kernel,
+                n_groups,
+                table.units(),
+                self.config.schedule.total_iterations(),
+            ) {
+                rng = state.rng;
+                q = state.q;
+                c = state.c;
+                retained = state.retained;
+                pi_acc = state.pi_acc;
+                q_acc = state.q_acc;
+                kernels_q = state.kernels_q;
+                kernels_c = state.kernels_c;
+                start_it = state.next_iteration;
+            }
+        }
+
+        let mut health = ChainHealth::new(self.config.health);
         let sched = self.config.schedule;
-        for it in 0..sched.total_iterations() {
+        let total = sched.total_iterations();
+        for it in start_it..total {
+            health.begin_sweep()?;
             for g in 0..n_groups {
                 // q_k | rest via slice on logit scale.
                 let counts_g = &counts[g];
@@ -255,7 +321,7 @@ impl FailureModel for Hbp {
                         + table.group_log_likelihood(counts_g, qv, c_g)
                         + logit.ln_jacobian(y)
                 };
-                let y = kernels_q[g].step(logit.forward(q[g]), &log_post_q, &mut rng);
+                let y = kernels_q[g].try_step(logit.forward(q[g]), &log_post_q, &mut rng)?;
                 q[g] = logit.inverse(y).clamp(1e-9, 1.0 - 1e-9);
                 // c_k | rest via slice on log scale.
                 let q_g = q[g];
@@ -268,7 +334,7 @@ impl FailureModel for Hbp {
                         + table.group_log_likelihood(counts_g, q_g, cv)
                         + log_t.ln_jacobian(y)
                 };
-                let y = kernels_c[g].step(log_t.forward(c[g]), &log_post_c, &mut rng);
+                let y = kernels_c[g].try_step(log_t.forward(c[g]), &log_post_c, &mut rng)?;
                 c[g] = log_t.inverse(y).clamp(1e-6, 1e9);
             }
             if it + 1 == sched.burn_in {
@@ -277,6 +343,19 @@ impl FailureModel for Hbp {
                 for k in kernels_q.iter_mut().chain(kernels_c.iter_mut()) {
                     k.freeze();
                 }
+            }
+            // Online health: group-mean rate as the scalar monitor, plus the
+            // aggregate Metropolis acceptance when the RW kernel is in use.
+            health.observe_monitor(q.iter().sum::<f64>() / n_groups as f64)?;
+            if self.config.kernel == KernelKind::RandomWalk {
+                let (mut acc, mut att) = (0u64, 0u64);
+                for k in kernels_q.iter().chain(kernels_c.iter()) {
+                    if let UnivariateKernel::RandomWalk(rw) = k {
+                        acc += rw.accepted();
+                        att += rw.steps();
+                    }
+                }
+                health.record_acceptance(acc, att)?;
             }
             if sched.keep(it) {
                 retained += 1;
@@ -287,9 +366,30 @@ impl FailureModel for Hbp {
                     q_acc[g] += q[g];
                 }
             }
+            if let Some(spec) = &self.config.checkpoint {
+                if (it + 1).is_multiple_of(spec.every.max(1)) && it + 1 < total {
+                    save_hbp_checkpoint(
+                        &spec.path,
+                        fingerprint,
+                        it + 1,
+                        &rng,
+                        &q,
+                        &c,
+                        retained,
+                        &pi_acc,
+                        &q_acc,
+                        &kernels_q,
+                        &kernels_c,
+                    )?;
+                }
+            }
         }
         if retained == 0 {
             return Err(CoreError::BadConfig("schedule retained zero samples"));
+        }
+        // The chain finished: a leftover checkpoint would be stale, so drop it.
+        if let Some(spec) = &self.config.checkpoint {
+            let _ = std::fs::remove_file(&spec.path);
         }
         self.last_group_rates = q_acc.iter().map(|v| v / retained as f64).collect();
 
@@ -308,8 +408,167 @@ impl FailureModel for Hbp {
                 }
             })
             .collect();
-        Ok(RiskRanking::new(scores))
+        RiskRanking::try_new(scores)
     }
+}
+
+/// Chain state reconstructed from an HBP checkpoint file.
+struct HbpResumed {
+    rng: StdRng,
+    q: Vec<f64>,
+    c: Vec<f64>,
+    retained: usize,
+    pi_acc: Vec<f64>,
+    q_acc: Vec<f64>,
+    kernels_q: Vec<UnivariateKernel>,
+    kernels_c: Vec<UnivariateKernel>,
+    next_iteration: usize,
+}
+
+/// Encode the adaptation state of a kernel bank into parallel columns.
+/// Slice kernels are stateless (width comes from config) so only the
+/// random-walk bank writes anything.
+fn put_kernel_bank(w: &mut Writer, prefix: &str, kernels: &[UnivariateKernel]) {
+    let mut ln_scale = Vec::new();
+    let mut target = Vec::new();
+    let mut adapting = Vec::new();
+    let mut steps = Vec::new();
+    let mut accepted = Vec::new();
+    let mut divergences = Vec::new();
+    for k in kernels {
+        if let UnivariateKernel::RandomWalk(rw) = k {
+            let (ls, t, a, s, acc, d) = rw.to_raw_state();
+            ln_scale.push(ls);
+            target.push(t);
+            adapting.push(a as usize);
+            steps.push(s);
+            accepted.push(acc);
+            divergences.push(d);
+        }
+    }
+    w.put_f64_slice(&format!("{prefix}_ln_scale"), &ln_scale);
+    w.put_f64_slice(&format!("{prefix}_target"), &target);
+    w.put_usize_slice(&format!("{prefix}_adapting"), &adapting);
+    w.put_u64_slice(&format!("{prefix}_steps"), &steps);
+    w.put_u64_slice(&format!("{prefix}_accepted"), &accepted);
+    w.put_u64_slice(&format!("{prefix}_divergences"), &divergences);
+}
+
+/// Decode a kernel bank written by [`put_kernel_bank`]. For the slice kind
+/// fresh kernels are rebuilt from `width`; for random walk every column must
+/// have exactly `n` entries.
+fn read_kernel_bank(
+    r: &Reader,
+    prefix: &str,
+    kind: KernelKind,
+    n: usize,
+    width: f64,
+) -> Option<Vec<UnivariateKernel>> {
+    match kind {
+        KernelKind::Slice => (0..n).map(|_| UnivariateKernel::try_new(kind, width).ok()).collect(),
+        KernelKind::RandomWalk => {
+            let ln_scale = r.f64_slice(&format!("{prefix}_ln_scale"))?;
+            let target = r.f64_slice(&format!("{prefix}_target"))?;
+            let adapting = r.usize_slice(&format!("{prefix}_adapting"))?;
+            let steps = r.u64_slice(&format!("{prefix}_steps"))?;
+            let accepted = r.u64_slice(&format!("{prefix}_accepted"))?;
+            let divergences = r.u64_slice(&format!("{prefix}_divergences"))?;
+            if [ln_scale.len(), target.len(), adapting.len(), steps.len(), accepted.len(), divergences.len()]
+                .iter()
+                .any(|&l| l != n)
+            {
+                return None;
+            }
+            Some(
+                (0..n)
+                    .map(|i| {
+                        UnivariateKernel::RandomWalk(RandomWalkMetropolis::from_raw_state((
+                            ln_scale[i],
+                            target[i],
+                            adapting[i] == 1,
+                            steps[i],
+                            accepted[i],
+                            divergences[i],
+                        )))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Serialize the complete HBP chain state after `next_iteration` sweeps.
+#[allow(clippy::too_many_arguments)] // flat state snapshot, called from one place
+fn save_hbp_checkpoint(
+    path: &std::path::Path,
+    fingerprint: u64,
+    next_iteration: usize,
+    rng: &StdRng,
+    q: &[f64],
+    c: &[f64],
+    retained: usize,
+    pi_acc: &[f64],
+    q_acc: &[f64],
+    kernels_q: &[UnivariateKernel],
+    kernels_c: &[UnivariateKernel],
+) -> Result<()> {
+    let mut w = Writer::new(fingerprint);
+    w.put_usize("next_iteration", next_iteration);
+    w.put_u64_slice("rng", &rng.to_raw_state());
+    w.put_f64_slice("q", q);
+    w.put_f64_slice("c", c);
+    w.put_usize("retained", retained);
+    w.put_f64_slice("pi_acc", pi_acc);
+    w.put_f64_slice("q_acc", q_acc);
+    put_kernel_bank(&mut w, "kq", kernels_q);
+    put_kernel_bank(&mut w, "kc", kernels_c);
+    w.save(path)
+}
+
+/// Rebuild HBP chain state from `path`; `None` means "fit from scratch".
+fn restore_hbp_checkpoint(
+    path: &std::path::Path,
+    fingerprint: u64,
+    kind: KernelKind,
+    n_groups: usize,
+    n_units: usize,
+    total_iterations: usize,
+) -> Option<HbpResumed> {
+    let r = Reader::load(path, fingerprint)?;
+    let next_iteration = r.usize("next_iteration")?;
+    if next_iteration == 0 || next_iteration > total_iterations {
+        return None;
+    }
+    let raw: [u64; 4] = r.u64_slice("rng")?.try_into().ok()?;
+    if raw == [0u64; 4] {
+        return None;
+    }
+    let q = r.f64_slice("q")?;
+    let c = r.f64_slice("c")?;
+    let pi_acc = r.f64_slice("pi_acc")?;
+    let q_acc = r.f64_slice("q_acc")?;
+    if q.len() != n_groups || c.len() != n_groups || q_acc.len() != n_groups {
+        return None;
+    }
+    if pi_acc.len() != n_units {
+        return None;
+    }
+    if q.iter().any(|v| !(v.is_finite() && *v > 0.0 && *v < 1.0))
+        || c.iter().any(|v| !(v.is_finite() && *v > 0.0))
+    {
+        return None;
+    }
+    Some(HbpResumed {
+        rng: StdRng::from_raw_state(raw),
+        q,
+        c,
+        retained: r.usize("retained")?,
+        pi_acc,
+        q_acc,
+        kernels_q: read_kernel_bank(&r, "kq", kind, n_groups, 1.0)?,
+        kernels_c: read_kernel_bank(&r, "kc", kind, n_groups, 0.7)?,
+        next_iteration,
+    })
 }
 
 #[cfg(test)]
@@ -420,6 +679,49 @@ mod tests {
             .collect();
         let rho = pipefail_stats::descriptive::spearman(&xs, &ys).unwrap();
         assert!(rho > 0.9, "kernel rankings diverge: spearman {rho}");
+    }
+
+    #[test]
+    fn interrupted_fit_resumes_to_identical_ranking() {
+        // Same kill-and-resume protocol as the DPMHBP test, but with the
+        // random-walk kernel so the per-coordinate adaptation state
+        // (Robbins–Monro scale, step/accept counters) is exercised too.
+        let ds = demo_region();
+        let split = TrainTestSplit::paper_protocol();
+        let dir = std::env::temp_dir().join("pipefail_hbp_ckpt_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("fit.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+
+        let base = HbpConfig {
+            kernel: KernelKind::RandomWalk,
+            ..HbpConfig::fast()
+        };
+        let reference = Hbp::new(base.clone()).fit_rank(&ds, &split, 61).unwrap();
+
+        let spec = CheckpointSpec::new(&ckpt, 25);
+        let mut timeouts = 0usize;
+        for _ in 0..300 {
+            let mut m = Hbp::new(HbpConfig {
+                checkpoint: Some(spec.clone()),
+                health: HealthConfig::default().with_budget_secs(0.03),
+                ..base.clone()
+            });
+            match m.fit_rank(&ds, &split, 61) {
+                Err(CoreError::Chain(pipefail_mcmc::McmcError::Timeout { .. })) => timeouts += 1,
+                Ok(_) => break,
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        let resumed = Hbp::new(HbpConfig {
+            checkpoint: Some(spec),
+            ..base
+        })
+        .fit_rank(&ds, &split, 61)
+        .unwrap();
+        assert_eq!(resumed, reference, "resume after {timeouts} interruptions diverged");
+        assert!(!ckpt.exists(), "checkpoint must be removed after completion");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! therefore unified behind one trait that takes a dataset plus a temporal
 //! split and produces a [`RiskRanking`].
 
-use crate::Result;
+use crate::{CoreError, Result};
 use pipefail_network::attributes::PipeClass;
 use pipefail_network::dataset::Dataset;
 use pipefail_network::ids::PipeId;
@@ -32,9 +32,29 @@ pub struct RiskRanking {
 impl RiskRanking {
     /// Build from unordered scores; sorts descending (stable: ties keep
     /// their input order so results are reproducible).
+    ///
+    /// Never panics: `total_cmp` gives NaN a deterministic position (after
+    /// +∞, so a poisoned score sorts *first* in the descending ranking and
+    /// is visible rather than hidden). Fit paths should prefer
+    /// [`RiskRanking::try_new`], which rejects non-finite scores with a
+    /// typed error.
     pub fn new(mut scores: Vec<RiskScore>) -> Self {
-        scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        scores.sort_by(|a, b| b.score.total_cmp(&a.score));
         Self { scores }
+    }
+
+    /// Build from unordered scores, returning `CoreError::FitFailed` when
+    /// any score is non-finite — the typed-error path for model fits, so a
+    /// numerically poisoned fit degrades to a reportable failure instead of
+    /// silently ranking NaN pipes first.
+    pub fn try_new(scores: Vec<RiskScore>) -> Result<Self> {
+        if let Some(bad) = scores.iter().find(|s| !s.score.is_finite()) {
+            return Err(CoreError::FitFailed(format!(
+                "non-finite risk score {} for pipe {}",
+                bad.score, bad.pipe
+            )));
+        }
+        Ok(Self::new(scores))
     }
 
     /// Scores in descending order.
@@ -127,6 +147,29 @@ mod tests {
         assert_eq!(r.top_fraction(1.0).len(), 10);
         assert_eq!(r.top_fraction(0.0).len(), 0);
         assert_eq!(r.top_fraction(2.0).len(), 10);
+    }
+
+    #[test]
+    fn nan_scores_sort_without_panicking_and_try_new_rejects_them() {
+        let scores = vec![
+            RiskScore { pipe: PipeId(0), score: 0.4 },
+            RiskScore { pipe: PipeId(1), score: f64::NAN },
+            RiskScore { pipe: PipeId(2), score: 0.9 },
+        ];
+        // The infallible constructor must not panic; NaN sorts first
+        // (total order puts NaN above +inf) so the poison is visible.
+        let r = RiskRanking::new(scores.clone());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.scores()[0].pipe, PipeId(1));
+        // The fallible constructor surfaces the poison as a typed error.
+        let err = RiskRanking::try_new(scores).unwrap_err();
+        assert!(matches!(err, CoreError::FitFailed(_)));
+        assert!(err.to_string().contains("non-finite risk score"));
+        assert!(RiskRanking::try_new(vec![RiskScore {
+            pipe: PipeId(0),
+            score: 1.0
+        }])
+        .is_ok());
     }
 
     #[test]

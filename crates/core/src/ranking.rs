@@ -219,6 +219,7 @@ impl FailureModel for RankSvm {
         class: PipeClass,
         seed: u64,
     ) -> Result<RiskRanking> {
+        crate::validate::validate_fit_inputs(dataset, split, class)?;
         let pipes: Vec<&pipefail_network::dataset::Pipe> =
             dataset.pipes_of_class(class).collect();
         if pipes.is_empty() {
@@ -255,7 +256,7 @@ impl FailureModel for RankSvm {
                 score: self.weights.iter().zip(xi).map(|(a, b)| a * b).sum(),
             })
             .collect();
-        Ok(RiskRanking::new(scores))
+        RiskRanking::try_new(scores)
     }
 }
 

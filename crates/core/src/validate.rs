@@ -1,0 +1,145 @@
+//! Shared fit-input validation.
+//!
+//! Real utility records are dirty: NaN covariates from failed sensor joins,
+//! laid years after the observation window (data-entry slips), regions with
+//! no recorded failures at all. Every [`crate::model::FailureModel`]
+//! implementation calls [`validate_fit_inputs`] before touching the data, so
+//! each corruption degrades to one typed [`CoreError`] instead of a panic
+//! (or worse, a silently wrong ranking) somewhere deep inside a fit.
+//!
+//! Referential corruption (orphan failure records, wrong pipe attribution)
+//! is rejected earlier, by `Dataset::new` / the CSV reader — by the time a
+//! `Dataset` exists, references are sound. This module covers the *value*
+//! faults that construction cannot see.
+
+use crate::{CoreError, Result};
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::TrainTestSplit;
+
+/// Validate `dataset` as training input for ranking pipes of `class`.
+///
+/// Checks, in order:
+/// * at least one pipe of `class` exists (`EmptyEvaluationSet` otherwise);
+/// * the dataset records at least one failure (`DataFault`: a zero-failure
+///   region gives every model a degenerate likelihood and every ranking an
+///   undefined AUC);
+/// * every pipe has a finite positive diameter and a laid year no later
+///   than the observation window's end (`DataFault`: a pipe laid after the
+///   window has negative age throughout, i.e. inconsistent records);
+/// * every segment's covariates (intersection distance, tree canopy, soil
+///   moisture) and geometry coordinates are finite (`DataFault`).
+///
+/// The scan is O(pipes + segments) — noise next to any fit.
+pub fn validate_fit_inputs(
+    dataset: &Dataset,
+    _split: &TrainTestSplit,
+    class: PipeClass,
+) -> Result<()> {
+    if dataset.pipes_of_class(class).next().is_none() {
+        return Err(CoreError::EmptyEvaluationSet("no pipes of requested class"));
+    }
+    if dataset.failures().is_empty() {
+        return Err(CoreError::DataFault(format!(
+            "{}: zero failure records over {:?} — nothing to fit",
+            dataset.name(),
+            dataset.observation()
+        )));
+    }
+    let obs_end = dataset.observation().end;
+    for p in dataset.pipes() {
+        if !(p.diameter_mm.is_finite() && p.diameter_mm > 0.0) {
+            return Err(CoreError::DataFault(format!(
+                "pipe {}: diameter {} is not a positive finite number",
+                p.id, p.diameter_mm
+            )));
+        }
+        if p.laid_year > obs_end {
+            return Err(CoreError::DataFault(format!(
+                "pipe {}: laid year {} is after the observation window end {obs_end} (negative age)",
+                p.id, p.laid_year
+            )));
+        }
+    }
+    for s in dataset.segments() {
+        if !s.dist_to_intersection_m.is_finite()
+            || !s.tree_canopy.is_finite()
+            || !s.soil_moisture.is_finite()
+        {
+            return Err(CoreError::DataFault(format!(
+                "segment {}: non-finite covariate (dist {}, canopy {}, moisture {})",
+                s.id, s.dist_to_intersection_m, s.tree_canopy, s.soil_moisture
+            )));
+        }
+        if s.geometry.points().iter().any(|pt| !pt.x.is_finite() || !pt.y.is_finite()) {
+            return Err(CoreError::DataFault(format!(
+                "segment {}: non-finite geometry coordinate",
+                s.id
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_network::dataset::test_helpers::three_pipe_dataset;
+    use pipefail_network::dataset::Dataset;
+    use pipefail_network::ids::RegionId;
+    use pipefail_network::split::TrainTestSplit;
+
+    fn rebuild(
+        ds: &Dataset,
+        f: impl FnOnce(
+            &mut Vec<pipefail_network::dataset::Pipe>,
+            &mut Vec<pipefail_network::dataset::Segment>,
+            &mut Vec<pipefail_network::failure::FailureRecord>,
+        ),
+    ) -> Dataset {
+        let mut pipes = ds.pipes().to_vec();
+        let mut segments = ds.segments().to_vec();
+        let mut failures = ds.failures().to_vec();
+        f(&mut pipes, &mut segments, &mut failures);
+        Dataset::new(ds.name(), RegionId(0), ds.observation(), pipes, segments, failures)
+            .expect("referentially sound")
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let ds = three_pipe_dataset();
+        assert!(validate_fit_inputs(&ds, &TrainTestSplit::paper_protocol(), PipeClass::Critical)
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_class_is_typed() {
+        let ds = three_pipe_dataset();
+        let err = validate_fit_inputs(
+            &ds,
+            &TrainTestSplit::paper_protocol(),
+            PipeClass::Reticulation,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyEvaluationSet(_)));
+    }
+
+    #[test]
+    fn value_faults_are_typed_data_faults() {
+        let split = TrainTestSplit::paper_protocol();
+        let base = three_pipe_dataset();
+        let nan_diameter = rebuild(&base, |p, _, _| p[0].diameter_mm = f64::NAN);
+        let future_pipe = rebuild(&base, |p, _, _| p[1].laid_year = 2050);
+        let nan_covariate = rebuild(&base, |_, s, _| s[2].soil_moisture = f64::INFINITY);
+        let no_failures = rebuild(&base, |_, _, f| f.clear());
+        for (label, ds) in [
+            ("nan diameter", nan_diameter),
+            ("future laid year", future_pipe),
+            ("nan covariate", nan_covariate),
+            ("zero failures", no_failures),
+        ] {
+            let err = validate_fit_inputs(&ds, &split, PipeClass::Critical).unwrap_err();
+            assert!(matches!(err, CoreError::DataFault(_)), "{label}: {err}");
+        }
+    }
+}

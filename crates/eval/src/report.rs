@@ -141,6 +141,11 @@ mod tests {
                 curve_length_density: DetectionCurve::by_length_density(&ranking, &ds, w),
                 curve_count: curve,
             }],
+            fits: vec![crate::runner::FitReport {
+                model: "DPMHBP".into(),
+                attempts: 1,
+                error: None,
+            }],
         }
     }
 

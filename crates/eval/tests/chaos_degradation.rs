@@ -1,0 +1,121 @@
+//! Chaos-injection suite: every corruption in the fault matrix must yield a
+//! typed `Err` from every `ModelKind` — zero panics.
+//!
+//! Faults come from `pipefail_synth::faults`. Referential faults are
+//! intercepted at ingestion (`Dataset::new` / the CSV reader); latent value
+//! faults pass construction and must be rejected by the shared fit-input
+//! validation inside every model. Each fit runs under `catch_unwind` so an
+//! `assert!` deep in a sampler shows up as a test failure, not an abort.
+
+use pipefail_core::hbp::GroupingScheme;
+use pipefail_core::CoreError;
+use pipefail_eval::runner::{ModelKind, RunConfig};
+use pipefail_network::attributes::PipeClass;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_network::NetworkError;
+use pipefail_synth::faults::{self, Fault};
+use pipefail_synth::WorldConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every model the runner can build — the paper's five plus the extensions.
+fn all_model_kinds() -> Vec<ModelKind> {
+    vec![
+        ModelKind::Dpmhbp,
+        ModelKind::Hbp(GroupingScheme::Material),
+        ModelKind::Cox,
+        ModelKind::Weibull,
+        ModelKind::RankSvm,
+        ModelKind::RankSvmEs,
+        ModelKind::TimeExp,
+        ModelKind::TimePow,
+        ModelKind::TimeLin,
+    ]
+}
+
+fn clean_region() -> Dataset {
+    WorldConfig::paper()
+        .scaled(0.02)
+        .only_region("Region A")
+        .build(11)
+        .regions()[0]
+        .clone()
+}
+
+/// Fit `kind` on `ds` inside `catch_unwind`; a panic is a test failure.
+fn fit_no_panic(kind: ModelKind, ds: &Dataset, label: &str) -> Result<(), CoreError> {
+    let split = TrainTestSplit::paper_protocol();
+    let config = RunConfig::fast();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        kind.build(config.fast)
+            .fit_rank_class(ds, &split, PipeClass::Critical, 17)
+    }));
+    match outcome {
+        Ok(result) => result.map(|_| ()),
+        Err(_) => panic!("{} PANICKED on fault {label}", kind.display()),
+    }
+}
+
+#[test]
+fn latent_faults_yield_typed_errors_from_every_model() {
+    let clean = clean_region();
+    for fault in Fault::all().into_iter().filter(Fault::is_latent) {
+        let ds = faults::inject(&clean, fault)
+            .unwrap_or_else(|e| panic!("{fault:?} should pass construction: {e}"));
+        for kind in all_model_kinds() {
+            let err = fit_no_panic(kind, &ds, &format!("{fault:?}"))
+                .expect_err(&format!("{} must reject {fault:?}", kind.display()));
+            match fault {
+                Fault::EmptyEvaluationClass => assert!(
+                    matches!(err, CoreError::EmptyEvaluationSet(_)),
+                    "{}: {fault:?} → {err}",
+                    kind.display()
+                ),
+                _ => assert!(
+                    matches!(err, CoreError::DataFault(_)),
+                    "{}: {fault:?} → {err}",
+                    kind.display()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn referential_faults_are_rejected_at_ingestion() {
+    let clean = clean_region();
+    for fault in Fault::all().into_iter().filter(|f| !f.is_latent()) {
+        let err = faults::inject(&clean, fault)
+            .expect_err(&format!("{fault:?} must not construct a dataset"));
+        assert!(
+            matches!(
+                err,
+                NetworkError::Invalid(_) | NetworkError::DanglingReference(_)
+            ),
+            "{fault:?} → {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_csv_rows_are_a_typed_parse_error() {
+    let clean = clean_region();
+    let dir = std::env::temp_dir().join(format!("pipefail_chaos_{}", std::process::id()));
+    let result = faults::truncated_csv_roundtrip(&clean, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        matches!(result, Err(NetworkError::Parse(_))),
+        "expected a parse error, got {result:?}"
+    );
+}
+
+/// The clean dataset really fits under every model — the fault matrix above
+/// is not vacuous (models failing for unrelated reasons would also "pass").
+#[test]
+fn clean_dataset_fits_under_every_model() {
+    let clean = clean_region();
+    for kind in all_model_kinds() {
+        fit_no_panic(kind, &clean, "clean")
+            .unwrap_or_else(|e| panic!("{} failed on clean data: {e}", kind.display()));
+    }
+}

@@ -22,7 +22,7 @@ fn main() {
             &ModelKind::paper_five(),
             ctx.run_config(),
             ctx.replicates,
-            ctx.seed ^ 0x18_8,
+            ctx.seed ^ 0x188,
         );
         out.push_str(&format!(
             "== {region} (mean % of test-year failures detected at 1% of CWM length, {} replicates) ==\n",

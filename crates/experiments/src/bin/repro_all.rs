@@ -4,46 +4,183 @@
 //! ```text
 //! PIPEFAIL_SCALE=0.12 cargo run --release -p pipefail-experiments --bin repro_all
 //! ```
+//!
+//! The driver is fault-tolerant:
+//!
+//! * each experiment binary runs to completion even when an earlier one
+//!   failed — one broken figure no longer kills the whole reproduction;
+//! * a failed binary is retried (up to `PIPEFAIL_MAX_RETRIES` extra
+//!   launches) before being reported as failed;
+//! * a completed binary drops a marker under `<out>/status/`, so rerunning
+//!   `repro_all` after an interruption skips everything already done (and
+//!   the sampling models inside each binary additionally resume their own
+//!   chains from checkpoints where configured). Delete the `status/`
+//!   directory (or `PIPEFAIL_OUT`) for a from-scratch rerun;
+//! * the run ends with a pass/fail/retried summary table and exits non-zero
+//!   if any binary still failed, listing the failures.
 
+use pipefail_eval::RetryPolicy;
+use pipefail_experiments::Context;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
+const BINS: [&str; 15] = [
+    "table18_1",
+    "table18_2",
+    "fig18_2",
+    "fig18_3",
+    "fig18_5_6",
+    "fig18_7",
+    "table18_3",
+    "table18_4",
+    "fig18_8",
+    "fig18_9",
+    "ablation_grouping",
+    "ablation_domain_knowledge",
+    "mcmc_diagnostics",
+    "rolling_origin",
+    "calibration",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Outcome {
+    /// Succeeded this run.
+    Passed,
+    /// Marker from a previous run; not re-executed.
+    AlreadyDone,
+    /// Every launch failed.
+    Failed,
+}
+
+struct BinStatus {
+    bin: &'static str,
+    outcome: Outcome,
+    /// Launches made this run (0 when skipped via marker).
+    attempts: usize,
+    /// Failure detail of the last attempt, if any.
+    detail: Option<String>,
+}
+
 fn main() {
-    let bins = [
-        "table18_1",
-        "table18_2",
-        "fig18_2",
-        "fig18_3",
-        "fig18_5_6",
-        "fig18_7",
-        "table18_3",
-        "table18_4",
-        "fig18_8",
-        "fig18_9",
-        "ablation_grouping",
-        "ablation_domain_knowledge",
-        "mcmc_diagnostics",
-        "rolling_origin",
-        "calibration",
-    ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    for bin in bins {
-        println!("\n================ {bin} ================");
-        // Prefer the sibling executable (present after `cargo build`); fall
-        // back to `cargo run` so `cargo run --bin repro_all` works alone.
-        let sibling = exe_dir.join(bin);
-        let status = if sibling.exists() {
-            Command::new(sibling).status()
-        } else {
-            Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "pipefail-experiments", "--bin", bin])
-                .status()
-        }
-        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
+    let ctx = Context::from_env();
+    let status_dir = ctx.out_dir.join("status");
+    if let Err(e) = std::fs::create_dir_all(&status_dir) {
+        eprintln!(
+            "cannot create status dir {}: {e}; resume markers disabled",
+            status_dir.display()
+        );
     }
-    println!("\nAll experiments completed.");
+    let retries = RetryPolicy::from_env().max_retries;
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf));
+
+    let mut statuses: Vec<BinStatus> = Vec::with_capacity(BINS.len());
+    for bin in BINS {
+        let marker = status_dir.join(format!("{bin}.done"));
+        if marker.exists() {
+            println!("\n================ {bin} ================");
+            println!("[skipped: marker {} exists]", marker.display());
+            statuses.push(BinStatus {
+                bin,
+                outcome: Outcome::AlreadyDone,
+                attempts: 0,
+                detail: None,
+            });
+            continue;
+        }
+        let mut attempts = 0;
+        let mut detail = None;
+        let outcome = loop {
+            println!("\n================ {bin} ================");
+            attempts += 1;
+            if attempts > 1 {
+                println!("[retry {} of {retries}]", attempts - 1);
+            }
+            match launch(bin, exe_dir.as_deref()) {
+                Ok(()) => break Outcome::Passed,
+                Err(e) => {
+                    eprintln!("[{bin}] attempt {attempts} failed: {e}");
+                    detail = Some(e);
+                    if attempts > retries {
+                        break Outcome::Failed;
+                    }
+                }
+            }
+        };
+        if outcome == Outcome::Passed {
+            let note = format!("completed after {attempts} attempt(s)\n");
+            if let Err(e) = std::fs::write(&marker, note) {
+                eprintln!("cannot write marker {}: {e}", marker.display());
+            }
+        }
+        statuses.push(BinStatus {
+            bin,
+            outcome,
+            attempts,
+            detail,
+        });
+    }
+
+    print_summary(&statuses);
+    let failed: Vec<&str> = statuses
+        .iter()
+        .filter(|s| s.outcome == Outcome::Failed)
+        .map(|s| s.bin)
+        .collect();
+    if failed.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFAILED experiments: {}", failed.join(", "));
+        eprintln!("(rerun `repro_all` to retry only the failures — completed bins are skipped)");
+        std::process::exit(1);
+    }
+}
+
+/// Launch one experiment binary; `Err` carries the failure detail.
+fn launch(bin: &str, exe_dir: Option<&Path>) -> Result<(), String> {
+    // Prefer the sibling executable (present after `cargo build`); fall
+    // back to `cargo run` so `cargo run --bin repro_all` works alone.
+    let sibling: Option<PathBuf> = exe_dir.map(|d| d.join(bin)).filter(|p| p.exists());
+    let status = match sibling {
+        Some(exe) => Command::new(exe).status(),
+        None => Command::new("cargo")
+            .args(["run", "--release", "-q", "-p", "pipefail-experiments", "--bin", bin])
+            .status(),
+    };
+    match status {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => Err(format!("exited with {s}")),
+        Err(e) => Err(format!("failed to launch: {e}")),
+    }
+}
+
+fn print_summary(statuses: &[BinStatus]) {
+    println!("\n================ summary ================");
+    println!("{:<28} {:<18} attempts", "experiment", "result");
+    for s in statuses {
+        let result = match s.outcome {
+            Outcome::Passed if s.attempts > 1 => "pass (retried)",
+            Outcome::Passed => "pass",
+            Outcome::AlreadyDone => "done (resumed)",
+            Outcome::Failed => "FAIL",
+        };
+        print!("{:<28} {:<18} {}", s.bin, result, s.attempts);
+        if let Some(d) = &s.detail {
+            if s.outcome == Outcome::Failed {
+                print!("   [{d}]");
+            }
+        }
+        println!();
+    }
+    let passed = statuses
+        .iter()
+        .filter(|s| matches!(s.outcome, Outcome::Passed | Outcome::AlreadyDone))
+        .count();
+    let retried = statuses
+        .iter()
+        .filter(|s| s.outcome == Outcome::Passed && s.attempts > 1)
+        .count();
+    let failed = statuses.len() - passed;
+    println!("\n{passed} passed ({retried} after retry), {failed} failed, {} total", statuses.len());
 }

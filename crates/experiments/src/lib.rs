@@ -12,12 +12,16 @@
 //!   the full schedules;
 //! * `PIPEFAIL_REPLICATES` — replicate worlds for the significance tests
 //!   (default 10);
-//! * `PIPEFAIL_OUT`   — output directory (default `target/repro`).
+//! * `PIPEFAIL_OUT`   — output directory (default `target/repro`);
+//! * `PIPEFAIL_MAX_RETRIES` — extra fit attempts after a chain failure
+//!   (default 2); retries reseed from a derived sub-seed;
+//! * `PIPEFAIL_MODEL_BUDGET_SECS` — per-model wall-clock budget across all
+//!   attempts (default unlimited).
 //!
 //! Outputs are printed to stdout **and** written under the output directory
 //! so `EXPERIMENTS.md` can reference stable artefacts.
 
-use pipefail_eval::runner::{evaluate_region, ModelKind, RegionResult, RunConfig};
+use pipefail_eval::runner::{evaluate_region, ModelKind, RegionResult, RetryPolicy, RunConfig};
 use pipefail_network::split::TrainTestSplit;
 use pipefail_synth::{World, WorldConfig};
 use std::path::{Path, PathBuf};
@@ -80,10 +84,12 @@ impl Context {
         TrainTestSplit::paper_protocol()
     }
 
-    /// Run configuration for the evaluation harness.
+    /// Run configuration for the evaluation harness, including the
+    /// environment-configured recovery policy.
     pub fn run_config(&self) -> RunConfig {
         RunConfig {
             fast: self.fast,
+            retry: RetryPolicy::from_env(),
             ..RunConfig::default()
         }
     }
@@ -107,8 +113,20 @@ pub fn run_comparison(ctx: &Context, world: &World) -> Vec<RegionResult> {
         .regions()
         .iter()
         .map(|ds| {
-            evaluate_region(ds, &split, &ModelKind::paper_five(), ctx.run_config(), ctx.seed)
-                .expect("comparison evaluation failed")
+            let r = evaluate_region(ds, &split, &ModelKind::paper_five(), ctx.run_config(), ctx.seed)
+                .expect("comparison evaluation failed");
+            // Failed models are skipped, not fatal; surface them so the
+            // report's missing rows are explained.
+            for f in r.fits.iter().filter(|f| !f.succeeded()) {
+                eprintln!(
+                    "[{}] {} failed after {} attempt(s): {}",
+                    r.region,
+                    f.model,
+                    f.attempts,
+                    f.error.as_deref().unwrap_or("unknown")
+                );
+            }
+            r
         })
         .collect()
 }

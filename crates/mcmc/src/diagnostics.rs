@@ -1,7 +1,12 @@
 //! Chain convergence diagnostics: autocorrelation, effective sample size,
-//! split-R̂ (Gelman–Rubin) and the Geweke score.
+//! split-R̂ (Gelman–Rubin) and the Geweke score — plus [`ChainHealth`], the
+//! *online* monitor the fit loops run every sweep to turn numerical trouble
+//! (divergent draws, stuck chains, blown wall-clock budgets) into typed
+//! [`McmcError`]s instead of silent garbage or panics.
 
+use crate::error::McmcError;
 use pipefail_stats::descriptive::{mean, variance};
+use std::time::Instant;
 
 /// Autocorrelation of `xs` at `lag` (biased estimator, the standard choice
 /// for ESS computation). Returns 0 for degenerate inputs.
@@ -105,6 +110,156 @@ pub fn geweke(xs: &[f64], frac_a: f64, frac_b: f64) -> f64 {
     (ma - mb) / denom
 }
 
+/// Thresholds for the online [`ChainHealth`] monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Non-finite monitor draws tolerated before the chain is declared
+    /// diverged. Divergences can be transient (one pathological proposal),
+    /// so a small budget avoids failing chains that recover.
+    pub max_divergences: usize,
+    /// Sweeps per stuck-detection window. Each full window is tested and the
+    /// window then restarts, so detection latency is at most `2 * window`.
+    pub window: usize,
+    /// A chain whose cumulative Metropolis acceptance rate sits below this
+    /// floor (after a warm-up of attempts) is declared stuck.
+    pub min_acceptance: f64,
+    /// A full window whose draw standard deviation falls below
+    /// `min_draw_std * (1 + |window mean|)` is declared stuck.
+    pub min_draw_std: f64,
+    /// Optional wall-clock budget for the whole fit, in seconds.
+    pub wall_clock_budget_secs: Option<f64>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            max_divergences: 25,
+            window: 50,
+            min_acceptance: 0.01,
+            min_draw_std: 1e-10,
+            wall_clock_budget_secs: None,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Same thresholds with a wall-clock budget attached.
+    pub fn with_budget_secs(mut self, secs: f64) -> Self {
+        self.wall_clock_budget_secs = Some(secs);
+        self
+    }
+}
+
+/// Online chain-health monitor.
+///
+/// A fit loop calls [`ChainHealth::begin_sweep`] at the top of every Gibbs
+/// sweep (wall-clock check) and [`ChainHealth::observe_monitor`] with one or
+/// more scalar monitors of the chain state (e.g. the size-weighted mean
+/// failure rate). Kernels with an accept/reject step additionally report
+/// cumulative acceptance via [`ChainHealth::record_acceptance`]. Any check
+/// that trips returns a typed [`McmcError`] the caller propagates; the retry
+/// policy upstream decides whether to restart with a fresh seed.
+#[derive(Debug)]
+pub struct ChainHealth {
+    cfg: HealthConfig,
+    sweep: usize,
+    divergences: usize,
+    window_draws: Vec<f64>,
+    started: Instant,
+}
+
+impl ChainHealth {
+    /// Start monitoring now (the wall-clock budget runs from this call).
+    pub fn new(cfg: HealthConfig) -> Self {
+        Self {
+            cfg,
+            sweep: 0,
+            divergences: 0,
+            window_draws: Vec::with_capacity(cfg.window),
+            started: Instant::now(),
+        }
+    }
+
+    /// Sweeps observed so far.
+    pub fn sweep(&self) -> usize {
+        self.sweep
+    }
+
+    /// Non-finite monitor draws observed so far.
+    pub fn divergences(&self) -> usize {
+        self.divergences
+    }
+
+    /// Mark the start of a Gibbs sweep; errors if the wall-clock budget is
+    /// exhausted.
+    pub fn begin_sweep(&mut self) -> Result<(), McmcError> {
+        self.sweep += 1;
+        if let Some(budget) = self.cfg.wall_clock_budget_secs {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            if elapsed > budget {
+                return Err(McmcError::Timeout {
+                    elapsed_secs: elapsed,
+                    budget_secs: budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed one scalar monitor of the chain state. Non-finite values count
+    /// against the divergence budget; finite values feed the stuck-chain
+    /// variance window.
+    pub fn observe_monitor(&mut self, x: f64) -> Result<(), McmcError> {
+        if !x.is_finite() {
+            self.divergences += 1;
+            if self.divergences > self.cfg.max_divergences {
+                return Err(McmcError::ChainDiverged {
+                    sweep: self.sweep,
+                    divergences: self.divergences,
+                });
+            }
+            return Ok(());
+        }
+        self.window_draws.push(x);
+        if self.window_draws.len() >= self.cfg.window.max(2) {
+            let m = mean(&self.window_draws).unwrap_or(0.0);
+            let sd = variance(&self.window_draws).unwrap_or(0.0).sqrt();
+            self.window_draws.clear();
+            if sd < self.cfg.min_draw_std * (1.0 + m.abs()) {
+                return Err(McmcError::ChainStuck {
+                    sweep: self.sweep,
+                    detail: format!(
+                        "monitor draw std {sd:.3e} below floor over a {} -sweep window",
+                        self.cfg.window
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Report *cumulative* Metropolis acceptance counts. Only meaningful for
+    /// kernels with an accept/reject step; a chain rejecting essentially every
+    /// proposal after a warm-up of attempts is declared stuck.
+    pub fn record_acceptance(&mut self, accepted: u64, attempted: u64) -> Result<(), McmcError> {
+        // Warm-up: adaptation needs some attempts before the rate means much.
+        if attempted < 200 {
+            return Ok(());
+        }
+        let rate = accepted as f64 / attempted as f64;
+        if rate < self.cfg.min_acceptance {
+            return Err(McmcError::ChainStuck {
+                sweep: self.sweep,
+                detail: format!(
+                    "acceptance rate {rate:.4} below floor {} after {attempted} attempts",
+                    self.cfg.min_acceptance
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +339,79 @@ mod tests {
         let xs = [2.0; 100];
         assert_eq!(autocorrelation(&xs, 3), 0.0);
         assert_eq!(split_r_hat(&xs), 1.0);
+    }
+
+    #[test]
+    fn health_tolerates_sporadic_divergences() {
+        let mut h = ChainHealth::new(HealthConfig::default());
+        let mut rng = seeded_rng(55);
+        let noise = Normal::standard();
+        for i in 0..500 {
+            h.begin_sweep().unwrap();
+            let x = if i % 100 == 7 { f64::NAN } else { noise.sample(&mut rng) };
+            h.observe_monitor(x).unwrap();
+        }
+        assert_eq!(h.divergences(), 5);
+    }
+
+    #[test]
+    fn health_flags_divergence_budget_exhaustion() {
+        let cfg = HealthConfig {
+            max_divergences: 3,
+            ..HealthConfig::default()
+        };
+        let mut h = ChainHealth::new(cfg);
+        let mut err = None;
+        for _ in 0..10 {
+            h.begin_sweep().unwrap();
+            if let Err(e) = h.observe_monitor(f64::INFINITY) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(McmcError::ChainDiverged { divergences: 4, .. })));
+    }
+
+    #[test]
+    fn health_flags_stuck_constant_monitor() {
+        let mut h = ChainHealth::new(HealthConfig::default());
+        let mut err = None;
+        for _ in 0..200 {
+            h.begin_sweep().unwrap();
+            if let Err(e) = h.observe_monitor(3.25) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(McmcError::ChainStuck { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn health_accepts_a_moving_chain() {
+        let mut h = ChainHealth::new(HealthConfig::default());
+        let mut rng = seeded_rng(56);
+        let noise = Normal::standard();
+        for _ in 0..1_000 {
+            h.begin_sweep().unwrap();
+            h.observe_monitor(noise.sample(&mut rng)).unwrap();
+            h.record_acceptance(440, 1_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn health_flags_near_zero_acceptance() {
+        let mut h = ChainHealth::new(HealthConfig::default());
+        // Below warm-up: no verdict yet.
+        h.record_acceptance(0, 199).unwrap();
+        let err = h.record_acceptance(1, 10_000);
+        assert!(matches!(err, Err(McmcError::ChainStuck { .. })));
+    }
+
+    #[test]
+    fn health_enforces_wall_clock_budget() {
+        let cfg = HealthConfig::default().with_budget_secs(0.0);
+        let mut h = ChainHealth::new(cfg);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(matches!(h.begin_sweep(), Err(McmcError::Timeout { .. })));
     }
 }

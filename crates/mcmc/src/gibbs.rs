@@ -8,6 +8,8 @@
 //! posterior is known exactly.
 
 use crate::chain::ChainSet;
+use crate::diagnostics::ChainHealth;
+use crate::error::McmcError;
 use crate::Schedule;
 use rand::Rng;
 
@@ -16,6 +18,14 @@ pub trait GibbsModel {
     /// Perform one full Gibbs sweep (resample every block once), mutating the
     /// internal state.
     fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Fallible sweep for fit paths that must not panic. The default wraps
+    /// [`GibbsModel::sweep`]; models whose blocks use the kernels' `try_step`
+    /// APIs should override this and propagate their errors.
+    fn try_sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<(), McmcError> {
+        self.sweep(rng);
+        Ok(())
+    }
 
     /// Called once per *retained* iteration so the model can accumulate
     /// posterior summaries internally (posterior means of per-item
@@ -64,6 +74,44 @@ where
         retained,
         total_sweeps: total,
     }
+}
+
+/// Fault-tolerant variant of [`run`]: every sweep goes through
+/// [`GibbsModel::try_sweep`] and the supplied [`ChainHealth`] monitor, so
+/// divergent or stuck chains and blown wall-clock budgets surface as typed
+/// errors instead of panics or silently bad posteriors.
+pub fn try_run<M, R>(
+    model: &mut M,
+    schedule: Schedule,
+    health: &mut ChainHealth,
+    rng: &mut R,
+) -> Result<GibbsRun, McmcError>
+where
+    M: GibbsModel,
+    R: Rng + ?Sized,
+{
+    let mut chains = ChainSet::new();
+    let mut retained = 0;
+    let total = schedule.total_iterations();
+    for it in 0..total {
+        health.begin_sweep()?;
+        model.try_sweep(rng)?;
+        for (name, value) in model.monitors() {
+            health.observe_monitor(value)?;
+            if schedule.keep(it) {
+                chains.chain_mut(name).push(value);
+            }
+        }
+        if schedule.keep(it) {
+            model.record();
+            retained += 1;
+        }
+    }
+    Ok(GibbsRun {
+        chains,
+        retained,
+        total_sweeps: total,
+    })
 }
 
 #[cfg(test)]
@@ -130,6 +178,47 @@ mod tests {
         assert_eq!(chain.len(), 3000);
         let r_hat = crate::diagnostics::split_r_hat(chain.draws());
         assert!((r_hat - 1.0).abs() < 0.05, "r_hat {r_hat}");
+    }
+
+    #[test]
+    fn try_run_matches_run_on_a_healthy_chain() {
+        let make = || ToyModel {
+            data: vec![1.2, 0.8, 1.5],
+            theta: 0.0,
+            slice: SliceSampler::new(0.5),
+            sum_theta: 0.0,
+            records: 0,
+        };
+        let sched = Schedule::new(50, 200, 1);
+        let mut a = make();
+        let mut rng_a = seeded_rng(62);
+        let plain = run(&mut a, sched, &mut rng_a);
+        let mut b = make();
+        let mut rng_b = seeded_rng(62);
+        let mut health = ChainHealth::new(crate::diagnostics::HealthConfig::default());
+        let guarded = try_run(&mut b, sched, &mut health, &mut rng_b).expect("healthy chain");
+        assert_eq!(guarded.retained, plain.retained);
+        assert_eq!(
+            guarded.chains.get("theta").unwrap().draws(),
+            plain.chains.get("theta").unwrap().draws(),
+            "monitoring must not perturb the chain"
+        );
+    }
+
+    #[test]
+    fn try_run_surfaces_a_stuck_chain() {
+        /// Model whose monitor never moves: the health window must trip.
+        struct FrozenModel;
+        impl GibbsModel for FrozenModel {
+            fn sweep<R: rand::Rng + ?Sized>(&mut self, _rng: &mut R) {}
+            fn monitors(&self) -> Vec<(&'static str, f64)> {
+                vec![("theta", 1.0)]
+            }
+        }
+        let mut rng = seeded_rng(63);
+        let mut health = ChainHealth::new(crate::diagnostics::HealthConfig::default());
+        let err = try_run(&mut FrozenModel, Schedule::new(0, 500, 1), &mut health, &mut rng);
+        assert!(matches!(err, Err(McmcError::ChainStuck { .. })), "{err:?}");
     }
 
     #[test]

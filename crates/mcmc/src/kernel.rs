@@ -5,6 +5,7 @@
 //! between them with one configuration value, which the grouping-ablation
 //! bench uses to compare mixing.
 
+use crate::error::McmcError;
 use crate::rw::RandomWalkMetropolis;
 use crate::slice::SliceSampler;
 use rand::Rng;
@@ -29,6 +30,9 @@ pub enum UnivariateKernel {
 
 impl UnivariateKernel {
     /// Build a kernel of `kind` with initial scale/width `scale`.
+    ///
+    /// Panics on an invalid scale; fit paths that must not panic should use
+    /// [`UnivariateKernel::try_new`].
     pub fn new(kind: KernelKind, scale: f64) -> Self {
         match kind {
             KernelKind::Slice => UnivariateKernel::Slice(SliceSampler::new(scale)),
@@ -38,7 +42,21 @@ impl UnivariateKernel {
         }
     }
 
+    /// Fallible constructor: `Err(McmcError::BadKernelConfig)` on a
+    /// non-positive or non-finite scale.
+    pub fn try_new(kind: KernelKind, scale: f64) -> Result<Self, McmcError> {
+        Ok(match kind {
+            KernelKind::Slice => UnivariateKernel::Slice(SliceSampler::try_new(scale)?),
+            KernelKind::RandomWalk => {
+                UnivariateKernel::RandomWalk(RandomWalkMetropolis::try_new(scale)?)
+            }
+        })
+    }
+
     /// One transition from `x` under log-density `log_f`.
+    ///
+    /// Panics if the current state has non-finite log-density; fit paths that
+    /// must not panic should use [`UnivariateKernel::try_step`].
     pub fn step<R, F>(&mut self, x: f64, log_f: &F, rng: &mut R) -> f64
     where
         R: Rng + ?Sized,
@@ -50,10 +68,40 @@ impl UnivariateKernel {
         }
     }
 
+    /// Fallible transition: `Err(NonFiniteLogPosterior)` when the current
+    /// state is unrecoverable (see the underlying kernels' `try_step` docs).
+    pub fn try_step<R, F>(&mut self, x: f64, log_f: &F, rng: &mut R) -> Result<f64, McmcError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(f64) -> f64,
+    {
+        match self {
+            UnivariateKernel::Slice(s) => s.try_step(x, log_f, rng),
+            UnivariateKernel::RandomWalk(k) => k.try_step(x, log_f, rng),
+        }
+    }
+
     /// Freeze adaptation (no-op for the slice kernel).
     pub fn freeze(&mut self) {
         if let UnivariateKernel::RandomWalk(k) = self {
             k.freeze();
+        }
+    }
+
+    /// Empirical acceptance rate, when the kernel has one (random walk).
+    /// The slice sampler has no accept/reject step, so returns `None`.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        match self {
+            UnivariateKernel::Slice(_) => None,
+            UnivariateKernel::RandomWalk(k) => Some(k.acceptance_rate()),
+        }
+    }
+
+    /// Divergent (NaN log-density) proposals observed so far, when tracked.
+    pub fn divergences(&self) -> u64 {
+        match self {
+            UnivariateKernel::Slice(_) => 0,
+            UnivariateKernel::RandomWalk(k) => k.divergences(),
         }
     }
 }
@@ -90,6 +138,24 @@ mod tests {
                 "{kind:?} var {}",
                 variance(&xs).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn try_variants_report_errors_for_both_kinds() {
+        for kind in [KernelKind::Slice, KernelKind::RandomWalk] {
+            assert!(matches!(
+                UnivariateKernel::try_new(kind, -2.0),
+                Err(McmcError::BadKernelConfig(_))
+            ));
+            let mut k = UnivariateKernel::try_new(kind, 1.0).expect("valid scale");
+            let mut rng = seeded_rng(182);
+            assert!(matches!(
+                k.try_step(f64::NAN, &|_| f64::NAN, &mut rng),
+                Err(McmcError::NonFiniteLogPosterior { .. })
+            ));
+            let x = k.try_step(0.0, &|x: f64| -x * x, &mut rng).expect("valid state");
+            assert!(x.is_finite());
         }
     }
 

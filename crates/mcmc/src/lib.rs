@@ -1,3 +1,7 @@
+// Library code must surface sampler failures as typed `McmcError`s, never
+// unwrap its way into a panic; tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! # pipefail-mcmc
 //!
 //! A small, hand-written MCMC engine.
@@ -48,11 +52,15 @@
 
 pub mod chain;
 pub mod diagnostics;
+pub mod error;
 pub mod gibbs;
 pub mod kernel;
 pub mod rw;
 pub mod slice;
 pub mod transform;
+
+pub use diagnostics::{ChainHealth, HealthConfig};
+pub use error::McmcError;
 
 /// How many iterations to run, discard and keep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

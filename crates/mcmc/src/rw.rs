@@ -7,6 +7,7 @@
 //! acceptance rate (0.44 is optimal for univariate targets), then frozen so
 //! the chain is exactly Markovian during sampling.
 
+use crate::error::McmcError;
 use pipefail_stats::dist::Normal;
 use rand::Rng;
 
@@ -18,19 +19,37 @@ pub struct RandomWalkMetropolis {
     adapting: bool,
     steps: u64,
     accepted: u64,
+    divergences: u64,
 }
 
 impl RandomWalkMetropolis {
     /// Create a kernel with initial proposal scale `scale`.
+    ///
+    /// Panics on an invalid scale; fit paths that must not panic should use
+    /// [`RandomWalkMetropolis::try_new`].
     pub fn new(scale: f64) -> Self {
-        assert!(scale > 0.0 && scale.is_finite(), "RW scale must be positive");
-        Self {
+        match Self::try_new(scale) {
+            Ok(k) => k,
+            Err(e) => panic!("RW scale must be positive: {e}"),
+        }
+    }
+
+    /// Fallible constructor: `Err(McmcError::BadKernelConfig)` on a
+    /// non-positive or non-finite scale.
+    pub fn try_new(scale: f64) -> Result<Self, McmcError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(McmcError::BadKernelConfig(
+                "random-walk proposal scale must be positive and finite",
+            ));
+        }
+        Ok(Self {
             ln_scale: scale.ln(),
             target_accept: 0.44,
             adapting: true,
             steps: 0,
             accepted: 0,
-        }
+            divergences: 0,
+        })
     }
 
     /// Override the target acceptance rate (must be in (0, 1)).
@@ -60,16 +79,90 @@ impl RandomWalkMetropolis {
         }
     }
 
+    /// Number of proposals whose log-density evaluated to NaN (rejected and
+    /// counted rather than propagated; the chain-health monitor reads this).
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Total transitions attempted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Transitions accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Snapshot the full adaptation state for checkpointing:
+    /// `(ln_scale, target_accept, adapting, steps, accepted, divergences)`.
+    pub fn to_raw_state(&self) -> (f64, f64, bool, u64, u64, u64) {
+        (
+            self.ln_scale,
+            self.target_accept,
+            self.adapting,
+            self.steps,
+            self.accepted,
+            self.divergences,
+        )
+    }
+
+    /// Rebuild a kernel from a [`RandomWalkMetropolis::to_raw_state`]
+    /// snapshot, so a resumed chain adapts exactly as the original would.
+    pub fn from_raw_state(state: (f64, f64, bool, u64, u64, u64)) -> Self {
+        let (ln_scale, target_accept, adapting, steps, accepted, divergences) = state;
+        Self {
+            ln_scale,
+            target_accept,
+            adapting,
+            steps,
+            accepted,
+            divergences,
+        }
+    }
+
     /// One Metropolis transition from `x` under log-density `log_f`.
     /// Returns the new state (possibly `x` itself on rejection).
+    ///
+    /// Panics if the chain's current state has non-finite log-density; fit
+    /// paths that must not panic should use [`RandomWalkMetropolis::try_step`].
     pub fn step<R, F>(&mut self, x: f64, log_f: &F, rng: &mut R) -> f64
     where
         R: Rng + ?Sized,
         F: Fn(f64) -> f64,
     {
+        match self.try_step(x, log_f, rng) {
+            Ok(next) => next,
+            Err(e) => panic!("random-walk step failed: {e}"),
+        }
+    }
+
+    /// Fallible Metropolis transition: `Err(NonFiniteLogPosterior)` when the
+    /// *current* state `x` has NaN or zero posterior mass (the chain cannot
+    /// leave such a point by Metropolis moves, so it is unrecoverable within
+    /// the chain). A NaN log-density at the *proposal* is survivable — it is
+    /// treated as a rejection and counted in [`RandomWalkMetropolis::divergences`].
+    pub fn try_step<R, F>(&mut self, x: f64, log_f: &F, rng: &mut R) -> Result<f64, McmcError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(f64) -> f64,
+    {
+        let lf_x = log_f(x);
+        if lf_x.is_nan() || lf_x == f64::NEG_INFINITY {
+            return Err(McmcError::NonFiniteLogPosterior {
+                coordinate: "random-walk current state",
+                at: x,
+            });
+        }
         self.steps += 1;
         let proposal = x + self.scale() * Normal::sample_standard(rng);
-        let log_alpha = log_f(proposal) - log_f(x);
+        let lf_p = log_f(proposal);
+        if lf_p.is_nan() {
+            self.divergences += 1;
+        }
+        let log_alpha = lf_p - lf_x;
+        // NaN comparisons are false, so a divergent proposal is rejected here.
         let accept = log_alpha >= 0.0 || rng.gen::<f64>().ln() < log_alpha;
         if accept {
             self.accepted += 1;
@@ -82,11 +175,7 @@ impl RandomWalkMetropolis {
             // Guard rails against run-away adaptation on pathological targets.
             self.ln_scale = self.ln_scale.clamp(-23.0, 23.0);
         }
-        if accept {
-            proposal
-        } else {
-            x
-        }
+        Ok(if accept { proposal } else { x })
     }
 }
 
@@ -153,5 +242,44 @@ mod tests {
     #[should_panic(expected = "RW scale must be positive")]
     fn rejects_bad_scale() {
         let _ = RandomWalkMetropolis::new(-1.0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_scale_without_panicking() {
+        assert!(matches!(
+            RandomWalkMetropolis::try_new(f64::NAN),
+            Err(McmcError::BadKernelConfig(_))
+        ));
+        assert!(matches!(
+            RandomWalkMetropolis::try_new(0.0),
+            Err(McmcError::BadKernelConfig(_))
+        ));
+        assert!(RandomWalkMetropolis::try_new(0.5).is_ok());
+    }
+
+    #[test]
+    fn try_step_errors_on_poisoned_current_state() {
+        let mut rng = seeded_rng(43);
+        let mut k = RandomWalkMetropolis::new(1.0);
+        let log_f = |x: f64| -0.5 * x * x;
+        let err = k.try_step(f64::NAN, &|x| log_f(x) * f64::NAN, &mut rng);
+        assert!(matches!(err, Err(McmcError::NonFiniteLogPosterior { .. })));
+        // Zero posterior mass at the current point is equally unrecoverable.
+        let err = k.try_step(-1.0, &|x| if x < 0.0 { f64::NEG_INFINITY } else { 0.0 }, &mut rng);
+        assert!(matches!(err, Err(McmcError::NonFiniteLogPosterior { .. })));
+    }
+
+    #[test]
+    fn nan_proposals_are_rejected_and_counted() {
+        let mut rng = seeded_rng(44);
+        let mut k = RandomWalkMetropolis::new(1.0);
+        // Log-density is NaN right of 0: every proposal there is divergent.
+        let log_f = |x: f64| if x > 0.0 { f64::NAN } else { -0.5 * x * x };
+        let mut x = -3.0;
+        for _ in 0..200 {
+            x = k.try_step(x, &log_f, &mut rng).expect("state stays valid");
+            assert!(x <= 0.0, "divergent proposal was accepted");
+        }
+        assert!(k.divergences() > 0, "expected some NaN proposals");
     }
 }

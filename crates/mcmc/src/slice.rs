@@ -4,6 +4,7 @@
 //! DPMHBP posteriors (group failure rates `q_k`, concentrations `c_k`). Each
 //! call makes one transition that leaves the target invariant.
 
+use crate::error::McmcError;
 use rand::Rng;
 
 /// Univariate slice sampler with stepping-out and shrinkage (Neal 2003).
@@ -19,12 +20,28 @@ impl SliceSampler {
     /// Create a sampler with bracket width `w` (must be positive; a width on
     /// the scale of the posterior standard deviation is ideal but anything
     /// within a couple orders of magnitude works).
+    ///
+    /// Panics on an invalid width; fit paths that must not panic should use
+    /// [`SliceSampler::try_new`].
     pub fn new(width: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "slice width must be positive");
-        Self {
+        match Self::try_new(width) {
+            Ok(s) => s,
+            Err(e) => panic!("slice width must be positive: {e}"),
+        }
+    }
+
+    /// Fallible constructor: `Err(McmcError::BadKernelConfig)` on a
+    /// non-positive or non-finite width.
+    pub fn try_new(width: f64) -> Result<Self, McmcError> {
+        if !(width > 0.0 && width.is_finite()) {
+            return Err(McmcError::BadKernelConfig(
+                "slice bracket width must be positive and finite",
+            ));
+        }
+        Ok(Self {
             width,
             max_steps: 64,
-        }
+        })
     }
 
     /// Limit the stepping-out expansions (mostly for heavy-tailed targets).
@@ -37,16 +54,37 @@ impl SliceSampler {
     ///
     /// `log_f` may return `NEG_INFINITY` outside the support; `x0` itself
     /// must have finite log-density.
+    ///
+    /// Panics if `x0` has non-finite log-density; fit paths that must not
+    /// panic should use [`SliceSampler::try_step`].
     pub fn step<R, F>(&self, x0: f64, log_f: &F, rng: &mut R) -> f64
     where
         R: Rng + ?Sized,
         F: Fn(f64) -> f64,
     {
+        match self.try_step(x0, log_f, rng) {
+            Ok(x1) => x1,
+            Err(e) => panic!("slice sampler started outside the support: {e}"),
+        }
+    }
+
+    /// Fallible slice transition: `Err(NonFiniteLogPosterior)` when `x0`
+    /// itself has NaN, `+inf`, or zero posterior mass — a slice level cannot
+    /// be drawn from such a point. NaN log-densities at *candidate* points
+    /// are survivable: NaN compares false against the slice level, so the
+    /// candidate is treated as outside the slice and the bracket shrinks.
+    pub fn try_step<R, F>(&self, x0: f64, log_f: &F, rng: &mut R) -> Result<f64, McmcError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(f64) -> f64,
+    {
         let lf0 = log_f(x0);
-        debug_assert!(
-            lf0 > f64::NEG_INFINITY,
-            "slice sampler started outside the support"
-        );
+        if !lf0.is_finite() {
+            return Err(McmcError::NonFiniteLogPosterior {
+                coordinate: "slice current state",
+                at: x0,
+            });
+        }
         // Vertical level: ln u = ln f(x0) − Exp(1)
         let ln_y = lf0 - rand_exp(rng);
 
@@ -69,7 +107,7 @@ impl SliceSampler {
         loop {
             let x1 = lo + (hi - lo) * rng.gen::<f64>();
             if log_f(x1) > ln_y {
-                return x1;
+                return Ok(x1);
             }
             if x1 < x0 {
                 lo = x1;
@@ -78,7 +116,7 @@ impl SliceSampler {
             }
             if (hi - lo) < f64::EPSILON * (1.0 + x0.abs()) {
                 // Numerical corner: the bracket collapsed onto x0.
-                return x0;
+                return Ok(x0);
             }
         }
     }
@@ -184,5 +222,54 @@ mod tests {
     #[should_panic(expected = "slice width must be positive")]
     fn rejects_bad_width() {
         let _ = SliceSampler::new(0.0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_width_without_panicking() {
+        assert!(matches!(
+            SliceSampler::try_new(0.0),
+            Err(McmcError::BadKernelConfig(_))
+        ));
+        assert!(matches!(
+            SliceSampler::try_new(f64::INFINITY),
+            Err(McmcError::BadKernelConfig(_))
+        ));
+        assert!(SliceSampler::try_new(1.0).is_ok());
+    }
+
+    #[test]
+    fn try_step_errors_outside_support() {
+        let mut rng = seeded_rng(36);
+        let s = SliceSampler::new(1.0);
+        let log_f = |p: f64| {
+            if p <= 0.0 || p >= 1.0 {
+                f64::NEG_INFINITY
+            } else {
+                2.0 * p.ln() + 6.0 * (1.0 - p).ln()
+            }
+        };
+        assert!(matches!(
+            s.try_step(-0.5, &log_f, &mut rng),
+            Err(McmcError::NonFiniteLogPosterior { .. })
+        ));
+        assert!(matches!(
+            s.try_step(f64::NAN, &|_| f64::NAN, &mut rng),
+            Err(McmcError::NonFiniteLogPosterior { .. })
+        ));
+        assert!(s.try_step(0.3, &log_f, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn nan_candidates_shrink_the_bracket() {
+        // Log-density is NaN right of 0.5: those candidates must be treated
+        // as outside the slice, never returned.
+        let mut rng = seeded_rng(37);
+        let s = SliceSampler::new(2.0);
+        let log_f = |x: f64| if x > 0.5 { f64::NAN } else { -0.5 * x * x };
+        let mut x = -0.2;
+        for _ in 0..500 {
+            x = s.try_step(x, &log_f, &mut rng).expect("state stays valid");
+            assert!(x <= 0.5, "NaN candidate escaped the shrinkage loop");
+        }
     }
 }

@@ -1,13 +1,13 @@
 //! Pipe asset attributes (Table 18.2, upper half).
 
-use serde::{Deserialize, Serialize};
+
 
 /// Pipe material.
 ///
 /// The categorical attribute with the strongest failure signal in water-main
 /// data: early cast-iron cohorts corrode; PVC laid from the 1970s barely
 /// fails structurally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Material {
     /// Cast iron cement lined.
     Cicl,
@@ -74,7 +74,7 @@ impl Material {
 }
 
 /// Protective coating.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Coating {
     /// No protective coating.
     None,
@@ -115,7 +115,7 @@ impl Coating {
 /// diameter ≥ 300 mm) and reticulation water mains (RWM, < 300 mm). Only
 /// CWMs receive proactive condition assessment, so the comparison
 /// experiments evaluate on CWMs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PipeClass {
     /// Critical water main: diameter ≥ 300 mm.
     Critical,

@@ -8,10 +8,10 @@ use crate::ids::{PipeId, RegionId, SegmentId};
 use crate::soil::SoilProfile;
 use crate::split::ObservationWindow;
 use crate::{NetworkError, Result};
-use serde::{Deserialize, Serialize};
+
 
 /// A pipe: an asset-register row owning a series of segments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipe {
     /// Dense identifier (index into [`Dataset::pipes`]).
     pub id: PipeId,
@@ -43,7 +43,7 @@ impl Pipe {
 
 /// A pipe segment: the unit at which failures are recorded and at which the
 /// DPMHBP models failure probability.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
     /// Dense identifier (index into [`Dataset::segments`]).
     pub id: SegmentId,
@@ -90,7 +90,7 @@ impl SegmentStats {
 }
 
 /// A complete region dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     name: String,
     region: RegionId,

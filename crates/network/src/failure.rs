@@ -1,10 +1,10 @@
 //! Failure records: work orders matched to pipe segments.
 
 use crate::ids::{PipeId, SegmentId};
-use serde::{Deserialize, Serialize};
+
 
 /// What failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// Drinking-water main break (burst/leak work order).
     Break,
@@ -37,7 +37,7 @@ impl FailureKind {
 /// segments (which the synthetic generator does exactly), the models only
 /// consume `(segment, year)`, so that is what we keep, plus the redundant
 /// pipe id for O(1) pipe-level aggregation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureRecord {
     /// The failed segment.
     pub segment: SegmentId,

@@ -6,10 +6,10 @@
 //! distance-to-traffic-intersection feature) and bounding boxes (for the SVG
 //! map renderers).
 
-use serde::{Deserialize, Serialize};
+
 
 /// A point in projected metre coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Easting (m).
     pub x: f64,
@@ -35,7 +35,7 @@ impl Point {
 }
 
 /// An axis-aligned bounding box.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bounds {
     /// Lower-left corner.
     pub min: Point,
@@ -82,7 +82,7 @@ impl Bounds {
 }
 
 /// A polyline: an ordered sequence of at least two points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polyline {
     points: Vec<Point>,
 }

@@ -4,13 +4,13 @@
 //! the workspace; newtypes prevent the classic bug of indexing the segment
 //! table with a pipe id (both are plain integers in utility asset registers).
 
-use serde::{Deserialize, Serialize};
+
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 

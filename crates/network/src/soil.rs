@@ -6,10 +6,10 @@
 //! polarisation resistance classes), expansiveness (shrink–swell classes),
 //! geology (rock types) and soil map (landscape classes).
 
-use serde::{Deserialize, Serialize};
+
 
 /// Risk of pipe pitting from electrochemical corrosion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SoilCorrosiveness {
     /// Negligible corrosion risk.
     Low,
@@ -22,7 +22,7 @@ pub enum SoilCorrosiveness {
 }
 
 /// Shrink–swell reactivity of expansive clays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SoilExpansiveness {
     /// Stable soils.
     Low,
@@ -33,7 +33,7 @@ pub enum SoilExpansiveness {
 }
 
 /// Underlying rock type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SoilGeology {
     /// Sandstone.
     Sandstone,
@@ -46,7 +46,7 @@ pub enum SoilGeology {
 }
 
 /// Landscape class from the soil map layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SoilLandscape {
     /// River-deposited.
     Fluvial,
@@ -83,7 +83,7 @@ soil_codes!(SoilGeology, Sandstone => "SAND", Shale => "SHALE", Alluvium => "ALL
 soil_codes!(SoilLandscape, Fluvial => "FLUV", Colluvial => "COLL", Erosional => "EROS", Residual => "RESID");
 
 /// The complete soil description at a segment location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SoilProfile {
     /// Corrosion-risk class.
     pub corrosiveness: SoilCorrosiveness,

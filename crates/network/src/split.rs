@@ -6,10 +6,10 @@
 //! encodes exactly that split; everything else in the workspace takes the
 //! split as a value so ablations can move the boundary.
 
-use serde::{Deserialize, Serialize};
+
 
 /// An inclusive range of calendar years.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObservationWindow {
     /// First year (inclusive).
     pub start: i32,
@@ -41,7 +41,7 @@ impl ObservationWindow {
 }
 
 /// A train/test split by calendar year.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainTestSplit {
     /// Years whose failures are visible to the models.
     pub train: ObservationWindow,

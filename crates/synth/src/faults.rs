@@ -1,0 +1,191 @@
+//! Chaos-injection harness: controlled corruption of clean datasets.
+//!
+//! Real utility archives contain every fault simulated here — NaN covariates
+//! from failed GIS joins, laid years after the observation window, failure
+//! tickets filed against the wrong asset, truncated CSV exports, regions
+//! with no recorded failures. The experiment pipeline must degrade to typed
+//! errors on all of them, never panic. This module manufactures each fault
+//! from a known-good dataset; `tests/chaos_degradation.rs` in the eval crate
+//! drives every [`pipefail_eval`-style] model over the matrix.
+//!
+//! Each fault documents its expected interception layer:
+//!
+//! * *ingestion* faults break referential integrity and are rejected by
+//!   `Dataset::new` (or by the CSV reader) before any model sees them;
+//! * *latent* faults survive construction and must be caught by the shared
+//!   fit-input validation (`pipefail_core::validate`) inside every model.
+
+use pipefail_network::csvio;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::failure::FailureRecord;
+use pipefail_network::ids::SegmentId;
+use pipefail_network::NetworkError;
+use std::path::Path;
+
+/// The fault matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A segment covariate is NaN (latent; caught by fit validation).
+    NanCovariate,
+    /// A pipe diameter is NaN (latent; caught by fit validation).
+    NanDiameter,
+    /// A pipe laid after the observation window — negative age everywhere
+    /// (latent; caught by fit validation).
+    NegativeAge,
+    /// A failure record duplicated with the wrong pipe attribution
+    /// (ingestion; rejected by `Dataset::new`).
+    MisattributedDuplicateFailure,
+    /// A failure record referencing a segment that does not exist
+    /// (ingestion; rejected by `Dataset::new`).
+    OrphanFailure,
+    /// Every pipe shrunk below the CWM threshold, leaving the evaluated
+    /// class empty (latent; typed `EmptyEvaluationSet` from every model).
+    EmptyEvaluationClass,
+    /// All failure records dropped (latent; typed `DataFault` — a
+    /// zero-failure region has nothing to fit and no measurable AUC).
+    ZeroFailures,
+}
+
+impl Fault {
+    /// Every fault injectable through [`inject`] (the truncated-CSV fault
+    /// lives in [`truncated_csv_roundtrip`] because it corrupts the file,
+    /// not the in-memory dataset).
+    pub fn all() -> [Fault; 7] {
+        [
+            Fault::NanCovariate,
+            Fault::NanDiameter,
+            Fault::NegativeAge,
+            Fault::MisattributedDuplicateFailure,
+            Fault::OrphanFailure,
+            Fault::EmptyEvaluationClass,
+            Fault::ZeroFailures,
+        ]
+    }
+
+    /// True when the corruption survives `Dataset::new` and must be caught
+    /// by model-level validation instead.
+    pub fn is_latent(&self) -> bool {
+        !matches!(
+            self,
+            Fault::MisattributedDuplicateFailure | Fault::OrphanFailure
+        )
+    }
+}
+
+/// Apply `fault` to a copy of `clean`.
+///
+/// `Ok(dataset)` means the corruption is *latent* — construction accepted it
+/// and models are responsible for rejecting it. `Err(..)` is the typed
+/// ingestion error for referential faults.
+///
+/// Panics if `clean` lacks the material to corrupt (no pipes, no segments,
+/// or — for the failure-record faults — no failures or a single pipe):
+/// callers corrupt real generated worlds, not degenerate fixtures.
+pub fn inject(clean: &Dataset, fault: Fault) -> Result<Dataset, NetworkError> {
+    let mut pipes = clean.pipes().to_vec();
+    let mut segments = clean.segments().to_vec();
+    let mut failures = clean.failures().to_vec();
+    match fault {
+        Fault::NanCovariate => {
+            segments[0].dist_to_intersection_m = f64::NAN;
+        }
+        Fault::NanDiameter => {
+            pipes[0].diameter_mm = f64::NAN;
+        }
+        Fault::NegativeAge => {
+            pipes[0].laid_year = clean.observation().end + 5;
+        }
+        Fault::MisattributedDuplicateFailure => {
+            let mut dup: FailureRecord = *failures.first().expect("clean dataset has failures");
+            let wrong = pipes
+                .iter()
+                .map(|p| p.id)
+                .find(|&id| id != dup.pipe)
+                .expect("clean dataset has at least two pipes");
+            dup.pipe = wrong;
+            failures.push(dup);
+        }
+        Fault::OrphanFailure => {
+            let mut orphan: FailureRecord =
+                *failures.first().expect("clean dataset has failures");
+            orphan.segment = SegmentId(segments.len() as u32);
+            failures.push(orphan);
+        }
+        Fault::EmptyEvaluationClass => {
+            for p in &mut pipes {
+                p.diameter_mm = 100.0;
+            }
+        }
+        Fault::ZeroFailures => {
+            failures.clear();
+        }
+    }
+    Dataset::new(
+        clean.name(),
+        clean.region(),
+        clean.observation(),
+        pipes,
+        segments,
+        failures,
+    )
+}
+
+/// The truncated-CSV fault: write `clean` under `dir`, chop fields off a
+/// data row of `segments.csv` (a half-written export), and re-read.
+///
+/// Returns the reader's result — expected `Err(NetworkError::Parse(..))`.
+pub fn truncated_csv_roundtrip(clean: &Dataset, dir: &Path) -> Result<Dataset, NetworkError> {
+    csvio::write_dataset(clean, dir)?;
+    let seg_path = dir.join("segments.csv");
+    let text = std::fs::read_to_string(&seg_path)?;
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1, "clean dataset has segment rows");
+    // Keep the first three comma-separated fields of the last row — the
+    // classic tail-truncation of an interrupted download.
+    let last = lines.len() - 1;
+    let truncated = lines[last]
+        .split(',')
+        .take(3)
+        .collect::<Vec<_>>()
+        .join(",");
+    lines[last] = &truncated;
+    std::fs::write(&seg_path, lines.join("\n"))?;
+    csvio::read_dataset(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    fn clean() -> Dataset {
+        WorldConfig::paper()
+            .scaled(0.02)
+            .only_region("Region A")
+            .build(11)
+            .regions()[0]
+            .clone()
+    }
+
+    #[test]
+    fn latent_faults_build_but_carry_the_corruption() {
+        let ds = clean();
+        for fault in Fault::all() {
+            let built = inject(&ds, fault);
+            if fault.is_latent() {
+                assert!(built.is_ok(), "{fault:?} should pass construction");
+            } else {
+                assert!(built.is_err(), "{fault:?} should be rejected at ingestion");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_csv_is_a_typed_parse_error() {
+        let ds = clean();
+        let dir = std::env::temp_dir().join(format!("pipefail_faults_{}", std::process::id()));
+        let result = truncated_csv_roundtrip(&ds, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(result, Err(NetworkError::Parse(_))), "{result:?}");
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod calibration;
 pub mod config;
+pub mod faults;
 pub mod hazard;
 pub mod layout;
 pub mod soilgen;

@@ -1,0 +1,167 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use.
+//!
+//! The build environment has no crates.io access. This crate keeps the
+//! bench binaries compiling and runnable: each `bench_function` runs a
+//! short warm-up, then a fixed-iteration timed loop, and prints a
+//! median-of-batches nanoseconds-per-iteration estimate. It is a
+//! smoke-measure, not a statistics engine — treat results as indicative.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for parameterised benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Per-bench timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.nanos_per_iter = total / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise the per-bench iteration budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.iters = (n as u64).clamp(1, 1_000);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id, b.nanos_per_iter, b.iters
+        );
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<N: std::fmt::Display, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id, b.nanos_per_iter, b.iters
+        );
+        self
+    }
+
+    /// End the group (upstream-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench context.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("bench {}: {:.1} ns/iter ({} iters)", id, b.nanos_per_iter, b.iters);
+        self
+    }
+}
+
+/// Collect bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
