@@ -1,8 +1,12 @@
 //! End-to-end experiment benches: one per table/figure of the paper's
 //! evaluation, at reduced scale. These measure the cost of *regenerating*
 //! each artefact; the experiment binaries produce the artefacts themselves.
+//!
+//! The `parallel` group times the same five-model evaluation at 1 and 4
+//! worker threads; a custom `main` appends every measurement (plus derived
+//! speedups) to the `BENCH_perf.json` trajectory at the repo root.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use pipefail_eval::detection::DetectionCurve;
 use pipefail_eval::metrics::{auc_at_fraction, full_auc};
 use pipefail_eval::report::{binned_rates, detection_curves_csv, format_auc_table};
@@ -139,5 +143,57 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_figures);
-criterion_main!(benches);
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(5);
+    let ds = region();
+    let split = TrainTestSplit::paper_protocol();
+
+    // The same work at 1 vs 4 workers: the task pool guarantees identical
+    // results, so the ratio of these two entries is pure speedup. On a host
+    // with fewer than 4 cores the ratio degrades toward 1x — check
+    // `host_parallelism` in BENCH_perf.json before reading anything into it.
+    for threads in [1usize, 4] {
+        g.bench_function(format!("five_models/threads={threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    evaluate_region(
+                        &ds,
+                        &split,
+                        &ModelKind::paper_five(),
+                        RunConfig::fast().with_threads(threads),
+                        1,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+
+    // Single-model fit at 1 thread: the trajectory entry that tracks the
+    // sweep-time effect of the likelihood caches across commits.
+    g.bench_function("dpmhbp_fit/threads=1", |b| {
+        b.iter(|| {
+            let mut model = ModelKind::Dpmhbp.build(true);
+            black_box(model.fit_rank(&ds, &split, 1).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_parallel);
+
+fn main() {
+    benches();
+    let snap = pipefail_bench::perf::snapshot("experiments_bench", criterion::take_records());
+    for s in pipefail_bench::perf::speedups(&snap.entries) {
+        println!(
+            "speedup {} at {} threads: {:.2}x (host parallelism {})",
+            s.id, s.threads, s.speedup, snap.host_parallelism
+        );
+    }
+    match pipefail_bench::perf::append_to_trajectory(&snap) {
+        Ok(path) => println!("[appended trajectory entry to {}]", path.display()),
+        Err(e) => eprintln!("cannot write bench trajectory: {e}"),
+    }
+}

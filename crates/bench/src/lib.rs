@@ -1,4 +1,239 @@
-//! Benchmark-only crate. See the `benches/` directory: `stats_bench`,
+//! Benchmark crate. See the `benches/` directory: `stats_bench`,
 //! `mcmc_bench`, `datagen_bench`, `models_bench` (substrate micro-benches)
 //! and `experiments_bench` (scaled-down end-to-end runs of the paper's
 //! tables and figures).
+//!
+//! The [`perf`] module turns the stand-in criterion's raw measurements into
+//! `BENCH_perf.json` at the repository root — a machine-readable perf
+//! *trajectory*: every run appends one snapshot tagged with the commit, the
+//! thread count, and the host parallelism, so speedups and regressions are
+//! diffable across revisions. See `PERFORMANCE.md` for the schema and how
+//! to read it.
+
+pub mod perf {
+    use criterion::BenchRecord;
+    use std::path::{Path, PathBuf};
+
+    /// One snapshot of a bench binary's measurements.
+    #[derive(Debug, Clone)]
+    pub struct PerfSnapshot {
+        /// Bench binary name (e.g. `experiments_bench`).
+        pub bench: String,
+        /// Short commit hash, or `"unknown"` outside a git checkout.
+        pub commit: String,
+        /// Seconds since the Unix epoch at write time.
+        pub unix_time: u64,
+        /// Worker threads the parallel groups ran with
+        /// (`PIPEFAIL_THREADS`-resolved).
+        pub threads: usize,
+        /// `std::thread::available_parallelism` of the host — the ceiling on
+        /// any real speedup; a 1-core host caps every speedup at ~1x.
+        pub host_parallelism: usize,
+        /// True when the run used `PIPEFAIL_BENCH_SMOKE=1` (single-iteration
+        /// plumbing check, timings not meaningful).
+        pub smoke: bool,
+        /// The raw measurements.
+        pub entries: Vec<BenchRecord>,
+    }
+
+    /// Derived speedup of a `…/threads=N` entry over its `…/threads=1`
+    /// sibling.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Speedup {
+        /// Entry id with the `/threads=N` suffix stripped.
+        pub id: String,
+        /// Parallel thread count `N`.
+        pub threads: usize,
+        /// `ns(serial) / ns(parallel)` — above 1 is a win.
+        pub speedup: f64,
+    }
+
+    /// Pair every `…/threads=N` (`N > 1`) entry with its `…/threads=1`
+    /// sibling and report the wall-clock ratio.
+    pub fn speedups(entries: &[BenchRecord]) -> Vec<Speedup> {
+        let parse = |id: &str| -> Option<(String, usize)> {
+            let (base, n) = id.rsplit_once("/threads=")?;
+            Some((base.to_string(), n.parse().ok()?))
+        };
+        let mut out = Vec::new();
+        for e in entries {
+            let Some((base, n)) = parse(&e.id) else { continue };
+            if n <= 1 {
+                continue;
+            }
+            let serial = entries
+                .iter()
+                .find(|s| parse(&s.id) == Some((base.clone(), 1)));
+            if let Some(serial) = serial {
+                if e.ns_per_iter > 0.0 {
+                    out.push(Speedup {
+                        id: base,
+                        threads: n,
+                        speedup: serial.ns_per_iter / e.ns_per_iter,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Capture a snapshot of `entries` under the current environment.
+    pub fn snapshot(bench: &str, entries: Vec<BenchRecord>) -> PerfSnapshot {
+        PerfSnapshot {
+            bench: bench.to_string(),
+            commit: git_short_commit().unwrap_or_else(|| "unknown".into()),
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            threads: pipefail_par::TaskPool::from_env().threads(),
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            smoke: criterion::smoke_mode(),
+            entries,
+        }
+    }
+
+    /// Append `snap` to the trajectory file at the repository root
+    /// (`BENCH_perf.json`, overridable via `PIPEFAIL_BENCH_PERF`), returning
+    /// the path written.
+    pub fn append_to_trajectory(snap: &PerfSnapshot) -> std::io::Result<PathBuf> {
+        let path = std::env::var("PIPEFAIL_BENCH_PERF")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| default_path());
+        append_snapshot(&path, snap)?;
+        Ok(path)
+    }
+
+    /// `BENCH_perf.json` at the workspace root, resolved at compile time.
+    pub fn default_path() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")
+    }
+
+    /// Append one snapshot to the JSON-array file at `path` (created when
+    /// absent; a file whose tail is not a JSON array is replaced).
+    pub fn append_snapshot(path: &Path, snap: &PerfSnapshot) -> std::io::Result<()> {
+        let obj = to_json(snap);
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let trimmed = existing.trim_end();
+        let body = match trimmed.strip_suffix(']') {
+            Some(head) if trimmed.starts_with('[') => {
+                let head = head.trim_end();
+                if head.ends_with('[') {
+                    format!("{head}\n{obj}\n]\n")
+                } else {
+                    format!("{head},\n{obj}\n]\n")
+                }
+            }
+            _ => format!("[\n{obj}\n]\n"),
+        };
+        std::fs::write(path, body)
+    }
+
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+
+    /// Hand-rolled JSON for one snapshot (the build is offline — no serde).
+    pub fn to_json(snap: &PerfSnapshot) -> String {
+        let mut s = String::from("  {\n");
+        s.push_str(&format!("    \"bench\": \"{}\",\n", escape(&snap.bench)));
+        s.push_str(&format!("    \"commit\": \"{}\",\n", escape(&snap.commit)));
+        s.push_str(&format!("    \"unix_time\": {},\n", snap.unix_time));
+        s.push_str(&format!("    \"threads\": {},\n", snap.threads));
+        s.push_str(&format!(
+            "    \"host_parallelism\": {},\n",
+            snap.host_parallelism
+        ));
+        s.push_str(&format!("    \"smoke\": {},\n", snap.smoke));
+        s.push_str("    \"entries\": [\n");
+        for (i, e) in snap.entries.iter().enumerate() {
+            let sep = if i + 1 < snap.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{sep}\n",
+                escape(&e.id),
+                e.ns_per_iter,
+                e.iters
+            ));
+        }
+        s.push_str("    ],\n");
+        let sp = speedups(&snap.entries);
+        s.push_str("    \"speedups\": [\n");
+        for (i, v) in sp.iter().enumerate() {
+            let sep = if i + 1 < sp.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"id\": \"{}\", \"threads\": {}, \"speedup\": {:.3}}}{sep}\n",
+                escape(&v.id),
+                v.threads,
+                v.speedup
+            ));
+        }
+        s.push_str("    ]\n  }");
+        s
+    }
+
+    fn git_short_commit() -> Option<String> {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let hash = String::from_utf8(out.stdout).ok()?;
+        let hash = hash.trim();
+        (!hash.is_empty()).then(|| hash.to_string())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn rec(id: &str, ns: f64) -> BenchRecord {
+            BenchRecord {
+                id: id.into(),
+                ns_per_iter: ns,
+                iters: 10,
+            }
+        }
+
+        #[test]
+        fn speedups_pair_thread_variants() {
+            let entries = vec![
+                rec("parallel/five_models/threads=1", 4000.0),
+                rec("parallel/five_models/threads=4", 1000.0),
+                rec("tables/table18_1_summary", 50.0),
+            ];
+            let sp = speedups(&entries);
+            assert_eq!(sp.len(), 1);
+            assert_eq!(sp[0].id, "parallel/five_models");
+            assert_eq!(sp[0].threads, 4);
+            assert!((sp[0].speedup - 4.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn trajectory_file_appends_valid_array() {
+            let dir = std::env::temp_dir().join(format!("pipefail_perf_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("BENCH_perf.json");
+            let snap = snapshot("unit_test_bench", vec![rec("g/a/threads=1", 10.0)]);
+            append_snapshot(&path, &snap).unwrap();
+            append_snapshot(&path, &snap).unwrap();
+            let body = std::fs::read_to_string(&path).unwrap();
+            assert!(body.trim_start().starts_with('['));
+            assert!(body.trim_end().ends_with(']'));
+            assert_eq!(body.matches("\"bench\": \"unit_test_bench\"").count(), 2);
+            // Two snapshots ⇒ exactly one separating comma between objects.
+            assert_eq!(body.matches("},\n  {").count(), 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn json_escapes_quotes() {
+            let mut snap = snapshot("b", vec![rec("weird\"id", 1.0)]);
+            snap.commit = "abc".into();
+            let j = to_json(&snap);
+            assert!(j.contains("weird\\\"id"));
+        }
+    }
+}

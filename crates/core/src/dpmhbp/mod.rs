@@ -25,7 +25,7 @@ mod state;
 use crate::checkpoint::{CheckpointSpec, Fingerprint, Reader, Writer};
 use crate::covariates::CovariateAdjuster;
 use crate::crp::resample_alpha;
-use crate::hier::PatternTable;
+use crate::hier::{MarginalContext, PatternTable};
 use crate::model::{FailureModel, RiskRanking, RiskScore};
 use crate::{CoreError, Result};
 use pipefail_mcmc::slice::SliceSampler;
@@ -243,8 +243,11 @@ impl<'a> Sampler8<'a> {
                 let q = self.q_prior.sample(rng);
                 let c = self.c_prior_dist.sample(rng).max(1e-3);
                 self.aux_params.push((q, c));
+                // Context evaluation halves the log-gamma count even for a
+                // single pattern (3 hoisted + integer-shift recurrences
+                // instead of 6 direct).
                 self.weights
-                    .push(ln_alpha_m + pat_obj.log_marginal(q, c));
+                    .push(ln_alpha_m + MarginalContext::new(q, c).log_marginal(pat_obj));
             }
             let choice = sample_from_log_weights(&self.weights, rng);
             let slot = if choice < self.weight_slots.len() {
@@ -264,9 +267,12 @@ impl<'a> Sampler8<'a> {
         let logit = Transform::Logit;
         let log_t = Transform::Log;
         for slot in self.slots.live_slots() {
+            // The slice proposals evaluate the likelihood many times with
+            // these fixed counts; the sparse nonzero list skips the dense
+            // zero scan on every evaluation.
             let (q_cur, c_cur, counts) = {
                 let cl = self.slots.get(slot);
-                (cl.q, cl.c, cl.pattern_counts.clone())
+                (cl.q, cl.c, crate::hier::sparse_counts(&cl.pattern_counts))
             };
             let table = self.table;
             let q_prior = self.q_prior;
@@ -276,7 +282,7 @@ impl<'a> Sampler8<'a> {
             let log_post_q = |y: f64| {
                 let q = logit.inverse(y);
                 q_prior.ln_pdf(q)
-                    + table.group_log_likelihood(&counts, q, c_fixed)
+                    + table.group_log_likelihood_sparse(&counts, q, c_fixed)
                     + logit.ln_jacobian(y)
             };
             let y = self.slice_q.try_step(
@@ -292,7 +298,7 @@ impl<'a> Sampler8<'a> {
                     return f64::NEG_INFINITY;
                 }
                 c_prior.ln_pdf(c)
-                    + table.group_log_likelihood(&counts, q_new, c)
+                    + table.group_log_likelihood_sparse(&counts, q_new, c)
                     + log_t.ln_jacobian(y)
             };
             let y = self.slice_c.try_step(log_t.forward(c_cur), &log_post_c, rng)?;
@@ -326,6 +332,33 @@ impl<'a> Sampler8<'a> {
                 .pattern(self.table.pattern_of(unit))
                 .posterior_mean(cl.q, cl.c);
         }
+    }
+
+    /// Debug cross-check of the incremental caches: every live cluster's
+    /// likelihood column must match a from-scratch recompute at its current
+    /// `(q, c)`, and its membership bookkeeping must match a from-scratch
+    /// histogram of `z`. Compiled away in release builds.
+    #[cfg(debug_assertions)]
+    fn debug_validate_caches(&self) {
+        let mut n_by_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut counts_by_slot: std::collections::HashMap<usize, Vec<f64>> =
+            std::collections::HashMap::new();
+        for (unit, &slot) in self.z.iter().enumerate() {
+            *n_by_slot.entry(slot).or_insert(0) += 1;
+            counts_by_slot
+                .entry(slot)
+                .or_insert_with(|| vec![0.0; self.table.len()])[self.table.pattern_of(unit)] += 1.0;
+        }
+        for (slot, cl) in self.slots.iter() {
+            let err = cl.cache_error(self.table);
+            debug_assert!(
+                err <= 1e-12,
+                "stale likelihood cache in slot {slot}: max deviation {err:e}"
+            );
+            debug_assert_eq!(n_by_slot.get(&slot).copied(), Some(cl.n));
+            debug_assert_eq!(counts_by_slot.get(&slot), Some(&cl.pattern_counts));
+        }
+        debug_assert_eq!(n_by_slot.len(), self.slots.len());
     }
 
     fn size_weighted_mean_q(&self) -> f64 {
@@ -462,6 +495,8 @@ impl Dpmhbp {
             health.begin_sweep()?;
             sampler.sweep_assignments(&mut rng);
             sampler.sweep_parameters(&mut rng)?;
+            #[cfg(debug_assertions)]
+            sampler.debug_validate_caches();
             if self.config.sample_alpha {
                 sampler.sweep_alpha(self.config.alpha_prior, &mut rng);
             }
@@ -914,6 +949,49 @@ mod tests {
         .unwrap();
         assert_eq!(got, reference, "checkpoint from another seed must not be resumed");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_cluster_logliks_stay_fresh_across_sweeps() {
+        // The incremental-cache contract: after every assignment and
+        // parameter sweep, each live cluster's cached likelihood column
+        // matches a from-scratch recompute at its current (q, c) to 1e-12,
+        // and its membership counts match a from-scratch histogram of z.
+        let table = PatternTable::build(
+            (0..600)
+                .map(|i| {
+                    let s = if i % 23 == 0 { 1.0 } else { 0.0 };
+                    let e = if i % 5 == 0 { 1.4 } else { 1.0 };
+                    (s, 11.0 - s, e)
+                }),
+        );
+        let config = DpmhbpConfig::fast();
+        let mut rng = seeded_rng(321);
+        let mut s = Sampler8::new(&table, &config, 0.01, &mut rng).unwrap();
+        for sweep in 0..60 {
+            s.sweep_assignments(&mut rng);
+            s.sweep_parameters(&mut rng).unwrap();
+            s.sweep_alpha(config.alpha_prior, &mut rng);
+            let mut counts_by_slot: std::collections::HashMap<usize, Vec<f64>> =
+                std::collections::HashMap::new();
+            for (unit, &slot) in s.z.iter().enumerate() {
+                counts_by_slot
+                    .entry(slot)
+                    .or_insert_with(|| vec![0.0; table.len()])[table.pattern_of(unit)] += 1.0;
+            }
+            for (slot, cl) in s.slots.iter() {
+                let err = cl.cache_error(&table);
+                assert!(
+                    err <= 1e-12,
+                    "sweep {sweep}, slot {slot}: cached loglik deviates by {err:e}"
+                );
+                assert_eq!(
+                    counts_by_slot.get(&slot),
+                    Some(&cl.pattern_counts),
+                    "sweep {sweep}, slot {slot}: stale pattern counts"
+                );
+            }
+        }
     }
 
     #[test]

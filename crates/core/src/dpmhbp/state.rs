@@ -6,7 +6,7 @@
 //! log-likelihood per observation pattern, invalidated whenever its `(q, c)`
 //! are resampled.
 
-use crate::hier::PatternTable;
+use crate::hier::{MarginalContext, PatternTable};
 
 /// One mixture component: group parameters plus member bookkeeping.
 #[derive(Debug, Clone)]
@@ -38,13 +38,29 @@ impl Cluster {
         cl
     }
 
-    /// Recompute the likelihood cache after a `(q, c)` update.
+    /// Recompute the likelihood cache after a `(q, c)` update. The shared
+    /// `(q, c)` log-gammas are hoisted once for the whole column.
     pub fn refresh_cache(&mut self, table: &PatternTable) {
+        let ctx = MarginalContext::new(self.q, self.c);
         for (idx, pat) in table.patterns().iter().enumerate() {
-            self.loglik[idx] = pat.log_marginal(self.q, self.c);
+            self.loglik[idx] = ctx.log_marginal(*pat);
         }
     }
 
+    /// Largest deviation between the cached likelihood column and a
+    /// from-scratch recompute at the current `(q, c)` — zero unless the
+    /// cache went stale. Used by the debug cross-check and the cache tests
+    /// (both compiled only in debug builds).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub fn cache_error(&self, table: &PatternTable) -> f64 {
+        let ctx = MarginalContext::new(self.q, self.c);
+        table
+            .patterns()
+            .iter()
+            .enumerate()
+            .map(|(idx, pat)| (self.loglik[idx] - ctx.log_marginal(*pat)).abs())
+            .fold(0.0, f64::max)
+    }
 }
 
 /// Slot arena of clusters.

@@ -213,11 +213,15 @@ impl FailureModel for Hbp {
         let table = PatternTable::build(rows.into_iter());
         let n_groups = group_keys.len();
 
-        // Per-group pattern counts.
+        // Per-group pattern counts. Groups are fixed for the whole fit, so
+        // the sparse nonzero lists the likelihood evaluations iterate are
+        // built once here, not per sweep.
         let mut counts = vec![vec![0.0; table.len()]; n_groups];
         for (i, &g) in groups.iter().enumerate() {
             counts[g][table.pattern_of(i)] += 1.0;
         }
+        let sparse: Vec<Vec<(usize, f64)>> =
+            counts.iter().map(|c| crate::hier::sparse_counts(c)).collect();
 
         // Empirical hyper mean.
         let q0 = self.config.q0.unwrap_or_else(|| {
@@ -313,12 +317,12 @@ impl FailureModel for Hbp {
             health.begin_sweep()?;
             for g in 0..n_groups {
                 // q_k | rest via slice on logit scale.
-                let counts_g = &counts[g];
+                let sparse_g = &sparse[g];
                 let c_g = c[g];
                 let log_post_q = |y: f64| {
                     let qv = logit.inverse(y);
                     q_prior.ln_pdf(qv)
-                        + table.group_log_likelihood(counts_g, qv, c_g)
+                        + table.group_log_likelihood_sparse(sparse_g, qv, c_g)
                         + logit.ln_jacobian(y)
                 };
                 let y = kernels_q[g].try_step(logit.forward(q[g]), &log_post_q, &mut rng)?;
@@ -331,7 +335,7 @@ impl FailureModel for Hbp {
                         return f64::NEG_INFINITY;
                     }
                     c_prior.ln_pdf(cv)
-                        + table.group_log_likelihood(counts_g, q_g, cv)
+                        + table.group_log_likelihood_sparse(sparse_g, q_g, cv)
                         + log_t.ln_jacobian(y)
                 };
                 let y = kernels_c[g].try_step(log_t.forward(c[g]), &log_post_c, &mut rng)?;

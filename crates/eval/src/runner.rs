@@ -14,6 +14,7 @@ use pipefail_core::{CoreError, Result};
 use pipefail_network::attributes::PipeClass;
 use pipefail_network::dataset::Dataset;
 use pipefail_network::split::TrainTestSplit;
+use pipefail_par::TaskPool;
 use pipefail_stats::rng::derive_seed;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -185,6 +186,11 @@ pub struct RunConfig {
     pub restricted_budget: f64,
     /// Recovery policy for failed fits.
     pub retry: RetryPolicy,
+    /// Worker threads for the model/replicate fan-out; `0` defers to
+    /// `PIPEFAIL_THREADS` (and machine auto-sizing). Results are
+    /// byte-identical at any value — every fit is a pure function of
+    /// `(data, config, seed)` and threads only change the work partition.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -194,6 +200,7 @@ impl Default for RunConfig {
             class: PipeClass::Critical,
             restricted_budget: 0.01,
             retry: RetryPolicy::default(),
+            threads: 0,
         }
     }
 }
@@ -206,10 +213,24 @@ impl RunConfig {
             ..Self::default()
         }
     }
+
+    /// This configuration with an explicit worker-thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
+    }
+
+    /// The task pool this configuration fans out on.
+    pub fn pool(&self) -> TaskPool {
+        if self.threads == 0 {
+            TaskPool::from_env()
+        } else {
+            TaskPool::new(self.threads)
+        }
+    }
 }
 
 /// One model's evaluation on one region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelResult {
     /// Display name.
     pub model: String,
@@ -229,7 +250,7 @@ pub struct ModelResult {
 }
 
 /// The outcome of fitting one model (with retries) on one region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FitReport {
     /// Display name.
     pub model: String,
@@ -253,7 +274,7 @@ impl FitReport {
 }
 
 /// All models' evaluations on one region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionResult {
     /// Region name.
     pub region: String,
@@ -402,31 +423,41 @@ pub fn evaluate_region(
     config: RunConfig,
     seed: u64,
 ) -> Result<RegionResult> {
+    // Each model fit is a pure function of `(dataset, split, config, seed)`,
+    // so fanning the loop out over a task pool cannot change any result —
+    // only the wall clock. Curves and AUCs are computed inside the task (they
+    // are per-model work too), and the pool returns slots in input order.
+    let evaluated = config.pool().run(models.len(), |m| {
+        let kind = models[m];
+        let (ranking, report) = fit_with_retry(kind, dataset, split, config, seed);
+        let result = ranking.map(|ranking| {
+            let curve_count = DetectionCurve::by_count(&ranking, dataset, split.test);
+            let curve_length = DetectionCurve::by_length(&ranking, dataset, split.test);
+            let curve_length_density =
+                DetectionCurve::by_length_density(&ranking, dataset, split.test);
+            ModelResult {
+                model: kind.display(),
+                auc_full: full_auc(&curve_count),
+                // Table 18.3's restricted row is "when 1% of CWMs are
+                // inspected" — a pipe-count budget; Fig 18.8's length budget
+                // is served by `curve_length`.
+                auc_restricted_bp: to_basis_points(auc_at_fraction(
+                    &curve_count,
+                    config.restricted_budget,
+                )),
+                mann_whitney: mann_whitney_auc(&ranking, dataset, split.test),
+                curve_count,
+                curve_length,
+                curve_length_density,
+            }
+        });
+        (result, report)
+    });
     let mut out = Vec::with_capacity(models.len());
     let mut fits = Vec::with_capacity(models.len());
-    for kind in models {
-        let (ranking, report) = fit_with_retry(*kind, dataset, split, config, seed);
+    for (result, report) in evaluated {
         fits.push(report);
-        let Some(ranking) = ranking else { continue };
-        let curve_count = DetectionCurve::by_count(&ranking, dataset, split.test);
-        let curve_length = DetectionCurve::by_length(&ranking, dataset, split.test);
-        let curve_length_density =
-            DetectionCurve::by_length_density(&ranking, dataset, split.test);
-        out.push(ModelResult {
-            model: kind.display(),
-            auc_full: full_auc(&curve_count),
-            // Table 18.3's restricted row is "when 1% of CWMs are
-            // inspected" — a pipe-count budget; Fig 18.8's length budget is
-            // served by `curve_length`.
-            auc_restricted_bp: to_basis_points(auc_at_fraction(
-                &curve_count,
-                config.restricted_budget,
-            )),
-            mann_whitney: mann_whitney_auc(&ranking, dataset, split.test),
-            curve_count,
-            curve_length,
-            curve_length_density,
-        });
+        out.extend(result);
     }
     Ok(RegionResult {
         region: dataset.name().to_string(),
@@ -632,7 +663,20 @@ mod tests {
         assert!(err.contains("panicked") && err.contains("boom"), "{err}");
     }
 
-    struct SlowFailure;
+    /// A model that burns `delay` of wall clock per attempt and always fails
+    /// — the fixture for budget-bound retry tests. The tunable delay keeps
+    /// the test fast while still giving the budget something to measure.
+    struct SlowFailure {
+        delay: std::time::Duration,
+    }
+
+    impl SlowFailure {
+        fn with_millis(ms: u64) -> Self {
+            Self {
+                delay: std::time::Duration::from_millis(ms),
+            }
+        }
+    }
 
     impl FailureModel for SlowFailure {
         fn name(&self) -> &'static str {
@@ -646,7 +690,7 @@ mod tests {
             _class: PipeClass,
             _seed: u64,
         ) -> Result<RiskRanking> {
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(self.delay);
             Err(CoreError::FitFailed("still broken".into()))
         }
     }
@@ -659,11 +703,11 @@ mod tests {
         let mut run = RunConfig::fast();
         run.retry = RetryPolicy {
             max_retries: 1_000,
-            budget_secs: 0.05,
+            budget_secs: 0.02,
         };
         let (ranking, report) = fit_with_retry_using(
             "slow-failure".into(),
-            |_budget| Box::new(SlowFailure),
+            |_budget| Box::new(SlowFailure::with_millis(5)),
             ds,
             &split,
             run,

@@ -5,7 +5,8 @@
 //! paper's multiple real regions/years is a set of seeded replicate worlds:
 //! each replicate regenerates the synthetic region and re-fits every model,
 //! giving the matched samples the paired test needs. Replicates run in
-//! parallel via `std::thread::scope`.
+//! parallel on a [`pipefail_par::TaskPool`]; the static partitioning keeps
+//! every metric byte-identical at any thread count.
 
 use crate::runner::{evaluate_region, ModelKind, RunConfig};
 use pipefail_network::split::TrainTestSplit;
@@ -52,51 +53,47 @@ pub fn replicate_aucs(
     // Per-model metric tuple: (auc_full, auc_restricted_bp, %len@1%, %len-density@1%).
     type RepMetrics = Vec<(f64, f64, f64, f64)>;
     let split = TrainTestSplit::paper_protocol();
-    let mut results: Vec<Option<RepMetrics>> = vec![None; replicates];
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(replicates.max(1));
-    let chunk = replicates.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let models = models.to_vec();
-            let region_config = region_config.clone();
-            let split = &split;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    let rep = t * chunk + i;
-                    let seed = base_seed.wrapping_add(rep as u64 * 1_000_003);
-                    let world = region_config.build(seed);
-                    let ds = &world.regions()[0];
-                    // The paired tests need every model in every replicate;
-                    // a replicate where any model fails (even after its
-                    // retries) is dropped whole so the samples stay aligned.
-                    *slot = match evaluate_region(ds, split, &models, run, seed) {
-                        Ok(r) if r.all_succeeded() => Some(
-                            r.models
-                                .iter()
-                                .map(|m| {
-                                    (
-                                        m.auc_full,
-                                        m.auc_restricted_bp,
-                                        m.curve_length.y_at(0.01),
-                                        m.curve_length_density.y_at(0.01),
-                                    )
-                                })
-                                .collect(),
-                        ),
-                        Ok(r) => {
-                            eprintln!(
-                                "[replicate {rep}] dropped: models failed: {}",
-                                r.failed_models().join(", ")
-                            );
-                            None
-                        }
-                        Err(e) => {
-                            eprintln!("[replicate {rep}] dropped: {e}");
-                            None
-                        }
-                    };
-                }
-            });
+    let pool = run.pool();
+    // Replicates are the outer (homogeneous-cost) axis, so the pool fans out
+    // here; each replicate's inner `evaluate_region` runs serially to avoid
+    // oversubscribing cores with nested pools.
+    let inner = if pool.threads() > 1 {
+        run.with_threads(1)
+    } else {
+        run
+    };
+    let results: Vec<Option<RepMetrics>> = pool.run(replicates, |rep| {
+        let seed = base_seed.wrapping_add(rep as u64 * 1_000_003);
+        let world = region_config.build(seed);
+        let ds = &world.regions()[0];
+        // The paired tests need every model in every replicate; a replicate
+        // where any model fails (even after its retries) is dropped whole so
+        // the samples stay aligned.
+        match evaluate_region(ds, &split, models, inner, seed) {
+            Ok(r) if r.all_succeeded() => Some(
+                r.models
+                    .iter()
+                    .map(|m| {
+                        (
+                            m.auc_full,
+                            m.auc_restricted_bp,
+                            m.curve_length.y_at(0.01),
+                            m.curve_length_density.y_at(0.01),
+                        )
+                    })
+                    .collect(),
+            ),
+            Ok(r) => {
+                eprintln!(
+                    "[replicate {rep}] dropped: models failed: {}",
+                    r.failed_models().join(", ")
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("[replicate {rep}] dropped: {e}");
+                None
+            }
         }
     });
 

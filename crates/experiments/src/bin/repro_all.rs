@@ -1,14 +1,18 @@
-//! Run every experiment in sequence, writing all artefacts under the output
-//! directory. This is the one command behind EXPERIMENTS.md:
+//! Run every experiment, writing all artefacts under the output directory.
+//! This is the one command behind EXPERIMENTS.md:
 //!
 //! ```text
 //! PIPEFAIL_SCALE=0.12 cargo run --release -p pipefail-experiments --bin repro_all
 //! ```
 //!
-//! The driver is fault-tolerant:
+//! The driver is fault-tolerant and parallel:
 //!
-//! * each experiment binary runs to completion even when an earlier one
-//!   failed — one broken figure no longer kills the whole reproduction;
+//! * experiment binaries are independent processes, so they fan out on the
+//!   task pool (`PIPEFAIL_THREADS`, default auto); each child is pinned to
+//!   `PIPEFAIL_THREADS=1` so the process-level fan-out is the only source of
+//!   parallelism — no core oversubscription from nested pools;
+//! * each experiment runs to completion even when another fails — one
+//!   broken figure no longer kills the whole reproduction;
 //! * a failed binary is retried (up to `PIPEFAIL_MAX_RETRIES` extra
 //!   launches) before being reported as failed;
 //! * a completed binary drops a marker under `<out>/status/`, so rerunning
@@ -16,13 +20,19 @@
 //!   the sampling models inside each binary additionally resume their own
 //!   chains from checkpoints where configured). Delete the `status/`
 //!   directory (or `PIPEFAIL_OUT`) for a from-scratch rerun;
-//! * the run ends with a pass/fail/retried summary table and exits non-zero
-//!   if any binary still failed, listing the failures.
+//! * the run ends with a pass/fail/retried summary table — now with per-bin
+//!   wall-clock — and exits non-zero if any binary still failed.
+//!
+//! A child's stdout/stderr is captured and echoed as one block when it
+//! finishes, so parallel runs stay readable.
 
 use pipefail_eval::RetryPolicy;
 use pipefail_experiments::Context;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::Mutex;
+use std::time::Instant;
 
 const BINS: [&str; 15] = [
     "table18_1",
@@ -57,6 +67,8 @@ struct BinStatus {
     outcome: Outcome,
     /// Launches made this run (0 when skipped via marker).
     attempts: usize,
+    /// Wall-clock across all launches this run, in seconds.
+    elapsed_secs: f64,
     /// Failure detail of the last attempt, if any.
     detail: Option<String>,
 }
@@ -74,32 +86,49 @@ fn main() {
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(Path::to_path_buf));
+    let pool = ctx.run_config().pool();
+    println!(
+        "running {} experiments on {} thread(s)",
+        BINS.len(),
+        pool.threads()
+    );
 
-    let mut statuses: Vec<BinStatus> = Vec::with_capacity(BINS.len());
-    for bin in BINS {
+    // Completed children print their whole captured transcript under this
+    // lock so parallel bins never interleave mid-block.
+    let echo = Mutex::new(());
+    let statuses: Vec<BinStatus> = pool.run(BINS.len(), |i| {
+        let bin = BINS[i];
+        let started = Instant::now();
         let marker = status_dir.join(format!("{bin}.done"));
         if marker.exists() {
+            let _g = echo.lock().unwrap_or_else(|e| e.into_inner());
             println!("\n================ {bin} ================");
             println!("[skipped: marker {} exists]", marker.display());
-            statuses.push(BinStatus {
+            return BinStatus {
                 bin,
                 outcome: Outcome::AlreadyDone,
                 attempts: 0,
+                elapsed_secs: started.elapsed().as_secs_f64(),
                 detail: None,
-            });
-            continue;
+            };
         }
         let mut attempts = 0;
         let mut detail = None;
         let outcome = loop {
-            println!("\n================ {bin} ================");
             attempts += 1;
-            if attempts > 1 {
-                println!("[retry {} of {retries}]", attempts - 1);
-            }
-            match launch(bin, exe_dir.as_deref()) {
-                Ok(()) => break Outcome::Passed,
+            match launch(bin, exe_dir.as_deref(), pool.threads()) {
+                Ok(transcript) => {
+                    let _g = echo.lock().unwrap_or_else(|e| e.into_inner());
+                    println!("\n================ {bin} ================");
+                    if attempts > 1 {
+                        println!("[passed on retry {} of {retries}]", attempts - 1);
+                    }
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = stdout.write_all(&transcript);
+                    break Outcome::Passed;
+                }
                 Err(e) => {
+                    let _g = echo.lock().unwrap_or_else(|e| e.into_inner());
                     eprintln!("[{bin}] attempt {attempts} failed: {e}");
                     detail = Some(e);
                     if attempts > retries {
@@ -114,15 +143,16 @@ fn main() {
                 eprintln!("cannot write marker {}: {e}", marker.display());
             }
         }
-        statuses.push(BinStatus {
+        BinStatus {
             bin,
             outcome,
             attempts,
+            elapsed_secs: started.elapsed().as_secs_f64(),
             detail,
-        });
-    }
+        }
+    });
 
-    print_summary(&statuses);
+    print_summary(&statuses, pool.threads());
     let failed: Vec<&str> = statuses
         .iter()
         .filter(|s| s.outcome == Outcome::Failed)
@@ -137,27 +167,47 @@ fn main() {
     }
 }
 
-/// Launch one experiment binary; `Err` carries the failure detail.
-fn launch(bin: &str, exe_dir: Option<&Path>) -> Result<(), String> {
+/// Launch one experiment binary with its output captured; `Ok` carries the
+/// combined stdout+stderr transcript, `Err` the failure detail (with the
+/// tail of the child's stderr). The child gets `PIPEFAIL_THREADS=1`: with
+/// whole binaries fanned out here, inner model loops must stay serial.
+fn launch(bin: &str, exe_dir: Option<&Path>, parent_threads: usize) -> Result<Vec<u8>, String> {
     // Prefer the sibling executable (present after `cargo build`); fall
     // back to `cargo run` so `cargo run --bin repro_all` works alone.
     let sibling: Option<PathBuf> = exe_dir.map(|d| d.join(bin)).filter(|p| p.exists());
-    let status = match sibling {
-        Some(exe) => Command::new(exe).status(),
-        None => Command::new("cargo")
-            .args(["run", "--release", "-q", "-p", "pipefail-experiments", "--bin", bin])
-            .status(),
+    let mut cmd = match sibling {
+        Some(exe) => Command::new(exe),
+        None => {
+            let mut c = Command::new("cargo");
+            c.args(["run", "--release", "-q", "-p", "pipefail-experiments", "--bin", bin]);
+            c
+        }
     };
-    match status {
-        Ok(s) if s.success() => Ok(()),
-        Ok(s) => Err(format!("exited with {s}")),
+    if parent_threads > 1 {
+        cmd.env("PIPEFAIL_THREADS", "1");
+    }
+    match cmd.output() {
+        Ok(out) if out.status.success() => {
+            let mut transcript = out.stdout;
+            if !out.stderr.is_empty() {
+                transcript.extend_from_slice(b"--- stderr ---\n");
+                transcript.extend_from_slice(&out.stderr);
+            }
+            Ok(transcript)
+        }
+        Ok(out) => {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            let tail: Vec<&str> = stderr.lines().rev().take(5).collect();
+            let tail: Vec<&str> = tail.into_iter().rev().collect();
+            Err(format!("exited with {}: {}", out.status, tail.join(" | ")))
+        }
         Err(e) => Err(format!("failed to launch: {e}")),
     }
 }
 
-fn print_summary(statuses: &[BinStatus]) {
-    println!("\n================ summary ================");
-    println!("{:<28} {:<18} attempts", "experiment", "result");
+fn print_summary(statuses: &[BinStatus], threads: usize) {
+    println!("\n================ summary ({threads} thread(s)) ================");
+    println!("{:<28} {:<18} {:>8} {:>10}", "experiment", "result", "attempts", "wall [s]");
     for s in statuses {
         let result = match s.outcome {
             Outcome::Passed if s.attempts > 1 => "pass (retried)",
@@ -165,7 +215,10 @@ fn print_summary(statuses: &[BinStatus]) {
             Outcome::AlreadyDone => "done (resumed)",
             Outcome::Failed => "FAIL",
         };
-        print!("{:<28} {:<18} {}", s.bin, result, s.attempts);
+        print!(
+            "{:<28} {:<18} {:>8} {:>10.2}",
+            s.bin, result, s.attempts, s.elapsed_secs
+        );
         if let Some(d) = &s.detail {
             if s.outcome == Outcome::Failed {
                 print!("   [{d}]");
@@ -182,5 +235,9 @@ fn print_summary(statuses: &[BinStatus]) {
         .filter(|s| s.outcome == Outcome::Passed && s.attempts > 1)
         .count();
     let failed = statuses.len() - passed;
-    println!("\n{passed} passed ({retried} after retry), {failed} failed, {} total", statuses.len());
+    let wall: f64 = statuses.iter().map(|s| s.elapsed_secs).sum();
+    println!(
+        "\n{passed} passed ({retried} after retry), {failed} failed, {} total; {wall:.1}s of bin wall-clock on {threads} thread(s)",
+        statuses.len()
+    );
 }

@@ -67,22 +67,34 @@ pub fn split_r_hat(xs: &[f64]) -> f64 {
 
 /// R̂ for two chains of equal length.
 pub fn r_hat_two(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len().min(b.len());
-    if n < 2 {
+    r_hat_many(&[a, b])
+}
+
+/// Gelman–Rubin R̂ across `m ≥ 2` independent chains (the multi-chain
+/// diagnostic the two-chain and split variants specialise). Chains are
+/// truncated to the shortest length; values near 1.0 indicate the chains
+/// explore the same distribution.
+pub fn r_hat_many(chains: &[&[f64]]) -> f64 {
+    let m = chains.len();
+    let n = chains.iter().map(|c| c.len()).min().unwrap_or(0);
+    if m < 2 || n < 2 {
         return f64::NAN;
     }
-    let (a, b) = (&a[..n], &b[..n]);
-    let ma = mean(a).unwrap_or(0.0);
-    let mb = mean(b).unwrap_or(0.0);
-    let va = variance(a).unwrap_or(0.0);
-    let vb = variance(b).unwrap_or(0.0);
-    let w = 0.5 * (va + vb);
+    let chains: Vec<&[f64]> = chains.iter().map(|c| &c[..n]).collect();
+    let means: Vec<f64> = chains.iter().map(|c| mean(c).unwrap_or(0.0)).collect();
+    let w = chains
+        .iter()
+        .map(|c| variance(c).unwrap_or(0.0))
+        .sum::<f64>()
+        / m as f64;
     if w == 0.0 {
         return 1.0; // constant chains: formally converged
     }
-    let grand = 0.5 * (ma + mb);
-    let bvar = n as f64 * ((ma - grand).powi(2) + (mb - grand).powi(2)); // m−1 = 1
-    let var_plus = (n as f64 - 1.0) / n as f64 * w + bvar / n as f64;
+    let grand = means.iter().sum::<f64>() / m as f64;
+    // B = n/(m−1) · Σ (mean_j − grand)², the between-chain variance.
+    let b = n as f64 / (m as f64 - 1.0)
+        * means.iter().map(|mj| (mj - grand).powi(2)).sum::<f64>();
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
     (var_plus / w).sqrt()
 }
 
@@ -316,6 +328,46 @@ mod tests {
         let b = Normal::new(10.0, 1.0).unwrap().sample_n(&mut rng, 1_000);
         let r = r_hat_two(&a, &b);
         assert!(r > 2.0, "r_hat {r}");
+    }
+
+    #[test]
+    fn r_hat_many_agrees_with_two_chain_case() {
+        let mut rng = seeded_rng(57);
+        let a = Normal::standard().sample_n(&mut rng, 500);
+        let b = Normal::standard().sample_n(&mut rng, 500);
+        assert_eq!(r_hat_two(&a, &b), r_hat_many(&[&a, &b]));
+    }
+
+    #[test]
+    fn r_hat_many_near_one_for_iid_chains() {
+        let mut rng = seeded_rng(58);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| Normal::standard().sample_n(&mut rng, 2_000))
+            .collect();
+        let refs: Vec<&[f64]> = chains.iter().map(Vec::as_slice).collect();
+        let r = r_hat_many(&refs);
+        assert!((r - 1.0).abs() < 0.03, "r_hat {r}");
+    }
+
+    #[test]
+    fn r_hat_many_flags_one_divergent_chain() {
+        let mut rng = seeded_rng(59);
+        let mut chains: Vec<Vec<f64>> = (0..3)
+            .map(|_| Normal::standard().sample_n(&mut rng, 1_000))
+            .collect();
+        chains.push(Normal::new(8.0, 1.0).unwrap().sample_n(&mut rng, 1_000));
+        let refs: Vec<&[f64]> = chains.iter().map(Vec::as_slice).collect();
+        let r = r_hat_many(&refs);
+        assert!(r > 1.5, "r_hat {r}");
+    }
+
+    #[test]
+    fn r_hat_many_degenerate_inputs() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(r_hat_many(&[&a]).is_nan(), "one chain is no comparison");
+        assert!(r_hat_many(&[&a, &[1.0]]).is_nan(), "too short after truncation");
+        let c = [2.0; 50];
+        assert_eq!(r_hat_many(&[&c, &c, &c]), 1.0);
     }
 
     #[test]

@@ -14,6 +14,10 @@ use rand::Rng;
 pub struct Beta {
     a: f64,
     b: f64,
+    /// Cached `ln B(a, b)` — the `ln_pdf` normaliser (three log-gamma
+    /// evaluations), paid once at construction instead of on every density
+    /// evaluation in the Gibbs sweeps' fixed priors.
+    ln_beta_ab: f64,
 }
 
 impl Beta {
@@ -22,7 +26,11 @@ impl Beta {
         if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
             return Err(StatsError::BadParameter("Beta requires a, b > 0"));
         }
-        Ok(Self { a, b })
+        Ok(Self {
+            a,
+            b,
+            ln_beta_ab: ln_beta(a, b),
+        })
     }
 
     /// Create `Beta(c·q, c·(1−q))`, the mean/concentration form used by beta
@@ -58,8 +66,8 @@ impl Sampler for Beta {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Ratio of gammas; clamp away from exact 0/1 so downstream logs of
         // p and 1−p stay finite (failure probabilities are never exactly 0/1).
-        let ga = Gamma::new(self.a, 1.0).expect("validated").sample(rng);
-        let gb = Gamma::new(self.b, 1.0).expect("validated").sample(rng);
+        let ga = Gamma::sample_unit_rate(self.a, rng);
+        let gb = Gamma::sample_unit_rate(self.b, rng);
         let s = ga + gb;
         if s == 0.0 {
             return 0.5;
@@ -73,7 +81,7 @@ impl ContinuousDist for Beta {
         if x <= 0.0 || x >= 1.0 {
             return f64::NEG_INFINITY;
         }
-        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)
+        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - self.ln_beta_ab
     }
 
     fn cdf(&self, x: f64) -> f64 {

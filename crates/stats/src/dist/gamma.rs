@@ -11,6 +11,10 @@ use rand::Rng;
 pub struct Gamma {
     shape: f64,
     rate: f64,
+    /// Cached `ln Γ(shape)` — the `ln_pdf` normaliser, paid once at
+    /// construction instead of on every density evaluation (the Gibbs
+    /// sweeps evaluate fixed priors thousands of times per fit).
+    ln_gamma_shape: f64,
 }
 
 impl Gamma {
@@ -19,7 +23,11 @@ impl Gamma {
         if !(shape.is_finite() && rate.is_finite() && shape > 0.0 && rate > 0.0) {
             return Err(StatsError::BadParameter("Gamma requires shape, rate > 0"));
         }
-        Ok(Self { shape, rate })
+        Ok(Self {
+            shape,
+            rate,
+            ln_gamma_shape: ln_gamma(shape),
+        })
     }
 
     /// Shape parameter.
@@ -33,8 +41,10 @@ impl Gamma {
     }
 
     /// Marsaglia–Tsang squeeze sampler for a unit-rate gamma with shape ≥ 1;
-    /// boosting is applied for shape < 1.
-    fn sample_unit_rate<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    /// boosting is applied for shape < 1. Crate-visible so `Beta::sample`
+    /// can draw its gamma pair without constructing `Gamma` values (and
+    /// paying their cached-normaliser setup) per draw.
+    pub(crate) fn sample_unit_rate<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
         if shape < 1.0 {
             // Boost: if X ~ Gamma(shape+1), U^{1/shape}·X ~ Gamma(shape).
             let x = Self::sample_unit_rate(shape + 1.0, rng);
@@ -74,7 +84,7 @@ impl ContinuousDist for Gamma {
         }
         self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
             - self.rate * x
-            - ln_gamma(self.shape)
+            - self.ln_gamma_shape
     }
 
     fn cdf(&self, x: f64) -> f64 {

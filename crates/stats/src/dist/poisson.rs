@@ -2,7 +2,7 @@
 //! synthetic world generator.
 
 use super::{DiscreteDist, Sampler};
-use crate::special::{gammainc_upper_reg, ln_gamma};
+use crate::special::{gammainc_upper_reg, ln_factorial};
 use crate::{Result, StatsError};
 use rand::Rng;
 
@@ -62,7 +62,7 @@ impl Sampler for Poisson {
                 let v: f64 = rng.gen();
                 let y = alpha - beta * x;
                 let lhs = y + (v / (1.0 + y.exp()).powi(2)).ln();
-                let rhs = k + n * self.lambda.ln() - ln_gamma(n + 1.0);
+                let rhs = k + n * self.lambda.ln() - ln_factorial(n as u64);
                 if lhs <= rhs {
                     return n as u64;
                 }
@@ -74,7 +74,7 @@ impl Sampler for Poisson {
 impl DiscreteDist for Poisson {
     fn ln_pmf(&self, k: u64) -> f64 {
         let kf = k as f64;
-        kf * self.lambda.ln() - self.lambda - ln_gamma(kf + 1.0)
+        kf * self.lambda.ln() - self.lambda - ln_factorial(k)
     }
 
     fn mean(&self) -> f64 {

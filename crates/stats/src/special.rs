@@ -385,12 +385,52 @@ pub fn std_normal_quantile(p: f64) -> f64 {
     x - u / (1.0 + x * u / 2.0)
 }
 
+/// Size of the memoised integer tables below. Counts in the Bernoulli /
+/// beta-process likelihoods are failure-years and exposure-years, which stay
+/// far below this in any realistic window; larger arguments fall back to the
+/// direct evaluation.
+const INT_TABLE_LEN: usize = 4096;
+
+fn ln_gamma_int_table() -> &'static [f64] {
+    static TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    // Entries are computed by the same `ln_gamma` the fallback uses, so the
+    // memoised path is byte-identical to the direct one.
+    TABLE.get_or_init(|| (0..INT_TABLE_LEN).map(|n| ln_gamma(n as f64)).collect())
+}
+
+fn ln_int_table() -> &'static [f64] {
+    static TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| (0..INT_TABLE_LEN).map(|n| (n as f64).ln()).collect())
+}
+
+/// Memoised `ln Γ(n)` for integer `n` — the arguments that dominate the
+/// count likelihoods. `n = 0` is the pole (`+∞`), matching `ln_gamma(0.0)`.
+pub fn ln_gamma_int(n: u64) -> f64 {
+    match ln_gamma_int_table().get(n as usize) {
+        Some(&v) => v,
+        None => ln_gamma(n as f64),
+    }
+}
+
+/// Memoised `ln n!` = `ln Γ(n + 1)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma_int(n + 1)
+}
+
+/// Memoised `ln n` for integer `n`; `ln_int(0)` is `−∞`.
+pub fn ln_int(n: u64) -> f64 {
+    match ln_int_table().get(n as usize) {
+        Some(&v) => v,
+        None => (n as f64).ln(),
+    }
+}
+
 /// `ln(n choose k)` via log-gamma; exact enough for likelihood arithmetic.
 pub fn ln_choose(n: u64, k: u64) -> f64 {
     if k > n {
         return f64::NEG_INFINITY;
     }
-    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
 }
 
 /// Numerically stable `ln(exp(a) + exp(b))`.
@@ -604,6 +644,30 @@ mod tests {
             let x = std_normal_quantile(p);
             assert_close(std_normal_cdf(x), p, 1e-9);
         }
+    }
+
+    #[test]
+    fn memoised_integer_tables_match_direct_evaluation() {
+        // In-table and fallback ranges must be byte-identical to the direct
+        // call — the tables are a cache, not an approximation.
+        for n in [0u64, 1, 2, 7, 100, 4095, 4096, 100_000] {
+            assert!(
+                ln_gamma_int(n).to_bits() == ln_gamma(n as f64).to_bits(),
+                "ln_gamma_int({n})"
+            );
+            assert!(
+                ln_int(n).to_bits() == (n as f64).ln().to_bits(),
+                "ln_int({n})"
+            );
+            assert!(
+                ln_factorial(n).to_bits() == ln_gamma(n as f64 + 1.0).to_bits(),
+                "ln_factorial({n})"
+            );
+        }
+        assert_eq!(ln_gamma_int(0), f64::INFINITY);
+        assert_eq!(ln_int(0), f64::NEG_INFINITY);
+        // Lanczos ln Γ(1) is ~−9e−16, not exactly 0; the table reproduces it.
+        assert!(ln_factorial(0).abs() < 1e-15);
     }
 
     #[test]

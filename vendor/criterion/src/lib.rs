@@ -8,11 +8,49 @@
 //! smoke-measure, not a statistics engine — treat results as indicative.
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Opaque value barrier (re-export shape of `criterion::black_box`).
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// One completed benchmark measurement (an extension over upstream
+/// criterion: the stand-in exposes its raw results so harnesses can emit a
+/// machine-readable perf trajectory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// `group/bench` identifier as printed.
+    pub id: String,
+    /// Median-free fixed-budget estimate, nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Timed iterations behind the estimate.
+    pub iters: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(id: String, ns_per_iter: f64, iters: u64) {
+    let mut r = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    r.push(BenchRecord {
+        id,
+        ns_per_iter,
+        iters,
+    });
+}
+
+/// Drain every measurement recorded so far (in execution order). Call once
+/// from a custom `main` after the groups ran.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// True when `PIPEFAIL_BENCH_SMOKE=1`: each bench runs a single timed
+/// iteration — enough to prove the harness end-to-end (and produce a
+/// trajectory entry) without CI-scale wall-clock.
+pub fn smoke_mode() -> bool {
+    std::env::var("PIPEFAIL_BENCH_SMOKE").is_ok_and(|v| v == "1")
 }
 
 /// Identifier for parameterised benches.
@@ -46,9 +84,11 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f` over a fixed iteration budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up.
-        for _ in 0..3 {
-            black_box(f());
+        // Warm-up (skipped in smoke mode, where only the plumbing matters).
+        if !smoke_mode() {
+            for _ in 0..3 {
+                black_box(f());
+            }
         }
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -66,9 +106,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Reduce/raise the per-bench iteration budget.
+    /// Reduce/raise the per-bench iteration budget (smoke mode pins it to 1).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.criterion.iters = (n as u64).clamp(1, 1_000);
+        self.criterion.iters = if smoke_mode() {
+            1
+        } else {
+            (n as u64).clamp(1, 1_000)
+        };
         self
     }
 
@@ -87,6 +131,7 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: {:.1} ns/iter ({} iters)",
             self.name, id, b.nanos_per_iter, b.iters
         );
+        record(format!("{}/{}", self.name, id), b.nanos_per_iter, b.iters);
         self
     }
 
@@ -106,6 +151,7 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: {:.1} ns/iter ({} iters)",
             self.name, id, b.nanos_per_iter, b.iters
         );
+        record(format!("{}/{}", self.name, id), b.nanos_per_iter, b.iters);
         self
     }
 
@@ -120,7 +166,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { iters: 10 }
+        Self {
+            iters: if smoke_mode() { 1 } else { 10 },
+        }
     }
 }
 
@@ -141,6 +189,7 @@ impl Criterion {
         };
         f(&mut b);
         println!("bench {}: {:.1} ns/iter ({} iters)", id, b.nanos_per_iter, b.iters);
+        record(id.to_string(), b.nanos_per_iter, b.iters);
         self
     }
 }
