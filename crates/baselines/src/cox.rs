@@ -369,6 +369,16 @@ impl FailureModel for CoxModel {
         "Cox"
     }
 
+    fn posterior_summary(&self) -> Vec<pipefail_core::snapshot::SummarySection> {
+        use pipefail_core::snapshot::SummarySection;
+        vec![
+            SummarySection::new("coefficients").with_field("beta", self.beta.clone()),
+            SummarySection::new("baseline_hazard")
+                .with_field("event_age", self.baseline.iter().map(|b| b.0).collect())
+                .with_field("breslow_increment", self.baseline.iter().map(|b| b.1).collect()),
+        ]
+    }
+
     fn fit_rank_class(
         &mut self,
         dataset: &Dataset,

@@ -128,6 +128,12 @@ impl TimeModel {
 }
 
 impl FailureModel for TimeModel {
+    fn posterior_summary(&self) -> Vec<pipefail_core::snapshot::SummarySection> {
+        vec![pipefail_core::snapshot::SummarySection::new("coefficients")
+            .with_scalar("a", self.a)
+            .with_scalar("b", self.b)]
+    }
+
     fn name(&self) -> &'static str {
         match self.kind {
             TimeModelKind::Exponential => "TimeExp",

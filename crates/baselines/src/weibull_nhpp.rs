@@ -216,6 +216,13 @@ impl FailureModel for WeibullNhpp {
         "Weibull"
     }
 
+    fn posterior_summary(&self) -> Vec<pipefail_core::snapshot::SummarySection> {
+        vec![pipefail_core::snapshot::SummarySection::new("coefficients")
+            .with_scalar("alpha", self.alpha())
+            .with_scalar("beta_shape", self.beta_shape())
+            .with_field("beta", self.coef.clone())]
+    }
+
     fn fit_rank_class(
         &mut self,
         dataset: &Dataset,

@@ -19,6 +19,30 @@
 //! an existing checkpoint. Loading is deliberately forgiving: any parse
 //! failure or fingerprint mismatch means "no usable checkpoint" and the fit
 //! starts from scratch rather than erroring.
+//!
+//! # Examples
+//!
+//! A full save/resume round trip: fingerprint the fit, write state, load it
+//! back bit-for-bit.
+//!
+//! ```
+//! use pipefail_core::checkpoint::{Fingerprint, Reader, Writer};
+//!
+//! let fp = Fingerprint::new().push_u64(7).push_str("dpmhbp").finish();
+//! let mut w = Writer::new(fp);
+//! w.put_f64("alpha", 1.5);
+//! w.put_usize_slice("z", &[0, 0, 1, 4]);
+//!
+//! let path = std::env::temp_dir().join("checkpoint_doctest.ckpt");
+//! w.save(&path).unwrap();
+//!
+//! let r = Reader::load(&path, fp).expect("fingerprint matches");
+//! assert_eq!(r.f64("alpha"), Some(1.5));
+//! assert_eq!(r.usize_slice("z"), Some(vec![0, 0, 1, 4]));
+//! // A different fingerprint means "not our checkpoint": load refuses.
+//! assert!(Reader::load(&path, fp ^ 1).is_none());
+//! # std::fs::remove_file(&path).ok();
+//! ```
 
 use crate::Result;
 use std::collections::HashMap;
@@ -90,6 +114,15 @@ impl Fingerprint {
     pub fn push_str(&mut self, s: &str) -> &mut Self {
         self.push_usize(s.len());
         for b in s.bytes() {
+            self.push_byte(b);
+        }
+        self
+    }
+
+    /// Mix raw bytes without a length prefix — the plain FNV-1a digest of a
+    /// buffer, used by the snapshot format's payload checksum.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
             self.push_byte(b);
         }
         self
@@ -171,16 +204,27 @@ impl Writer {
 
     /// Write to `<path>.tmp` then rename into place.
     pub fn save(&self, path: &Path) -> Result<()> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let tmp = path.with_extension("ckpt.tmp");
-        std::fs::write(&tmp, &self.buf)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        atomic_write(path, self.buf.as_bytes())
     }
+}
+
+/// Crash-safe file write shared by the checkpoint and snapshot codecs:
+/// create the parent directory, write `bytes` to a `.tmp` sibling, then
+/// rename into place so a crash mid-write never corrupts an existing file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or(crate::CoreError::BadConfig("atomic_write needs a file path"))?
+        .to_string_lossy();
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// Checkpoint reader. Constructed only when the file exists, parses, and

@@ -748,6 +748,23 @@ impl FailureModel for Dpmhbp {
     ) -> Result<RiskRanking> {
         self.fit_rank_detailed(dataset, split, class, seed)
     }
+
+    fn posterior_summary(&self) -> Vec<crate::snapshot::SummarySection> {
+        use crate::snapshot::SummarySection;
+        let d = &self.diagnostics;
+        let mut clusters = SummarySection::new("clusters")
+            .with_field("count_trace", d.clusters.clone())
+            .with_field("alpha_trace", d.alpha.clone())
+            .with_field("mean_q_trace", d.mean_q.clone());
+        if let Some(mean) = self.mean_cluster_count() {
+            clusters = clusters.with_scalar("mean_count", mean);
+        }
+        let pipe_posterior = SummarySection::new("pipe_posterior")
+            .with_field("pipe", self.posterior.iter().map(|p| p.pipe.0 as f64).collect())
+            .with_field("mean", self.posterior.iter().map(|p| p.mean).collect())
+            .with_field("sd", self.posterior.iter().map(|p| p.sd).collect());
+        vec![clusters, pipe_posterior]
+    }
 }
 
 #[cfg(test)]

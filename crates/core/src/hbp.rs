@@ -144,6 +144,14 @@ impl FailureModel for Hbp {
         "HBP"
     }
 
+    fn posterior_summary(&self) -> Vec<crate::snapshot::SummarySection> {
+        vec![crate::snapshot::SummarySection::new(format!(
+            "group_posterior[{}]",
+            self.config.grouping.label()
+        ))
+        .with_field("rate", self.last_group_rates.clone())]
+    }
+
     fn fit_rank_class(
         &mut self,
         dataset: &Dataset,

@@ -1,6 +1,9 @@
 // Library code must surface failures as typed `CoreError`s, never unwrap
 // its way into a panic; tests are exempt.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Every public item carries documentation; rustdoc builds warning-clean
+// (CI runs `cargo doc` with `-D warnings`).
+#![warn(missing_docs)]
 
 //! # pipefail-core
 //!
@@ -24,7 +27,10 @@
 //! * [`covariates`] — the multiplicative covariate adjustment ("features are
 //!   applied multiplicatively", §18.4.3) shared by the Bayesian models;
 //! * [`model`] — the [`model::FailureModel`] trait every predictor
-//!   implements, producing a [`model::RiskRanking`] over pipes.
+//!   implements, producing a [`model::RiskRanking`] over pipes;
+//! * [`snapshot`] — the versioned, checksummed model-snapshot format that
+//!   freezes a fitted model (ranking + posterior summary) for the serving
+//!   layer (`pipefail-serve`); spec in `docs/SNAPSHOT_FORMAT.md`.
 
 pub mod bernoulli_process;
 pub mod beta_process;
@@ -36,6 +42,7 @@ pub mod hbp;
 pub mod hier;
 pub mod model;
 pub mod ranking;
+pub mod snapshot;
 pub mod validate;
 
 use pipefail_network::NetworkError;

@@ -6,6 +6,7 @@
 //! therefore unified behind one trait that takes a dataset plus a temporal
 //! split and produces a [`RiskRanking`].
 
+use crate::snapshot::SummarySection;
 use crate::{CoreError, Result};
 use pipefail_network::attributes::PipeClass;
 use pipefail_network::dataset::Dataset;
@@ -91,6 +92,29 @@ impl RiskRanking {
 }
 
 /// A pipe-failure prediction model.
+///
+/// # Examples
+///
+/// Fit the rank-based learner on a tiny synthetic region and rank its
+/// critical mains (every model — DPMHBP, HBP, Cox, Weibull, the time
+/// baselines — goes through this same trait):
+///
+/// ```
+/// use pipefail_core::model::FailureModel;
+/// use pipefail_core::ranking::{RankSvm, RankSvmConfig};
+/// use pipefail_network::split::TrainTestSplit;
+/// use pipefail_synth::WorldConfig;
+///
+/// let world = WorldConfig::demo().build(7);
+/// let region = &world.regions()[0];
+/// let split = TrainTestSplit::paper_protocol();
+/// let mut model = RankSvm::new(RankSvmConfig::fast());
+/// let ranking = model.fit_rank(region, &split, 7).unwrap();
+/// assert!(!ranking.is_empty());
+/// // Scores come back descending: the riskiest pipe is first.
+/// let scores = ranking.scores();
+/// assert!(scores.windows(2).all(|w| w[0].score >= w[1].score));
+/// ```
 pub trait FailureModel {
     /// Short display name used in result tables ("DPMHBP", "Cox", …).
     fn name(&self) -> &'static str;
@@ -115,6 +139,16 @@ pub trait FailureModel {
         seed: u64,
     ) -> Result<RiskRanking> {
         self.fit_rank_class(dataset, split, PipeClass::Critical, seed)
+    }
+
+    /// Compact posterior summary of the most recent fit, for export into a
+    /// model snapshot ([`crate::snapshot::Snapshot::from_fit`]): DPMHBP
+    /// returns cluster/pipe posteriors, HBP its group posterior, the
+    /// parametric baselines their coefficient vectors. Default: empty (a
+    /// model with no reportable internal state). Before any fit, models
+    /// return empty or trivially-default sections.
+    fn posterior_summary(&self) -> Vec<SummarySection> {
+        Vec::new()
     }
 }
 

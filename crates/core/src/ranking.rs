@@ -212,6 +212,11 @@ impl FailureModel for RankSvm {
         "SVM"
     }
 
+    fn posterior_summary(&self) -> Vec<crate::snapshot::SummarySection> {
+        vec![crate::snapshot::SummarySection::new("coefficients")
+            .with_field("weights", self.weights.clone())]
+    }
+
     fn fit_rank_class(
         &mut self,
         dataset: &Dataset,

@@ -1,0 +1,618 @@
+//! Model snapshots: the frozen, servable output of a fit.
+//!
+//! A [`Snapshot`] decouples *fitting* from *scoring*: an experiment binary
+//! (or `pipefail snapshot`) fits a model once, exports the ranking plus a
+//! compact posterior summary, and a serving process (`pipefail serve`,
+//! `pipefail-serve`) loads the file and answers top-K / per-pipe queries
+//! without ever touching MCMC. The format is hand-rolled binary — the
+//! dependency policy of this workspace rules out serde — and is specified
+//! byte by byte in `docs/SNAPSHOT_FORMAT.md`; this module is the reference
+//! implementation of that spec.
+//!
+//! Design points, shared with the sibling [`checkpoint`] codec:
+//!
+//! * **Lossless floats.** Scores and summary values round-trip through
+//!   `f64::to_bits`, so a served ranking is *byte-identical* to the
+//!   in-process ranking that produced it.
+//! * **Integrity first.** A magic string, a format version, and an FNV-1a
+//!   checksum over the payload (the same [`checkpoint::Fingerprint`]
+//!   hasher) guard the header; loading is *strict* — unlike the forgiving
+//!   checkpoint reader, any truncation, bit flip, unsorted ranking, or
+//!   trailing garbage is a typed [`SnapshotError`], never a silent
+//!   best-effort load, because a serving process must refuse to serve a
+//!   corrupt model.
+//! * **Atomic writes.** Files are written via
+//!   [`checkpoint::atomic_write`], so a crash mid-export never leaves a
+//!   half-written snapshot where a server might pick it up.
+//!
+//! # Examples
+//!
+//! ```
+//! use pipefail_core::model::{RiskRanking, RiskScore};
+//! use pipefail_core::snapshot::{Snapshot, SummarySection};
+//! use pipefail_network::ids::PipeId;
+//!
+//! let ranking = RiskRanking::new(vec![
+//!     RiskScore { pipe: PipeId(3), score: 0.9 },
+//!     RiskScore { pipe: PipeId(1), score: 0.2 },
+//! ]);
+//! let mut snap = Snapshot::new("DPMHBP", "Region A", 7, &ranking);
+//! snap.push_section(
+//!     SummarySection::new("clusters").with_scalar("mean_count", 4.5),
+//! );
+//! let bytes = snap.to_bytes();
+//! let back = Snapshot::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, snap);
+//! assert_eq!(back.ranking().pipes_in_order().next(), Some(PipeId(3)));
+//! ```
+
+use crate::checkpoint::{self, Fingerprint};
+use crate::model::{FailureModel, RiskRanking, RiskScore};
+use crate::Result;
+use pipefail_network::ids::PipeId;
+use std::path::Path;
+
+/// The six leading bytes of every snapshot file.
+pub const MAGIC: [u8; 6] = *b"PFSNAP";
+
+/// Current snapshot format version (header bytes 6..8, little-endian).
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Fixed header size in bytes: magic (6) + version (2) + checksum (8) +
+/// payload length (8).
+pub const HEADER_LEN: usize = 24;
+
+/// A named vector of posterior-summary values (e.g. `"beta"` for Cox
+/// coefficients, `"mean"` for per-pipe posterior means).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryField {
+    /// Field name, unique within its section.
+    pub name: String,
+    /// The values; scalars are length-1 vectors.
+    pub values: Vec<f64>,
+}
+
+/// A named group of [`SummaryField`]s describing one aspect of a fitted
+/// model's posterior (cluster traces, group rates, coefficient vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummarySection {
+    /// Section name (e.g. `"clusters"`, `"group_posterior[material]"`).
+    pub name: String,
+    /// The section's fields, in export order.
+    pub fields: Vec<SummaryField>,
+}
+
+impl SummarySection {
+    /// An empty section called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// This section with a vector field appended.
+    pub fn with_field(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.fields.push(SummaryField {
+            name: name.into(),
+            values,
+        });
+        self
+    }
+
+    /// This section with a scalar field appended.
+    pub fn with_scalar(self, name: impl Into<String>, value: f64) -> Self {
+        self.with_field(name, vec![value])
+    }
+
+    /// The values of the field called `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&[f64]> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.values.as_slice())
+    }
+}
+
+/// Why a snapshot failed to load. Every variant means "do not serve this
+/// file" — there is deliberately no lenient fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// Shorter than the fixed header.
+    TooShort {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The first six bytes are not [`MAGIC`].
+    BadMagic,
+    /// Header version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The header's payload length disagrees with the file size.
+    LengthMismatch {
+        /// Payload length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// FNV-1a checksum over the payload does not match the header.
+    ChecksumMismatch {
+        /// Checksum the header declares.
+        declared: u64,
+        /// Checksum of the bytes as read.
+        actual: u64,
+    },
+    /// The payload ended mid-field.
+    Truncated(&'static str),
+    /// A string field is not valid UTF-8.
+    BadUtf8(&'static str),
+    /// A score is NaN or infinite — a snapshot never stores a poisoned fit.
+    NonFiniteScore(u32),
+    /// Scores are not in descending order — the ranking invariant is part
+    /// of the format, not a load-time courtesy.
+    UnsortedScores {
+        /// Index of the first out-of-order entry.
+        at: usize,
+    },
+    /// Reading the file itself failed.
+    Io(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::TooShort { need, got } => {
+                write!(f, "snapshot too short: need {need} bytes, got {got}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::LengthMismatch { declared, actual } => write!(
+                f,
+                "payload length mismatch: header declares {declared} bytes, found {actual}"
+            ),
+            SnapshotError::ChecksumMismatch { declared, actual } => write!(
+                f,
+                "checksum mismatch: header declares {declared:016x}, payload hashes to {actual:016x}"
+            ),
+            SnapshotError::Truncated(what) => write!(f, "payload truncated reading {what}"),
+            SnapshotError::BadUtf8(what) => write!(f, "invalid UTF-8 in {what}"),
+            SnapshotError::NonFiniteScore(pipe) => {
+                write!(f, "non-finite score for pipe {pipe}")
+            }
+            SnapshotError::UnsortedScores { at } => {
+                write!(f, "scores not in descending order at index {at}")
+            }
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A fitted model frozen for serving: identity, the full descending risk
+/// ranking, and the posterior summary sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Model display name ("DPMHBP", "Cox", …).
+    pub model: String,
+    /// Dataset/region the model was fitted on.
+    pub region: String,
+    /// Master seed of the fit (provenance; replaying the fit with this seed
+    /// reproduces the ranking bit for bit).
+    pub seed: u64,
+    /// `(pipe, score)` pairs in descending score order.
+    pub scores: Vec<(PipeId, f64)>,
+    /// Posterior summary sections, in export order.
+    pub sections: Vec<SummarySection>,
+}
+
+impl Snapshot {
+    /// Freeze `ranking` under the given identity; summary sections start
+    /// empty (see [`Snapshot::push_section`] / [`Snapshot::from_fit`]).
+    pub fn new(
+        model: impl Into<String>,
+        region: impl Into<String>,
+        seed: u64,
+        ranking: &RiskRanking,
+    ) -> Self {
+        Self {
+            model: model.into(),
+            region: region.into(),
+            seed,
+            scores: ranking.scores().iter().map(|s| (s.pipe, s.score)).collect(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Freeze a fitted model: takes the display name and posterior summary
+    /// from the model itself ([`FailureModel::posterior_summary`]).
+    pub fn from_fit(
+        model: &dyn FailureModel,
+        region: impl Into<String>,
+        seed: u64,
+        ranking: &RiskRanking,
+    ) -> Self {
+        let mut snap = Self::new(model.name(), region, seed, ranking);
+        snap.sections = model.posterior_summary();
+        snap
+    }
+
+    /// Append a posterior summary section.
+    pub fn push_section(&mut self, section: SummarySection) {
+        self.sections.push(section);
+    }
+
+    /// The section called `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&SummarySection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Number of ranked pipes.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no pipes are ranked.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Reconstruct the [`RiskRanking`]. Scores are stored sorted, so this
+    /// is exactly the ranking that was frozen (stable re-sort of an
+    /// already-sorted vector).
+    pub fn ranking(&self) -> RiskRanking {
+        RiskRanking::new(
+            self.scores
+                .iter()
+                .map(|&(pipe, score)| RiskScore { pipe, score })
+                .collect(),
+        )
+    }
+
+    /// Serialize to the on-disk byte format (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, &self.model);
+        put_str(&mut payload, &self.region);
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        put_u32(&mut payload, self.scores.len() as u32);
+        for &(pipe, score) in &self.scores {
+            put_u32(&mut payload, pipe.0);
+            payload.extend_from_slice(&score.to_bits().to_le_bytes());
+        }
+        put_u32(&mut payload, self.sections.len() as u32);
+        for section in &self.sections {
+            put_str(&mut payload, &section.name);
+            put_u32(&mut payload, section.fields.len() as u32);
+            for field in &section.fields {
+                put_str(&mut payload, &field.name);
+                put_u32(&mut payload, field.values.len() as u32);
+                for v in &field.values {
+                    payload.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv_bytes(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Parse and fully validate the byte format. Strict: any malformation
+    /// is an error, and the scores' descending-order invariant is checked
+    /// so a loaded snapshot can be served without re-sorting.
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::TooShort {
+                need: HEADER_LEN,
+                got: bytes.len(),
+            });
+        }
+        if bytes[..6] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[6], bytes[7]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let declared_sum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let declared_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if declared_len != payload.len() as u64 {
+            return Err(SnapshotError::LengthMismatch {
+                declared: declared_len,
+                actual: payload.len() as u64,
+            });
+        }
+        let actual_sum = fnv_bytes(payload);
+        if actual_sum != declared_sum {
+            return Err(SnapshotError::ChecksumMismatch {
+                declared: declared_sum,
+                actual: actual_sum,
+            });
+        }
+
+        let mut cur = Cursor { buf: payload, pos: 0 };
+        let model = cur.str("model name")?;
+        let region = cur.str("region name")?;
+        let seed = cur.u64("seed")?;
+        let n_scores = cur.count("score count", 12)?;
+        let mut scores = Vec::with_capacity(n_scores);
+        for i in 0..n_scores {
+            let pipe = cur.u32("score pipe id")?;
+            let score = f64::from_bits(cur.u64("score value")?);
+            if !score.is_finite() {
+                return Err(SnapshotError::NonFiniteScore(pipe));
+            }
+            if let Some(&(_, prev)) = scores.last() {
+                if score > prev {
+                    return Err(SnapshotError::UnsortedScores { at: i });
+                }
+            }
+            scores.push((PipeId(pipe), score));
+        }
+        let n_sections = cur.count("section count", 8)?;
+        let mut sections = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let name = cur.str("section name")?;
+            let n_fields = cur.count("field count", 8)?;
+            let mut fields = Vec::with_capacity(n_fields);
+            for _ in 0..n_fields {
+                let fname = cur.str("field name")?;
+                let n_values = cur.count("value count", 8)?;
+                let mut values = Vec::with_capacity(n_values);
+                for _ in 0..n_values {
+                    values.push(f64::from_bits(cur.u64("field value")?));
+                }
+                fields.push(SummaryField { name: fname, values });
+            }
+            sections.push(SummarySection { name, fields });
+        }
+        if cur.pos != payload.len() {
+            return Err(SnapshotError::Truncated("trailing bytes after payload"));
+        }
+        Ok(Self {
+            model,
+            region,
+            seed,
+            scores,
+            sections,
+        })
+    }
+
+    /// Write atomically to `path` (via [`checkpoint::atomic_write`]).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        checkpoint::atomic_write(path, &self.to_bytes())
+    }
+
+    /// Load and validate a snapshot file.
+    pub fn load(path: &Path) -> std::result::Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// FNV-1a over raw bytes, via the checkpoint fingerprint hasher.
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.push_bytes(bytes);
+    fp.finish()
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over the payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &'static str) -> std::result::Result<&[u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Truncated(what))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &'static str) -> std::result::Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> std::result::Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an element count and pre-validate that `count * min_elem_bytes`
+    /// still fits in the remaining payload, so a corrupted count can never
+    /// drive a huge allocation.
+    fn count(
+        &mut self,
+        what: &'static str,
+        min_elem_bytes: usize,
+    ) -> std::result::Result<usize, SnapshotError> {
+        let n = self.u32(what)? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(SnapshotError::Truncated(what));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &'static str) -> std::result::Result<String, SnapshotError> {
+        let len = self.count(what, 1)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let ranking = RiskRanking::new(vec![
+            RiskScore { pipe: PipeId(5), score: 0.75 },
+            RiskScore { pipe: PipeId(0), score: 0.5 },
+            RiskScore { pipe: PipeId(9), score: 0.5 },
+            RiskScore { pipe: PipeId(2), score: -1.25 },
+        ]);
+        let mut snap = Snapshot::new("DPMHBP", "Region A", 42, &ranking);
+        snap.push_section(
+            SummarySection::new("clusters")
+                .with_scalar("mean_count", 3.5)
+                .with_field("alpha_trace", vec![0.9, 1.1, 1.0]),
+        );
+        snap.push_section(SummarySection::new("empty"));
+        snap
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("valid snapshot");
+        assert_eq!(back, snap);
+        // Scores survive bit-for-bit.
+        for ((pa, sa), (pb, sb)) in snap.scores.iter().zip(&back.scores) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        assert_eq!(back.section("clusters").unwrap().field("mean_count"), Some(&[3.5][..]));
+        assert_eq!(back.section("absent"), None);
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let dir = std::env::temp_dir().join("pipefail_snapshot_test_file");
+        let path = dir.join("model.pfsnap");
+        let snap = sample();
+        snap.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        assert_eq!(back, snap);
+        assert!(Snapshot::load(&dir.join("absent.pfsnap")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn header_corruptions_are_typed() {
+        let good = sample().to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Snapshot::from_bytes(&bad_magic), Err(SnapshotError::BadMagic));
+
+        let mut bad_version = good.clone();
+        bad_version[6] = 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+
+        let mut flipped = good.clone();
+        *flipped.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&trailing),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_and_nonfinite_scores_are_rejected() {
+        // Hand-build an unsorted payload by swapping two score entries and
+        // re-stamping the checksum (so only the ordering check can fire).
+        let snap = sample();
+        let mut bytes = snap.to_bytes();
+        let scores_off = HEADER_LEN + 4 + snap.model.len() + 4 + snap.region.len() + 8 + 4;
+        let entry = 12;
+        let (a, b) = (scores_off, scores_off + entry);
+        for i in 0..entry {
+            bytes.swap(a + i, b + i);
+        }
+        restamp(&mut bytes);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsortedScores { at: 1 })
+        ));
+
+        let mut bytes = snap.to_bytes();
+        bytes[scores_off + 4..scores_off + 12]
+            .copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        restamp(&mut bytes);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::NonFiniteScore(5))
+        ));
+    }
+
+    fn restamp(bytes: &mut [u8]) {
+        let sum = fnv_bytes(&bytes[HEADER_LEN..]);
+        bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn huge_declared_count_fails_fast_without_allocating() {
+        // 4 GiB worth of scores declared in a 50-byte payload must be a
+        // clean Truncated error (the count pre-check), not an OOM attempt.
+        let mut snap = sample();
+        snap.scores.clear();
+        let mut bytes = snap.to_bytes();
+        let count_off = HEADER_LEN + 4 + snap.model.len() + 4 + snap.region.len() + 8;
+        bytes[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        restamp(&mut bytes);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn ranking_round_trips_identically() {
+        let ranking = sample().ranking();
+        let snap = Snapshot::new("m", "r", 0, &ranking);
+        assert_eq!(snap.ranking(), ranking);
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+        assert!(Snapshot::new("m", "r", 0, &RiskRanking::new(vec![])).is_empty());
+    }
+}

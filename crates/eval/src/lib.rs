@@ -17,6 +17,8 @@
 //!   (Fig 18.2) and risk maps with test-year failures as stars (Fig 18.9);
 //! * [`report`] — plain-text table formatting matching the paper's layout.
 
+#![warn(missing_docs)]
+
 pub mod charts;
 pub mod detection;
 pub mod metrics;

@@ -20,6 +20,27 @@ pub fn decile_color(d: usize) -> &'static str {
 /// Render the risk map of `ranking` over `dataset`: ranked pipes coloured by
 /// decile, unranked pipes grey, and failures in `test_window` as black
 /// stars.
+///
+/// # Examples
+///
+/// Fit any model, then draw Fig 18.9 for the test year:
+///
+/// ```
+/// use pipefail_core::model::FailureModel;
+/// use pipefail_core::ranking::{RankSvm, RankSvmConfig};
+/// use pipefail_eval::riskmap::risk_map;
+/// use pipefail_network::split::TrainTestSplit;
+/// use pipefail_synth::WorldConfig;
+///
+/// let world = WorldConfig::demo().build(7);
+/// let region = &world.regions()[0];
+/// let split = TrainTestSplit::paper_protocol();
+/// let mut model = RankSvm::new(RankSvmConfig::fast());
+/// let ranking = model.fit_rank(region, &split, 7).unwrap();
+///
+/// let svg = risk_map(region, &ranking, split.test, 800.0, 800.0);
+/// assert!(svg.starts_with("<svg"));
+/// ```
 pub fn risk_map(
     dataset: &Dataset,
     ranking: &RiskRanking,

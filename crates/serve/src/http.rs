@@ -1,0 +1,660 @@
+//! A minimal hand-rolled HTTP/1.1 server for the scoring engine.
+//!
+//! No async runtime, no HTTP crate — a `std::net::TcpListener`, an accept
+//! thread, and a fixed pool of worker threads draining a channel, in the
+//! same spirit as the workspace's hand-rolled CSV and SVG writers. Scope is
+//! deliberately narrow: `Connection: close` per request (keep-alive and
+//! pipelining are roadmap items), one-shot request/response, bounded head
+//! and body sizes, and per-request read/write timeouts wired from the same
+//! `PIPEFAIL_*` environment-knob idiom as the experiment runner's
+//! wall-clock budgets.
+//!
+//! ## Routes
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /health` | liveness probe |
+//! | `GET /top?k=N` | the N riskiest pipes, descending (default 10) |
+//! | `GET /pipe?id=N` | one pipe's score and rank |
+//! | `GET /model` | snapshot identity + posterior-summary inventory |
+//! | `POST /batch` | one query per line (`top K` / `pipe ID`), fanned over the task pool |
+//! | `GET /riskmap.svg` | Fig 18.9 risk map (only when a dataset is loaded) |
+//! | `GET /metrics` | Prometheus text exposition |
+
+use crate::metrics::{Metrics, Route};
+use crate::scorer::{PipeRisk, Query, QueryResult, Scorer};
+use crate::ServeError;
+use pipefail_network::dataset::Dataset;
+use pipefail_network::ids::PipeId;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_par::TaskPool;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Environment variable: per-request socket timeout in seconds (same
+/// parsing rules as `PIPEFAIL_MODEL_BUDGET_SECS` — positive float, bad
+/// values fall back to the default).
+pub const HTTP_TIMEOUT_ENV: &str = "PIPEFAIL_HTTP_TIMEOUT_SECS";
+
+/// Environment variable: worker-thread count (`0`/unset = auto).
+pub const HTTP_WORKERS_ENV: &str = "PIPEFAIL_HTTP_WORKERS";
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads; `0` = auto (available parallelism, capped at 8).
+    pub workers: usize,
+    /// Per-request read/write timeout in seconds — the serving analogue of
+    /// the fit engine's wall-clock budget: a stalled client is cut off, it
+    /// cannot pin a worker.
+    pub request_timeout_secs: f64,
+    /// Maximum accepted request size (head + body) in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            request_timeout_secs: 10.0,
+            max_request_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden from the environment
+    /// ([`HTTP_TIMEOUT_ENV`], [`HTTP_WORKERS_ENV`]), mirroring
+    /// `RetryPolicy::from_env`: unset or unparsable values keep the
+    /// defaults, timeouts must be positive.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(t) = std::env::var(HTTP_TIMEOUT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|t| *t > 0.0)
+        {
+            cfg.request_timeout_secs = t;
+        }
+        if let Some(w) = std::env::var(HTTP_WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.workers = w;
+        }
+        cfg
+    }
+
+    /// This configuration with a different bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(2, |n| n.get()).min(8)
+        }
+    }
+}
+
+/// Everything a worker needs to answer queries: the scorer, a task pool
+/// for `/batch` fan-out, and an optional dataset for the risk-map route.
+#[derive(Debug)]
+pub struct ServeContext {
+    scorer: Scorer,
+    pool: TaskPool,
+    dataset: Option<Dataset>,
+}
+
+impl ServeContext {
+    /// Context serving `scorer`, batching over `PIPEFAIL_THREADS`.
+    pub fn new(scorer: Scorer) -> Self {
+        Self {
+            scorer,
+            pool: TaskPool::from_env(),
+            dataset: None,
+        }
+    }
+
+    /// This context with the dataset the model was fitted on, enabling
+    /// `GET /riskmap.svg` (the Fig 18.9 renderer of `pipefail-eval` over
+    /// the served ranking).
+    pub fn with_dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// This context with an explicit batch task pool.
+    pub fn with_pool(mut self, pool: TaskPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The scoring engine being served.
+    pub fn scorer(&self) -> &Scorer {
+        &self.scorer
+    }
+}
+
+/// Handle to a running server: its bound address, shared metrics, and the
+/// shutdown switch.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live request metrics (also served at `/metrics`).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish, join all threads. Idempotent via `Drop` (calling this
+    /// consumes the handle).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind, spawn the accept thread and worker pool, and return immediately.
+pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHandle, ServeError> {
+    if config.request_timeout_secs <= 0.0 {
+        return Err(ServeError::BadConfig(
+            "request_timeout_secs must be positive".into(),
+        ));
+    }
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(Metrics::new());
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(config.resolved_workers());
+    for _ in 0..config.resolved_workers() {
+        let rx = Arc::clone(&rx);
+        let ctx = Arc::clone(&ctx);
+        let metrics = Arc::clone(&metrics);
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || loop {
+            // Hold the lock only for the dequeue; recover from a poisoned
+            // lock (a panicking sibling) rather than dying with it.
+            let stream = {
+                let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                guard.recv()
+            };
+            match stream {
+                Ok(stream) => handle_connection(stream, &ctx, &metrics, &config),
+                Err(_) => break, // sender dropped: accept loop has exited
+            }
+        }));
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A send can only fail if every worker died; stop accepting.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        // `tx` drops here; workers drain the queue and exit.
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        metrics,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// A parsed request: method, path, raw query string, body.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: String,
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    ctx: &ServeContext,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) {
+    let started = Instant::now();
+    let timeout = Duration::from_secs_f64(config.request_timeout_secs);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let (route, response) = match read_request(&mut stream, config.max_request_bytes) {
+        Ok(req) => route_request(&req, ctx, metrics),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
+            || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            (Route::Other, Response::json(408, "{\"error\":\"request timeout\"}"))
+        }
+        Err(_) => (Route::Other, Response::json(400, "{\"error\":\"malformed request\"}")),
+    };
+    let _ = response.write_to(&mut stream);
+    metrics.observe(route, response.status, started.elapsed());
+}
+
+/// Read head (+ body per `Content-Length`) with a hard size cap.
+fn read_request(stream: &mut TcpStream, max_bytes: usize) -> std::io::Result<Request> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_bytes {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    }
+    let content_length: usize = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    if content_length > max_bytes {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+
+    let mut body_bytes = buf[head_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            _ => "Error",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+fn route_request(req: &Request, ctx: &ServeContext, metrics: &Metrics) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (Route::Health, Response::json(200, "{\"status\":\"ok\"}")),
+        ("GET", "/top") => (Route::Top, top_response(req, ctx)),
+        ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx)),
+        ("GET", "/model") => (Route::Model, Response::json(200, render_model(ctx.scorer()))),
+        ("POST", "/batch") => (Route::Batch, batch_response(req, ctx)),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            Response::text(200, "text/plain; version=0.0.4", metrics.render()),
+        ),
+        ("GET", "/riskmap.svg") => (Route::Riskmap, riskmap_response(ctx)),
+        (m, "/health" | "/top" | "/pipe" | "/model" | "/metrics" | "/riskmap.svg") if m != "GET" => {
+            (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
+        }
+        _ => (Route::Other, Response::json(404, "{\"error\":\"no such route\"}")),
+    }
+}
+
+/// Value of query-string parameter `key` (no percent-decoding — the API
+/// only takes integers).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+fn top_response(req: &Request, ctx: &ServeContext) -> Response {
+    let k = match query_param(&req.query, "k") {
+        None => 10,
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => {
+                return Response::json(400, format!("{{\"error\":\"bad k: {v:?}\"}}"));
+            }
+        },
+    };
+    Response::json(200, render_top_k(ctx.scorer(), k))
+}
+
+fn pipe_response(req: &Request, ctx: &ServeContext) -> Response {
+    let Some(raw) = query_param(&req.query, "id") else {
+        return Response::json(400, "{\"error\":\"missing id parameter\"}");
+    };
+    let Ok(id) = raw.parse::<u32>() else {
+        return Response::json(400, format!("{{\"error\":\"bad id: {raw:?}\"}}"));
+    };
+    match ctx.scorer().risk_of(PipeId(id)) {
+        Some(risk) => Response::json(200, render_pipe_risk(&risk)),
+        None => Response::json(404, format!("{{\"error\":\"pipe {id} not ranked\"}}")),
+    }
+}
+
+fn batch_response(req: &Request, ctx: &ServeContext) -> Response {
+    let mut queries = Vec::new();
+    for (lineno, line) in req.body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = match line.split_once(' ') {
+            Some(("top", k)) => k.parse::<usize>().ok().map(Query::TopK),
+            Some(("pipe", id)) => id.parse::<u32>().ok().map(|i| Query::Pipe(PipeId(i))),
+            _ => None,
+        };
+        match parsed {
+            Some(q) => queries.push(q),
+            None => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":\"bad query on line {}: {line:?}\"}}", lineno + 1),
+                );
+            }
+        }
+    }
+    let results = ctx.scorer().answer_batch(&queries, &ctx.pool);
+    let rendered: Vec<String> = results.iter().map(render_query_result).collect();
+    Response::json(200, format!("{{\"results\":[{}]}}", rendered.join(",")))
+}
+
+fn riskmap_response(ctx: &ServeContext) -> Response {
+    match &ctx.dataset {
+        Some(dataset) => {
+            let ranking = ctx.scorer().ranking();
+            let svg = pipefail_eval::riskmap::risk_map(
+                dataset,
+                &ranking,
+                TrainTestSplit::paper_protocol().test,
+                800.0,
+                800.0,
+            );
+            Response::text(200, "image/svg+xml", svg)
+        }
+        None => Response::json(
+            404,
+            "{\"error\":\"no dataset loaded; start the server with --data to enable risk maps\"}",
+        ),
+    }
+}
+
+/// JSON for one [`PipeRisk`]. Scores use Rust's shortest-round-trip `f64`
+/// formatting, so the serialized score parses back to the exact bits that
+/// were served — the HTTP answer carries the same information as the
+/// in-process one.
+pub fn render_pipe_risk(risk: &PipeRisk) -> String {
+    format!(
+        "{{\"pipe\":{},\"score\":{},\"rank\":{}}}",
+        risk.pipe.0, risk.score, risk.rank
+    )
+}
+
+/// JSON for a top-K answer; the exact body served by `GET /top`.
+pub fn render_top_k(scorer: &Scorer, k: usize) -> String {
+    let top = scorer.top_k(k);
+    let items: Vec<String> = top.iter().map(render_pipe_risk).collect();
+    format!(
+        "{{\"model\":{},\"region\":{},\"k\":{},\"results\":[{}]}}",
+        json_str(scorer.model()),
+        json_str(scorer.region()),
+        top.len(),
+        items.join(",")
+    )
+}
+
+/// JSON for the snapshot identity and posterior-summary inventory; the
+/// exact body served by `GET /model`.
+pub fn render_model(scorer: &Scorer) -> String {
+    let sections: Vec<String> = scorer
+        .sections()
+        .iter()
+        .map(|s| {
+            let fields: Vec<String> = s
+                .fields
+                .iter()
+                .map(|f| format!("{{\"name\":{},\"len\":{}}}", json_str(&f.name), f.values.len()))
+                .collect();
+            format!(
+                "{{\"name\":{},\"fields\":[{}]}}",
+                json_str(&s.name),
+                fields.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"sections\":[{}]}}",
+        json_str(scorer.model()),
+        json_str(scorer.region()),
+        scorer.seed(),
+        scorer.len(),
+        sections.join(",")
+    )
+}
+
+fn render_query_result(result: &QueryResult) -> String {
+    match result {
+        QueryResult::TopK(items) => {
+            let rendered: Vec<String> = items.iter().map(render_pipe_risk).collect();
+            format!("{{\"top\":[{}]}}", rendered.join(","))
+        }
+        QueryResult::Pipe(Some(risk)) => format!("{{\"pipe_risk\":{}}}", render_pipe_risk(risk)),
+        QueryResult::Pipe(None) => "{\"pipe_risk\":null}".to_string(),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_core::model::{RiskRanking, RiskScore};
+    use pipefail_core::snapshot::Snapshot;
+
+    fn test_scorer() -> Scorer {
+        let ranking = RiskRanking::new(
+            (0..20u32)
+                .map(|i| RiskScore {
+                    pipe: PipeId(i),
+                    score: f64::from(20 - i) / 20.0,
+                })
+                .collect(),
+        );
+        Scorer::new(Snapshot::new("DPMHBP", "Region \"A\"", 7, &ranking))
+    }
+
+    #[test]
+    fn query_param_parses() {
+        assert_eq!(query_param("k=5", "k"), Some("5"));
+        assert_eq!(query_param("a=1&k=9&b=2", "k"), Some("9"));
+        assert_eq!(query_param("", "k"), None);
+        assert_eq!(query_param("kk=5", "k"), None);
+    }
+
+    #[test]
+    fn render_top_k_is_valid_shape_and_escapes() {
+        let s = test_scorer();
+        let body = render_top_k(&s, 2);
+        assert!(body.starts_with("{\"model\":\"DPMHBP\""));
+        assert!(body.contains("\\\"A\\\""), "region quotes escaped: {body}");
+        assert!(body.contains("\"k\":2"));
+        assert!(body.contains("\"pipe\":0"));
+        // Scores round-trip through the shortest f64 formatting.
+        assert!(body.contains(&format!("\"score\":{}", 20.0 / 20.0)));
+    }
+
+    #[test]
+    fn json_str_escapes_controls() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn find_head_end_locates_crlfcrlf() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn render_model_lists_sections() {
+        use pipefail_core::snapshot::SummarySection;
+        let ranking = RiskRanking::new(vec![RiskScore { pipe: PipeId(1), score: 1.0 }]);
+        let mut snap = Snapshot::new("Cox", "R", 3, &ranking);
+        snap.push_section(SummarySection::new("coefficients").with_field("beta", vec![0.1, 0.2]));
+        let body = render_model(&Scorer::new(snap));
+        assert!(body.contains("\"model\":\"Cox\""));
+        assert!(body.contains("\"pipes\":1"));
+        assert!(body.contains("\"name\":\"coefficients\""));
+        assert!(body.contains("\"len\":2"));
+    }
+}

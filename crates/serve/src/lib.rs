@@ -1,0 +1,87 @@
+// Library code must surface failures as typed errors, never unwrap its way
+// into a panic; tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Every public item carries documentation; rustdoc builds warning-clean
+// (CI runs `cargo doc` with `-D warnings`).
+#![warn(missing_docs)]
+
+//! # pipefail-serve
+//!
+//! The risk-scoring service: the subsystem that turns a *fitted* model into
+//! a *servable* one. Fitting (minutes of MCMC) and scoring (microseconds of
+//! lookup) have completely different operational profiles, so they are
+//! decoupled through the model-snapshot format of
+//! [`pipefail_core::snapshot`]:
+//!
+//! ```text
+//! pipefail snapshot  ──fit──▶  model.pfsnap  ──load──▶  pipefail serve
+//!    (batch, slow)             (one file)              (online, fast)
+//! ```
+//!
+//! * [`scorer`] — loads a snapshot and answers "top-K riskiest pipes" and
+//!   per-pipe risk queries from a pre-sorted in-memory table; batches of
+//!   queries fan out over a [`pipefail_par::TaskPool`].
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 server on
+//!   `std::net::TcpListener` (the workspace's dependency policy rules out
+//!   async frameworks, as it does serde): a fixed worker pool, per-request
+//!   read/write timeouts reusing the `PIPEFAIL_*` budget-knob idiom of the
+//!   experiment runner, graceful shutdown, and an optional risk-map SVG
+//!   endpoint reusing [`pipefail_eval::riskmap`].
+//! * [`metrics`] — lock-free request counters and a latency histogram,
+//!   exposed at `/metrics` in Prometheus text exposition format.
+//!
+//! The fit → snapshot → serve → query walkthrough lives in
+//! `docs/SERVING.md`; the byte-level snapshot spec in
+//! `docs/SNAPSHOT_FORMAT.md`.
+
+pub mod http;
+pub mod metrics;
+pub mod scorer;
+
+pub use http::{serve, ServeContext, ServerConfig, ServerHandle};
+pub use metrics::Metrics;
+pub use scorer::{PipeRisk, Query, QueryResult, Scorer};
+
+use pipefail_core::snapshot::SnapshotError;
+
+/// Errors from the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The snapshot failed to load or validate.
+    Snapshot(SnapshotError),
+    /// A socket/listener operation failed.
+    Io(String),
+    /// Invalid server configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::BadConfig(e) => write!(f, "bad config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,191 @@
+//! Request counters and latency histogram for the `/metrics` endpoint.
+//!
+//! Everything is a relaxed atomic — observation never blocks a request
+//! thread, and the exposition is a consistent-enough point-in-time read
+//! (standard practice for counter scrapes). The exposition format is the
+//! Prometheus text format, so the endpoint can be scraped as-is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the latency histogram buckets; the last implicit
+/// bucket is `+Inf`. Chosen for a microsecond-scale lookup service: the
+/// first buckets resolve in-memory scoring, the last ones catch slow
+/// clients and SVG rendering.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000];
+
+/// The served routes, for per-route request counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /health`
+    Health,
+    /// `GET /top`
+    Top,
+    /// `GET /pipe`
+    Pipe,
+    /// `GET /model`
+    Model,
+    /// `POST /batch`
+    Batch,
+    /// `GET /riskmap.svg`
+    Riskmap,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, parse failures).
+    Other,
+}
+
+impl Route {
+    const ALL: [Route; 8] = [
+        Route::Health,
+        Route::Top,
+        Route::Pipe,
+        Route::Model,
+        Route::Batch,
+        Route::Riskmap,
+        Route::Metrics,
+        Route::Other,
+    ];
+
+    /// Stable label used in the exposition.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Route::Health => "health",
+            Route::Top => "top",
+            Route::Pipe => "pipe",
+            Route::Model => "model",
+            Route::Batch => "batch",
+            Route::Riskmap => "riskmap",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Route::ALL.iter().position(|r| r == self).unwrap_or(7)
+    }
+}
+
+/// Lock-free request metrics shared by all server workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    total: AtomicU64,
+    by_route: [AtomicU64; 8],
+    /// Status classes 1xx..5xx.
+    by_status: [AtomicU64; 5],
+    /// `LATENCY_BUCKETS_US` + the +Inf overflow bucket.
+    latency_buckets: [AtomicU64; 9],
+    latency_sum_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one handled request.
+    pub fn observe(&self, route: Route, status: u16, elapsed: Duration) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.by_route[route.index()].fetch_add(1, Ordering::Relaxed);
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.by_status[class].fetch_add(1, Ordering::Relaxed);
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&ub| us <= ub)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total requests handled so far.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Requests handled on `route` so far.
+    pub fn route_count(&self, route: Route) -> u64 {
+        self.by_route[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE pipefail_requests_total counter\n");
+        out.push_str(&format!("pipefail_requests_total {}\n", self.total()));
+        out.push_str("# TYPE pipefail_requests counter\n");
+        for route in Route::ALL {
+            out.push_str(&format!(
+                "pipefail_requests{{route=\"{}\"}} {}\n",
+                route.label(),
+                self.route_count(route)
+            ));
+        }
+        out.push_str("# TYPE pipefail_responses counter\n");
+        for (i, c) in self.by_status.iter().enumerate() {
+            out.push_str(&format!(
+                "pipefail_responses{{status=\"{}xx\"}} {}\n",
+                i + 1,
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE pipefail_request_latency_us histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &ub) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pipefail_request_latency_us_bucket{{le=\"{ub}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "pipefail_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "pipefail_request_latency_us_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("pipefail_request_latency_us_count {}\n", self.total()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_routes_statuses_and_buckets() {
+        let m = Metrics::new();
+        m.observe(Route::Top, 200, Duration::from_micros(40));
+        m.observe(Route::Top, 200, Duration::from_micros(90));
+        m.observe(Route::Pipe, 404, Duration::from_micros(600));
+        m.observe(Route::Other, 400, Duration::from_millis(500));
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.route_count(Route::Top), 2);
+        assert_eq!(m.route_count(Route::Pipe), 1);
+        assert_eq!(m.route_count(Route::Health), 0);
+        let text = m.render();
+        assert!(text.contains("pipefail_requests_total 4"));
+        assert!(text.contains("pipefail_requests{route=\"top\"} 2"));
+        assert!(text.contains("pipefail_responses{status=\"2xx\"} 2"));
+        assert!(text.contains("pipefail_responses{status=\"4xx\"} 2"));
+        // Histogram is cumulative: the 50µs bucket holds 1, the 100µs
+        // bucket 2, the +Inf bucket everything.
+        assert!(text.contains("pipefail_request_latency_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("pipefail_request_latency_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("pipefail_request_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("pipefail_request_latency_us_count 4"));
+    }
+
+    #[test]
+    fn zeroed_exposition_is_well_formed() {
+        let text = Metrics::new().render();
+        assert!(text.contains("pipefail_requests_total 0"));
+        assert!(text.contains("le=\"+Inf\"} 0"));
+        for route in Route::ALL {
+            assert!(text.contains(&format!("route=\"{}\"", route.label())));
+        }
+    }
+}

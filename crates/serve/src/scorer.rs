@@ -1,0 +1,231 @@
+//! The scoring engine: snapshot in, microsecond risk queries out.
+//!
+//! A [`Scorer`] is an immutable, shareable (`Sync`) view of one model
+//! snapshot. Loading does all the work once — the ranking is validated and
+//! indexed — so every query is a slice or hash lookup with no allocation on
+//! the top-K path. Batches of queries fan out over a
+//! [`pipefail_par::TaskPool`] with the pool's usual determinism contract:
+//! results come back in query order at any thread count.
+
+use pipefail_core::model::RiskRanking;
+use pipefail_core::snapshot::{Snapshot, SnapshotError, SummarySection};
+use pipefail_network::ids::PipeId;
+use pipefail_par::TaskPool;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One pipe's served risk: its score and its position in the ranking
+/// (rank 0 = riskiest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeRisk {
+    /// The pipe.
+    pub pipe: PipeId,
+    /// The frozen model score (posterior failure probability for the
+    /// Bayesian models, a raw ordinal score for the rankers).
+    pub score: f64,
+    /// Position in the descending ranking, 0-based.
+    pub rank: usize,
+}
+
+/// A single scoring request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// The `k` riskiest pipes.
+    TopK(usize),
+    /// One pipe's score and rank.
+    Pipe(PipeId),
+}
+
+/// The answer to a [`Query`], in the same order as the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Top-K answer, descending.
+    TopK(Vec<PipeRisk>),
+    /// Per-pipe answer; `None` when the pipe is not in the ranking.
+    Pipe(Option<PipeRisk>),
+}
+
+/// In-memory scoring engine over one loaded snapshot.
+#[derive(Debug, Clone)]
+pub struct Scorer {
+    model: String,
+    region: String,
+    seed: u64,
+    /// Descending by score; `rank` equals the index.
+    entries: Vec<PipeRisk>,
+    /// Pipe id → index into `entries`.
+    index: HashMap<PipeId, usize>,
+    sections: Vec<SummarySection>,
+}
+
+impl Scorer {
+    /// Build from a validated snapshot (scores arrive pre-sorted — the
+    /// format guarantees descending order).
+    pub fn new(snapshot: Snapshot) -> Self {
+        let entries: Vec<PipeRisk> = snapshot
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(rank, &(pipe, score))| PipeRisk { pipe, score, rank })
+            .collect();
+        let index = entries.iter().map(|e| (e.pipe, e.rank)).collect();
+        Self {
+            model: snapshot.model,
+            region: snapshot.region,
+            seed: snapshot.seed,
+            entries,
+            index,
+            sections: snapshot.sections,
+        }
+    }
+
+    /// Load a snapshot file and build the engine.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Ok(Self::new(Snapshot::load(path)?))
+    }
+
+    /// Display name of the frozen model.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Region/dataset the model was fitted on.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// Master seed of the fit (provenance).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of ranked pipes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot ranked no pipes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Posterior summary sections carried by the snapshot.
+    pub fn sections(&self) -> &[SummarySection] {
+        &self.sections
+    }
+
+    /// The `k` riskiest pipes (all of them when `k > len`), descending.
+    /// Zero-copy: a slice of the pre-sorted table.
+    pub fn top_k(&self, k: usize) -> &[PipeRisk] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// One pipe's risk, if it was ranked.
+    pub fn risk_of(&self, pipe: PipeId) -> Option<PipeRisk> {
+        self.index.get(&pipe).map(|&i| self.entries[i])
+    }
+
+    /// Reconstruct the full [`RiskRanking`] — bit-identical to the ranking
+    /// that was frozen (used by the risk-map endpoint and equivalence
+    /// tests).
+    pub fn ranking(&self) -> RiskRanking {
+        RiskRanking::new(
+            self.entries
+                .iter()
+                .map(|e| pipefail_core::model::RiskScore {
+                    pipe: e.pipe,
+                    score: e.score,
+                })
+                .collect(),
+        )
+    }
+
+    /// Answer one query.
+    pub fn answer(&self, query: Query) -> QueryResult {
+        match query {
+            Query::TopK(k) => QueryResult::TopK(self.top_k(k).to_vec()),
+            Query::Pipe(pipe) => QueryResult::Pipe(self.risk_of(pipe)),
+        }
+    }
+
+    /// Answer a batch of queries, fanned out over `pool`. Results are in
+    /// query order at any thread count (the pool's determinism contract —
+    /// each answer is a pure function of the query and the frozen table).
+    pub fn answer_batch(&self, queries: &[Query], pool: &TaskPool) -> Vec<QueryResult> {
+        pool.run(queries.len(), |i| self.answer(queries[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefail_core::model::{RiskRanking, RiskScore};
+
+    fn scorer() -> Scorer {
+        let ranking = RiskRanking::new(
+            (0..100u32)
+                .map(|i| RiskScore {
+                    pipe: PipeId(i),
+                    score: f64::from(i % 10) + f64::from(i) / 1000.0,
+                })
+                .collect(),
+        );
+        Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+    }
+
+    #[test]
+    fn top_k_matches_ranking_order() {
+        let s = scorer();
+        assert_eq!(s.len(), 100);
+        let top = s.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].score >= top[1].score && top[1].score >= top[2].score);
+        assert_eq!(top[0].rank, 0);
+        // k beyond len clamps.
+        assert_eq!(s.top_k(1000).len(), 100);
+        assert_eq!(s.top_k(0).len(), 0);
+        // The reconstructed ranking is the same object the snapshot froze.
+        let r = s.ranking();
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.scores()[0].pipe, top[0].pipe);
+    }
+
+    #[test]
+    fn risk_of_finds_every_pipe_and_misses_unranked() {
+        let s = scorer();
+        for e in s.top_k(100) {
+            let hit = s.risk_of(e.pipe).expect("ranked pipe");
+            assert_eq!(hit, *e);
+        }
+        assert_eq!(s.risk_of(PipeId(10_000)), None);
+    }
+
+    #[test]
+    fn batch_answers_in_query_order_at_any_thread_count() {
+        let s = scorer();
+        let queries = vec![
+            Query::TopK(5),
+            Query::Pipe(PipeId(42)),
+            Query::Pipe(PipeId(9999)),
+            Query::TopK(0),
+        ];
+        let serial = s.answer_batch(&queries, &TaskPool::serial());
+        for threads in [2, 4, 8] {
+            assert_eq!(s.answer_batch(&queries, &TaskPool::new(threads)), serial);
+        }
+        assert!(matches!(&serial[0], QueryResult::TopK(v) if v.len() == 5));
+        assert!(matches!(&serial[1], QueryResult::Pipe(Some(r)) if r.pipe == PipeId(42)));
+        assert!(matches!(&serial[2], QueryResult::Pipe(None)));
+        assert!(matches!(&serial[3], QueryResult::TopK(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let s = scorer();
+        assert_eq!(s.model(), "DPMHBP");
+        assert_eq!(s.region(), "Region A");
+        assert_eq!(s.seed(), 7);
+        assert!(!s.is_empty());
+        assert!(s.sections().is_empty());
+    }
+}

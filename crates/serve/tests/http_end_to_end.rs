@@ -1,0 +1,230 @@
+//! End-to-end serving test: fit a real DPMHBP model, freeze it to a
+//! snapshot file, start the HTTP server on an ephemeral port, and assert
+//! that what comes back over the wire is byte-identical to the in-process
+//! scorer's answer — the acceptance criterion of the serving subsystem.
+
+use pipefail_core::dpmhbp::{Dpmhbp, DpmhbpConfig};
+use pipefail_core::model::FailureModel;
+use pipefail_core::snapshot::Snapshot;
+use pipefail_network::split::TrainTestSplit;
+use pipefail_serve::http::{render_model, render_top_k};
+use pipefail_serve::{serve, Metrics, ServeContext, ServerConfig, Scorer};
+use pipefail_synth::WorldConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One blocking HTTP/1.1 request; returns (status, body).
+fn http(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn fit_snapshot_serve_query_roundtrip() {
+    // Fit a real (fast-schedule) DPMHBP model on a tiny region.
+    let world = WorldConfig::paper().scaled(0.02).only_region("Region A").build(5);
+    let ds = world.regions()[0].clone();
+    let split = TrainTestSplit::paper_protocol();
+    let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+    let ranking = model.fit_rank(&ds, &split, 11).expect("dpmhbp fit");
+
+    // Freeze → file → load: the full serving path, not an in-memory shortcut.
+    let dir = std::env::temp_dir().join("pipefail_serve_test_e2e");
+    let path = dir.join("dpmhbp.pfsnap");
+    let snap = Snapshot::from_fit(&model, ds.name(), 11, &ranking);
+    snap.save(&path).expect("save snapshot");
+    let scorer = Scorer::load(&path).expect("load snapshot");
+    assert_eq!(scorer.len(), ranking.len());
+
+    // The in-process reference answers, rendered by the same functions the
+    // server routes through.
+    let reference_top = render_top_k(&scorer, 10);
+    let reference_model = render_model(&scorer);
+    let top_pipe = scorer.top_k(1)[0].pipe;
+
+    let ctx = Arc::new(ServeContext::new(scorer).with_dataset(ds));
+    let config = ServerConfig::default();
+    let handle = serve(Arc::clone(&ctx), &config).expect("server starts");
+    let addr = handle.addr();
+
+    // Liveness.
+    let (status, body) = get(addr, "/health");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    // Top-K over HTTP is byte-identical to the in-process scorer.
+    let (status, body) = get(addr, "/top?k=10");
+    assert_eq!(status, 200);
+    assert_eq!(body, reference_top, "served top-K must match in-process render");
+
+    // Per-pipe lookup finds the riskiest pipe at rank 0.
+    let (status, body) = get(addr, &format!("/pipe?id={}", top_pipe.0));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"rank\":0"), "{body}");
+
+    // Model metadata carries the DPMHBP posterior-summary inventory.
+    let (status, body) = get(addr, "/model");
+    assert_eq!(status, 200);
+    assert_eq!(body, reference_model);
+    assert!(body.contains("\"name\":\"clusters\""), "{body}");
+    assert!(body.contains("\"name\":\"pipe_posterior\""), "{body}");
+
+    // Batch endpoint fans out and answers in query order.
+    let (status, body) = post(addr, "/batch", &format!("top 3\npipe {}\npipe 4294967295", top_pipe.0));
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"results\":[{\"top\":["), "{body}");
+    assert!(body.ends_with("{\"pipe_risk\":null}]}"), "{body}");
+
+    // The risk-map endpoint renders Fig 18.9 over the served ranking.
+    let (status, body) = get(addr, "/riskmap.svg");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("<svg"), "{}", &body[..body.len().min(80)]);
+
+    // Error paths: unknown route, bad parameter, wrong method.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/top?k=banana").0, 400);
+    assert_eq!(get(addr, "/pipe?id=999999999").0, 404);
+    assert_eq!(post(addr, "/top", "").0, 405);
+    assert_eq!(post(addr, "/batch", "frobnicate 7").0, 400);
+
+    // Metrics report non-zero request counts and latency observations.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(!text.contains("pipefail_requests_total 0"), "{text}");
+    assert!(text.contains("pipefail_requests{route=\"top\"} 2"), "{text}");
+    assert!(text.contains("pipefail_requests{route=\"batch\"} 2"), "{text}");
+    assert!(text.contains("pipefail_responses{status=\"4xx\"} 5"), "{text}");
+    assert!(text.contains("pipefail_request_latency_us_bucket{le=\"+Inf\"}"), "{text}");
+    let served: u64 = handle.metrics().total();
+    assert!(served >= 10, "all requests observed: {served}");
+
+    // Graceful shutdown: joins all threads; the port stops answering.
+    handle.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err() || get_now_fails(addr),
+        "server must stop serving after shutdown"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// After shutdown the listener is closed; a racing connect may still be
+/// accepted by the OS backlog, but no worker will answer it.
+fn get_now_fails(addr: SocketAddr) -> bool {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return true,
+    };
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let _ = stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    let mut buf = [0u8; 16];
+    matches!(stream.read(&mut buf), Ok(0) | Err(_))
+}
+
+#[test]
+fn concurrent_clients_all_get_consistent_answers() {
+    // Many clients hammering top-K must all see the same frozen ranking —
+    // the scorer is immutable shared state, so there is nothing to race on.
+    let world = WorldConfig::paper().scaled(0.02).only_region("Region A").build(5);
+    let ds = world.regions()[0].clone();
+    let split = TrainTestSplit::paper_protocol();
+    let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+    let ranking = model.fit_rank(&ds, &split, 3).expect("fit");
+    let scorer = Scorer::new(Snapshot::from_fit(&model, ds.name(), 3, &ranking));
+    let reference = render_top_k(&scorer, 5);
+
+    let handle = serve(
+        Arc::new(ServeContext::new(scorer)),
+        &ServerConfig { workers: 4, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..16 {
+            joins.push(scope.spawn(move || get(addr, "/top?k=5").1));
+        }
+        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+    });
+    for body in &bodies {
+        assert_eq!(body, &reference);
+    }
+    assert_eq!(handle.metrics().total(), 16);
+    handle.shutdown();
+}
+
+#[test]
+fn request_timeout_cuts_off_stalled_clients() {
+    let scorer = Scorer::new(Snapshot::new(
+        "DPMHBP",
+        "R",
+        0,
+        &pipefail_core::model::RiskRanking::new(vec![]),
+    ));
+    let handle = serve(
+        Arc::new(ServeContext::new(scorer)),
+        &ServerConfig { request_timeout_secs: 0.2, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    // Open a connection and send… nothing. The server must answer 408 (or
+    // drop the connection) rather than pinning a worker forever.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    assert!(
+        raw.is_empty() || raw.contains("408"),
+        "stalled client should see a timeout, got: {raw:?}"
+    );
+
+    // The worker is free again: a healthy request still succeeds.
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+    // Both requests were observed.
+    let metrics: Arc<Metrics> = handle.metrics();
+    assert!(metrics.total() >= 2);
+    handle.shutdown();
+}
+
+#[test]
+fn rejects_nonpositive_timeout_config() {
+    let scorer = Scorer::new(Snapshot::new(
+        "m",
+        "r",
+        0,
+        &pipefail_core::model::RiskRanking::new(vec![]),
+    ));
+    let bad = ServerConfig { request_timeout_secs: 0.0, ..ServerConfig::default() };
+    assert!(serve(Arc::new(ServeContext::new(scorer)), &bad).is_err());
+}

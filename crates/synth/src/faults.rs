@@ -6,7 +6,7 @@
 //! with no recorded failures. The experiment pipeline must degrade to typed
 //! errors on all of them, never panic. This module manufactures each fault
 //! from a known-good dataset; `tests/chaos_degradation.rs` in the eval crate
-//! drives every [`pipefail_eval`-style] model over the matrix.
+//! drives every `pipefail_eval`-style model over the matrix.
 //!
 //! Each fault documents its expected interception layer:
 //!

@@ -1,0 +1,60 @@
+//! The full serving pipeline in one program: fit a DPMHBP model, freeze it
+//! to a snapshot file, start the HTTP scoring server on an ephemeral port,
+//! query it as a client would, and shut down gracefully.
+//!
+//! ```text
+//! cargo run --release --example serve_snapshot
+//! ```
+//!
+//! In production the fit and the serve run on different machines — the
+//! snapshot file is the only thing that crosses the boundary (see
+//! docs/SERVING.md).
+
+use pipefail::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(raw)
+}
+
+fn main() {
+    // 1. Fit: train DPMHBP on 1998-2008 failures of a small synthetic region.
+    let world = WorldConfig::paper().scaled(0.03).only_region("Region A").build(7);
+    let region = &world.regions()[0];
+    let split = TrainTestSplit::paper_protocol();
+    let mut model = Dpmhbp::new(DpmhbpConfig::fast());
+    let ranking = model.fit_rank(region, &split, 7).expect("fit");
+    println!("fitted {} on {} ({} ranked pipes)", model.name(), region.name(), ranking.len());
+
+    // 2. Freeze: export the posterior summary + ranking to a snapshot file.
+    let path = std::env::temp_dir().join("pipefail_example.pfsnap");
+    let snap = Snapshot::from_fit(&model, region.name(), 7, &ranking);
+    snap.save(&path).expect("save snapshot");
+    println!("snapshot: {} bytes -> {}", snap.to_bytes().len(), path.display());
+
+    // 3. Serve: load the snapshot into a scorer and bind an ephemeral port.
+    let scorer = Scorer::load(&path).expect("load snapshot");
+    let ctx = Arc::new(ServeContext::new(scorer).with_dataset(region.clone()));
+    let handle = pipefail::serve::serve(ctx, &ServerConfig::default()).expect("start server");
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    // 4. Query: hit the live endpoints exactly as curl would.
+    println!("\nGET /top?k=5\n{}", http_get(addr, "/top?k=5"));
+    println!("\nGET /model\n{}", http_get(addr, "/model"));
+    let svg = http_get(addr, "/riskmap.svg");
+    println!("\nGET /riskmap.svg -> {} bytes of SVG", svg.len());
+    println!("\nGET /metrics\n{}", http_get(addr, "/metrics"));
+
+    // 5. Shut down: joins the accept thread and every worker.
+    handle.shutdown();
+    println!("server stopped");
+    std::fs::remove_file(&path).ok();
+}

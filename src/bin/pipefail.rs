@@ -30,6 +30,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&options),
         "rank" => cmd_rank(&options),
         "evaluate" => cmd_evaluate(&options),
+        "snapshot" => cmd_snapshot(&options),
+        "serve" => cmd_serve(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,6 +60,14 @@ USAGE:
   pipefail evaluate --data DIR [--seed N] [--full]
       Fit all five compared models and print the AUC table (--full uses the
       full MCMC schedules).
+  pipefail snapshot --data DIR --out FILE [--model NAME] [--seed N] [--full]
+      Fit a model and freeze its posterior summary plus the full risk
+      ranking into a versioned snapshot file (see docs/SNAPSHOT_FORMAT.md).
+  pipefail serve --snapshot FILE [--addr HOST:PORT] [--data DIR]
+                 [--max-requests N]
+      Serve a snapshot over HTTP: /health /top /pipe /model /batch /metrics
+      (and /riskmap.svg when --data is given). Honors PIPEFAIL_HTTP_WORKERS
+      and PIPEFAIL_HTTP_TIMEOUT_SECS; see docs/SERVING.md.
   pipefail help";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
@@ -114,19 +124,27 @@ fn cmd_generate(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Construct a model by CLI name. `full` selects the paper MCMC schedules;
+/// otherwise the shortened `fast()` schedules are used where they exist.
+fn make_model(name: &str, full: bool) -> Result<Box<dyn FailureModel>, String> {
+    Ok(match name {
+        "dpmhbp" if full => Box::new(Dpmhbp::new(DpmhbpConfig::default())),
+        "dpmhbp" => Box::new(Dpmhbp::new(DpmhbpConfig::fast())),
+        "hbp" if full => Box::new(Hbp::new(HbpConfig::default())),
+        "hbp" => Box::new(Hbp::new(HbpConfig::fast())),
+        "cox" => Box::new(pipefail::baselines::cox::CoxModel::default_config()),
+        "weibull" => Box::new(pipefail::baselines::weibull_nhpp::WeibullNhpp::default_config()),
+        "svm" => Box::new(RankSvm::new(RankSvmConfig::default())),
+        other => return Err(format!("unknown model {other:?} (dpmhbp|hbp|cox|weibull|svm)")),
+    })
+}
+
 fn cmd_rank(options: &HashMap<String, String>) -> Result<(), String> {
     let ds = load(options)?;
     let seed = opt_u64(options, "seed", 7)?;
     let top = opt_u64(options, "top", 20)? as usize;
     let name = options.get("model").map_or("dpmhbp", String::as_str);
-    let mut model: Box<dyn FailureModel> = match name {
-        "dpmhbp" => Box::new(Dpmhbp::new(DpmhbpConfig::default())),
-        "hbp" => Box::new(Hbp::new(HbpConfig::default())),
-        "cox" => Box::new(pipefail::baselines::cox::CoxModel::default_config()),
-        "weibull" => Box::new(pipefail::baselines::weibull_nhpp::WeibullNhpp::default_config()),
-        "svm" => Box::new(RankSvm::new(RankSvmConfig::default())),
-        other => return Err(format!("unknown model {other:?} (dpmhbp|hbp|cox|weibull|svm)")),
-    };
+    let mut model = make_model(name, true)?;
     let split = TrainTestSplit::paper_protocol();
     let ranking = model
         .fit_rank(&ds, &split, seed)
@@ -168,5 +186,70 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     let result = evaluate_region(&ds, &split, &ModelKind::paper_five(), config, seed)
         .map_err(|e| e.to_string())?;
     println!("{}", format_auc_table(std::slice::from_ref(&result)));
+    Ok(())
+}
+
+fn cmd_snapshot(options: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(options)?;
+    let seed = opt_u64(options, "seed", 7)?;
+    let out = options
+        .get("out")
+        .ok_or("missing --out FILE (where to write the snapshot)")?;
+    let name = options.get("model").map_or("dpmhbp", String::as_str);
+    let mut model = make_model(name, options.contains_key("full"))?;
+    let split = TrainTestSplit::paper_protocol();
+    let ranking = model
+        .fit_rank(&ds, &split, seed)
+        .map_err(|e| e.to_string())?;
+    let snap = Snapshot::from_fit(model.as_ref(), ds.name(), seed, &ranking);
+    let path = PathBuf::from(out);
+    snap.save(&path).map_err(|e| e.to_string())?;
+    println!(
+        "{}: froze {} ranked pipes + {} posterior sections -> {}",
+        snap.model,
+        snap.scores.len(),
+        snap.sections.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
+    let path = options
+        .get("snapshot")
+        .ok_or("missing --snapshot FILE (written by `pipefail snapshot`)")?;
+    let scorer = Scorer::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    println!(
+        "loaded {} snapshot of {} ({} pipes)",
+        scorer.model(),
+        scorer.region(),
+        scorer.len()
+    );
+    let mut ctx = ServeContext::new(scorer);
+    if options.contains_key("data") {
+        // Optional geometry: enables the /riskmap.svg endpoint.
+        ctx = ctx.with_dataset(load(options)?);
+    }
+    let mut config = ServerConfig::from_env();
+    if let Some(addr) = options.get("addr") {
+        config = config.with_addr(addr);
+    }
+    let max_requests = opt_u64(options, "max-requests", 0)?;
+    let handle =
+        pipefail::serve::serve(std::sync::Arc::new(ctx), &config).map_err(|e| e.to_string())?;
+    println!("serving on http://{} (Ctrl-C to stop)", handle.addr());
+    if max_requests > 0 {
+        // Bounded mode (used by tests/CI): answer N requests, then exit.
+        while handle.metrics().total() < max_requests {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        handle.shutdown();
+        println!("served {max_requests} requests; shut down");
+    } else {
+        // Run until killed; the OS reclaims the socket on exit.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     Ok(())
 }
