@@ -1,0 +1,122 @@
+//! Serving-layer bench: the latency payoff of HTTP keep-alive.
+//!
+//! Both entries issue 100 `GET /top?k=10` queries against a live server on
+//! a loopback socket; `keepalive` reuses ONE connection for all of them,
+//! `fresh` opens a new connection per request (the pre-keep-alive
+//! behaviour). The ratio is the per-request cost of TCP setup + teardown
+//! that connection reuse amortises away. A custom `main` appends both
+//! measurements to the `BENCH_perf.json` trajectory.
+
+use criterion::{black_box, criterion_group, Criterion};
+use pipefail_core::model::{RiskRanking, RiskScore};
+use pipefail_core::snapshot::Snapshot;
+use pipefail_network::ids::PipeId;
+use pipefail_serve::{serve, ServeContext, ServerConfig, Scorer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+const QUERIES: usize = 100;
+
+fn scorer(n: u32) -> Scorer {
+    let ranking = RiskRanking::new(
+        (0..n)
+            .map(|i| RiskScore {
+                pipe: PipeId(i),
+                score: 1.0 - f64::from(i) / f64::from(n),
+            })
+            .collect(),
+    );
+    Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+}
+
+/// Read exactly one `Content-Length`-framed response off the stream.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> usize {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let content_length: usize = head
+        .split("\r\n")
+        .find_map(|l| l.split_once(':').filter(|(k, _)| k.eq_ignore_ascii_case("content-length")))
+        .map(|(_, v)| v.trim().parse().expect("integer Content-Length"))
+        .expect("Content-Length header");
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf.drain(..total);
+    content_length
+}
+
+fn get(stream: &mut TcpStream, buf: &mut Vec<u8>, keep_alive: bool) -> usize {
+    let request = format!(
+        "GET /top?k=10 HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    read_response(stream, buf)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let config = ServerConfig {
+        // High enough that one keep-alive iteration (100 requests) never
+        // trips the per-connection cap mid-measurement.
+        keepalive_requests: 0,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::new(ServeContext::new(scorer(1000))), &config).expect("server starts");
+    let addr: SocketAddr = handle.addr();
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+
+    // 100 queries down ONE reused connection.
+    g.bench_function(format!("keepalive/{QUERIES}_top_queries"), |b| {
+        b.iter(|| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut buf = Vec::new();
+            let mut bytes = 0usize;
+            for _ in 0..QUERIES {
+                bytes += get(&mut stream, &mut buf, true);
+            }
+            black_box(bytes)
+        })
+    });
+
+    // The same 100 queries, each on a fresh connection.
+    g.bench_function(format!("fresh/{QUERIES}_top_queries"), |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for _ in 0..QUERIES {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                bytes += get(&mut stream, &mut buf, false);
+            }
+            black_box(bytes)
+        })
+    });
+    g.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serving);
+
+fn main() {
+    benches();
+    let snap = pipefail_bench::perf::snapshot("serve_bench", criterion::take_records());
+    match pipefail_bench::perf::append_to_trajectory(&snap) {
+        Ok(path) => println!("[appended trajectory entry to {}]", path.display()),
+        Err(e) => eprintln!("cannot write bench trajectory: {e}"),
+    }
+}

@@ -2,12 +2,20 @@
 //!
 //! No async runtime, no HTTP crate — a `std::net::TcpListener`, an accept
 //! thread, and a fixed pool of worker threads draining a channel, in the
-//! same spirit as the workspace's hand-rolled CSV and SVG writers. Scope is
-//! deliberately narrow: `Connection: close` per request (keep-alive and
-//! pipelining are roadmap items), one-shot request/response, bounded head
-//! and body sizes, and per-request read/write timeouts wired from the same
-//! `PIPEFAIL_*` environment-knob idiom as the experiment runner's
-//! wall-clock budgets.
+//! same spirit as the workspace's hand-rolled CSV and SVG writers. Each
+//! connection is served by a keep-alive loop: requests are parsed
+//! incrementally off one buffer (pipelined requests included) by
+//! [`crate::parser`], responses carry exact `Content-Length` framing so the
+//! socket can be reused, and the `Connection: close` / `keep-alive` headers
+//! are honored with HTTP/1.0-vs-1.1 defaulting. A per-connection request
+//! cap and an idle timeout (the `PIPEFAIL_HTTP_KEEPALIVE_REQS` /
+//! `PIPEFAIL_HTTP_IDLE_SECS` knobs) bound how long one client can hold a
+//! worker, following the same `PIPEFAIL_*` environment-knob idiom as the
+//! experiment runner's wall-clock budgets.
+//!
+//! When a snapshot path is configured, a watcher thread ([`crate::reload`])
+//! polls it and hot-swaps the scorer on change — see
+//! [`ServerConfig::reload_poll_secs`].
 //!
 //! ## Routes
 //!
@@ -22,6 +30,8 @@
 //! | `GET /metrics` | Prometheus text exposition |
 
 use crate::metrics::{Metrics, Route};
+use crate::parser::{self, ParseOutcome, ParsedRequest};
+use crate::reload;
 use crate::scorer::{PipeRisk, Query, QueryResult, Scorer};
 use crate::ServeError;
 use pipefail_network::dataset::Dataset;
@@ -30,9 +40,10 @@ use pipefail_network::split::TrainTestSplit;
 use pipefail_par::TaskPool;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,6 +55,18 @@ pub const HTTP_TIMEOUT_ENV: &str = "PIPEFAIL_HTTP_TIMEOUT_SECS";
 /// Environment variable: worker-thread count (`0`/unset = auto).
 pub const HTTP_WORKERS_ENV: &str = "PIPEFAIL_HTTP_WORKERS";
 
+/// Environment variable: maximum requests served per connection before the
+/// server closes it (`0` = unlimited).
+pub const HTTP_KEEPALIVE_REQS_ENV: &str = "PIPEFAIL_HTTP_KEEPALIVE_REQS";
+
+/// Environment variable: idle timeout in seconds for a keep-alive
+/// connection waiting between requests (positive float).
+pub const HTTP_IDLE_ENV: &str = "PIPEFAIL_HTTP_IDLE_SECS";
+
+/// Environment variable: snapshot hot-reload poll interval in seconds
+/// (`0`/unset = reloading off).
+pub const HTTP_RELOAD_ENV: &str = "PIPEFAIL_HTTP_RELOAD_SECS";
+
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -52,11 +75,23 @@ pub struct ServerConfig {
     /// Worker threads; `0` = auto (available parallelism, capped at 8).
     pub workers: usize,
     /// Per-request read/write timeout in seconds — the serving analogue of
-    /// the fit engine's wall-clock budget: a stalled client is cut off, it
-    /// cannot pin a worker.
+    /// the fit engine's wall-clock budget: a client stalled *mid-request*
+    /// is cut off with `408`, it cannot pin a worker.
     pub request_timeout_secs: f64,
+    /// Idle timeout in seconds for a keep-alive connection with no request
+    /// in flight; expiry closes the socket quietly.
+    pub idle_timeout_secs: f64,
+    /// Maximum requests served on one connection before the server answers
+    /// `Connection: close` (`0` = unlimited).
+    pub keepalive_requests: usize,
     /// Maximum accepted request size (head + body) in bytes.
     pub max_request_bytes: usize,
+    /// Snapshot hot-reload poll interval in seconds; `0` disables the
+    /// watcher. Requires [`ServerConfig::snapshot_path`].
+    pub reload_poll_secs: f64,
+    /// Snapshot file watched for hot-reload (usually the file the scorer
+    /// was loaded from).
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -65,24 +100,27 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             request_timeout_secs: 10.0,
+            idle_timeout_secs: 5.0,
+            keepalive_requests: 100,
             max_request_bytes: 64 * 1024,
+            reload_poll_secs: 0.0,
+            snapshot_path: None,
         }
     }
 }
 
 impl ServerConfig {
-    /// Defaults overridden from the environment
-    /// ([`HTTP_TIMEOUT_ENV`], [`HTTP_WORKERS_ENV`]), mirroring
-    /// `RetryPolicy::from_env`: unset or unparsable values keep the
-    /// defaults, timeouts must be positive.
+    /// Defaults overridden from the environment ([`HTTP_TIMEOUT_ENV`],
+    /// [`HTTP_WORKERS_ENV`], [`HTTP_KEEPALIVE_REQS_ENV`], [`HTTP_IDLE_ENV`],
+    /// [`HTTP_RELOAD_ENV`]), mirroring `RetryPolicy::from_env`: unset or
+    /// unparsable values keep the defaults, timeouts must be positive.
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
-        if let Some(t) = std::env::var(HTTP_TIMEOUT_ENV)
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|t| *t > 0.0)
-        {
+        if let Some(t) = positive_f64_env(HTTP_TIMEOUT_ENV) {
             cfg.request_timeout_secs = t;
+        }
+        if let Some(t) = positive_f64_env(HTTP_IDLE_ENV) {
+            cfg.idle_timeout_secs = t;
         }
         if let Some(w) = std::env::var(HTTP_WORKERS_ENV)
             .ok()
@@ -90,12 +128,31 @@ impl ServerConfig {
         {
             cfg.workers = w;
         }
+        if let Some(n) = std::env::var(HTTP_KEEPALIVE_REQS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.keepalive_requests = n;
+        }
+        if let Some(t) = std::env::var(HTTP_RELOAD_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|t| *t >= 0.0)
+        {
+            cfg.reload_poll_secs = t;
+        }
         cfg
     }
 
     /// This configuration with a different bind address.
     pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
         self.addr = addr.into();
+        self
+    }
+
+    /// This configuration watching `path` for snapshot hot-reload.
+    pub fn with_snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
         self
     }
 
@@ -108,11 +165,22 @@ impl ServerConfig {
     }
 }
 
-/// Everything a worker needs to answer queries: the scorer, a task pool
-/// for `/batch` fan-out, and an optional dataset for the risk-map route.
+fn positive_f64_env(key: &str) -> Option<f64> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| *t > 0.0)
+}
+
+/// Everything a worker needs to answer queries: the (hot-swappable)
+/// scorer, a task pool for `/batch` fan-out, and an optional dataset for
+/// the risk-map route.
 #[derive(Debug)]
 pub struct ServeContext {
-    scorer: Scorer,
+    /// The active scorer. Requests clone the `Arc` once and answer from
+    /// that consistent view; the reload watcher replaces the `Arc` whole,
+    /// so in-flight requests finish on the scorer they started with.
+    scorer: RwLock<Arc<Scorer>>,
     pool: TaskPool,
     dataset: Option<Dataset>,
 }
@@ -121,7 +189,7 @@ impl ServeContext {
     /// Context serving `scorer`, batching over `PIPEFAIL_THREADS`.
     pub fn new(scorer: Scorer) -> Self {
         Self {
-            scorer,
+            scorer: RwLock::new(Arc::new(scorer)),
             pool: TaskPool::from_env(),
             dataset: None,
         }
@@ -141,9 +209,21 @@ impl ServeContext {
         self
     }
 
-    /// The scoring engine being served.
-    pub fn scorer(&self) -> &Scorer {
-        &self.scorer
+    /// The currently active scoring engine. The returned `Arc` is a stable
+    /// view: it keeps answering consistently even if a hot-reload swaps
+    /// the context's scorer mid-request.
+    pub fn scorer(&self) -> Arc<Scorer> {
+        Arc::clone(&self.scorer.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Atomically replace the active scorer (the hot-reload swap),
+    /// returning the new shared handle. Never blocks readers for longer
+    /// than one pointer store.
+    pub fn swap_scorer(&self, scorer: Scorer) -> Arc<Scorer> {
+        let fresh = Arc::new(scorer);
+        let mut guard = self.scorer.write().unwrap_or_else(|p| p.into_inner());
+        *guard = Arc::clone(&fresh);
+        fresh
     }
 }
 
@@ -155,6 +235,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -183,6 +264,9 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -195,11 +279,22 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind, spawn the accept thread and worker pool, and return immediately.
+/// Bind, spawn the accept thread, worker pool, and (when configured) the
+/// snapshot-reload watcher, and return immediately.
 pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHandle, ServeError> {
     if config.request_timeout_secs <= 0.0 {
         return Err(ServeError::BadConfig(
             "request_timeout_secs must be positive".into(),
+        ));
+    }
+    if config.idle_timeout_secs <= 0.0 {
+        return Err(ServeError::BadConfig(
+            "idle_timeout_secs must be positive".into(),
+        ));
+    }
+    if config.reload_poll_secs > 0.0 && config.snapshot_path.is_none() {
+        return Err(ServeError::BadConfig(
+            "reload_poll_secs set but no snapshot_path to watch".into(),
         ));
     }
     let listener = TcpListener::bind(&config.addr)
@@ -230,6 +325,17 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
         }));
     }
 
+    let watcher = match (&config.snapshot_path, config.reload_poll_secs) {
+        (Some(path), poll) if poll > 0.0 => Some(reload::spawn_watcher(
+            Arc::clone(&ctx),
+            Arc::clone(&metrics),
+            path.clone(),
+            Duration::from_secs_f64(poll),
+            Arc::clone(&shutdown),
+        )),
+        _ => None,
+    };
+
     let accept_shutdown = Arc::clone(&shutdown);
     let accept = std::thread::spawn(move || {
         for stream in listener.incoming() {
@@ -237,6 +343,10 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
                 break;
             }
             if let Ok(stream) = stream {
+                // Request/response on one socket is latency-bound, not
+                // throughput-bound: disable Nagle so small frames leave
+                // immediately instead of waiting out a delayed ACK.
+                stream.set_nodelay(true).ok();
                 // A send can only fail if every worker died; stop accepting.
                 if tx.send(stream).is_err() {
                     break;
@@ -251,117 +361,92 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
         shutdown,
         metrics,
         accept: Some(accept),
+        watcher,
         workers,
     })
 }
 
-/// A parsed request: method, path, raw query string, body.
-struct Request {
-    method: String,
-    path: String,
-    query: String,
-    body: String,
-}
-
+/// The keep-alive connection loop: parse as many requests as the buffer
+/// holds (pipelining), answer each with exact `Content-Length` framing,
+/// and keep reading until the client closes, asks for `Connection: close`,
+/// hits the per-connection request cap, idles past the idle timeout, or
+/// breaks framing.
 fn handle_connection(
     mut stream: TcpStream,
     ctx: &ServeContext,
     metrics: &Metrics,
     config: &ServerConfig,
 ) {
-    let started = Instant::now();
-    let timeout = Duration::from_secs_f64(config.request_timeout_secs);
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    let (route, response) = match read_request(&mut stream, config.max_request_bytes) {
-        Ok(req) => route_request(&req, ctx, metrics),
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
-            || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            (Route::Other, Response::json(408, "{\"error\":\"request timeout\"}"))
-        }
-        Err(_) => (Route::Other, Response::json(400, "{\"error\":\"malformed request\"}")),
-    };
-    let _ = response.write_to(&mut stream);
-    metrics.observe(route, response.status, started.elapsed());
-}
+    let request_timeout = Duration::from_secs_f64(config.request_timeout_secs);
+    let idle_timeout = Duration::from_secs_f64(config.idle_timeout_secs);
+    let _ = stream.set_write_timeout(Some(request_timeout));
 
-/// Read head (+ body per `Content-Length`) with a hard size cap.
-fn read_request(stream: &mut TcpStream, max_bytes: usize) -> std::io::Result<Request> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > max_bytes {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let mut served: usize = 0;
 
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "bad request line",
-        ));
+    'conn: loop {
+        // Drain every complete request already buffered before reading
+        // again — pipelined requests are answered back-to-back.
+        loop {
+            match parser::parse_request(&buf, config.max_request_bytes) {
+                Ok(ParseOutcome::Complete(req, consumed)) => {
+                    buf.drain(..consumed);
+                    served += 1;
+                    if served > 1 {
+                        metrics.keepalive_reuse();
+                    }
+                    let started = Instant::now();
+                    let (route, mut response) = route_request(&req, ctx, metrics);
+                    let at_cap =
+                        config.keepalive_requests > 0 && served >= config.keepalive_requests;
+                    response.close = !req.wants_keep_alive() || at_cap;
+                    let wrote = response.write_to(&mut stream);
+                    metrics.observe(route, response.status, started.elapsed());
+                    if response.close || wrote.is_err() {
+                        break 'conn;
+                    }
+                }
+                Ok(ParseOutcome::Incomplete) => break,
+                Err(e) => {
+                    // Broken framing: the rest of the byte stream cannot be
+                    // trusted to align with another request. Answer once,
+                    // then drop the connection.
+                    let started = Instant::now();
+                    let mut response =
+                        Response::json(e.status(), format!("{{\"error\":{}}}", json_str(&e.to_string())));
+                    response.close = true;
+                    let _ = response.write_to(&mut stream);
+                    metrics.observe(Route::Other, response.status, started.elapsed());
+                    break 'conn;
+                }
+            }
+        }
+
+        // Need more bytes. Between requests the idle-timeout budget
+        // applies; mid-request the (stricter) request timeout does.
+        let timeout = if buf.is_empty() { idle_timeout } else { request_timeout };
+        let _ = stream.set_read_timeout(Some(timeout));
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !buf.is_empty() {
+                    // Stalled mid-request: tell the client before hanging up.
+                    let mut response = Response::json(408, "{\"error\":\"request timeout\"}");
+                    response.close = true;
+                    let _ = response.write_to(&mut stream);
+                    metrics.observe(Route::Other, 408, timeout);
+                }
+                // Idle keep-alive expiry closes quietly: nothing was asked.
+                break;
+            }
+            Err(_) => break,
+        }
     }
-    let content_length: usize = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
-        .unwrap_or(0);
-    if content_length > max_bytes {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "request body too large",
-        ));
-    }
-
-    let mut body_bytes = buf[head_end + 4..].to_vec();
-    while body_bytes.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            ));
-        }
-        body_bytes.extend_from_slice(&chunk[..n]);
-    }
-    body_bytes.truncate(content_length);
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    Ok(Request {
-        method,
-        path,
-        query,
-        body: String::from_utf8_lossy(&body_bytes).into_owned(),
-    })
-}
-
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// A response ready to serialize.
@@ -369,6 +454,9 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: String,
+    /// Whether the server closes the connection after this response; also
+    /// decides the advertised `Connection` header.
+    close: bool,
 }
 
 impl Response {
@@ -377,6 +465,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            close: false,
         }
     }
 
@@ -385,6 +474,7 @@ impl Response {
             status,
             content_type,
             body: body.into(),
+            close: false,
         }
     }
 
@@ -395,27 +485,33 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            413 => "Payload Too Large",
             _ => "Error",
         };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" }
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        // One buffer, one write: two writes would let Nagle hold the body
+        // back until the client ACKs the head — a ~40ms delayed-ACK stall
+        // on every kept-alive response.
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(self.body.as_bytes());
+        stream.write_all(&frame)?;
         stream.flush()
     }
 }
 
-fn route_request(req: &Request, ctx: &ServeContext, metrics: &Metrics) -> (Route, Response) {
+fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> (Route, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (Route::Health, Response::json(200, "{\"status\":\"ok\"}")),
         ("GET", "/top") => (Route::Top, top_response(req, ctx)),
         ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx)),
-        ("GET", "/model") => (Route::Model, Response::json(200, render_model(ctx.scorer()))),
+        ("GET", "/model") => (Route::Model, Response::json(200, render_model(&ctx.scorer()))),
         ("POST", "/batch") => (Route::Batch, batch_response(req, ctx)),
         ("GET", "/metrics") => (
             Route::Metrics,
@@ -439,7 +535,7 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
         .map(|(_, v)| v)
 }
 
-fn top_response(req: &Request, ctx: &ServeContext) -> Response {
+fn top_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
     let k = match query_param(&req.query, "k") {
         None => 10,
         Some(v) => match v.parse::<usize>() {
@@ -449,10 +545,10 @@ fn top_response(req: &Request, ctx: &ServeContext) -> Response {
             }
         },
     };
-    Response::json(200, render_top_k(ctx.scorer(), k))
+    Response::json(200, render_top_k(&ctx.scorer(), k))
 }
 
-fn pipe_response(req: &Request, ctx: &ServeContext) -> Response {
+fn pipe_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
     let Some(raw) = query_param(&req.query, "id") else {
         return Response::json(400, "{\"error\":\"missing id parameter\"}");
     };
@@ -465,7 +561,7 @@ fn pipe_response(req: &Request, ctx: &ServeContext) -> Response {
     }
 }
 
-fn batch_response(req: &Request, ctx: &ServeContext) -> Response {
+fn batch_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
     let mut queries = Vec::new();
     for (lineno, line) in req.body.lines().enumerate() {
         let line = line.trim();
@@ -487,7 +583,10 @@ fn batch_response(req: &Request, ctx: &ServeContext) -> Response {
             }
         }
     }
-    let results = ctx.scorer().answer_batch(&queries, &ctx.pool);
+    // One Arc clone for the whole batch: every line answers from the same
+    // snapshot even if a reload lands mid-batch.
+    let scorer = ctx.scorer();
+    let results = scorer.answer_batch(&queries, &ctx.pool);
     let rendered: Vec<String> = results.iter().map(render_query_result).collect();
     Response::json(200, format!("{{\"results\":[{}]}}", rendered.join(",")))
 }
@@ -640,12 +739,6 @@ mod tests {
     }
 
     #[test]
-    fn find_head_end_locates_crlfcrlf() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
-        assert_eq!(find_head_end(b"partial\r\n"), None);
-    }
-
-    #[test]
     fn render_model_lists_sections() {
         use pipefail_core::snapshot::SummarySection;
         let ranking = RiskRanking::new(vec![RiskScore { pipe: PipeId(1), score: 1.0 }]);
@@ -656,5 +749,35 @@ mod tests {
         assert!(body.contains("\"pipes\":1"));
         assert!(body.contains("\"name\":\"coefficients\""));
         assert!(body.contains("\"len\":2"));
+    }
+
+    #[test]
+    fn swap_scorer_changes_answers_and_keeps_old_arcs_valid() {
+        let ctx = ServeContext::new(test_scorer());
+        let before = ctx.scorer();
+        let replacement = Scorer::new(Snapshot::new(
+            "HBP",
+            "Region B",
+            9,
+            &RiskRanking::new(vec![RiskScore { pipe: PipeId(99), score: 0.5 }]),
+        ));
+        let after = ctx.swap_scorer(replacement);
+        // The old handle still answers from the old table (in-flight
+        // requests are undisturbed)…
+        assert_eq!(before.model(), "DPMHBP");
+        assert_eq!(before.len(), 20);
+        // …while new requests see the new scorer.
+        assert_eq!(after.model(), "HBP");
+        assert_eq!(ctx.scorer().model(), "HBP");
+        assert_eq!(ctx.scorer().len(), 1);
+    }
+
+    #[test]
+    fn config_rejects_reload_without_path() {
+        let ctx = Arc::new(ServeContext::new(test_scorer()));
+        let bad = ServerConfig { reload_poll_secs: 0.5, ..ServerConfig::default() };
+        assert!(matches!(serve(Arc::clone(&ctx), &bad), Err(ServeError::BadConfig(_))));
+        let bad_idle = ServerConfig { idle_timeout_secs: 0.0, ..ServerConfig::default() };
+        assert!(matches!(serve(ctx, &bad_idle), Err(ServeError::BadConfig(_))));
     }
 }

@@ -21,14 +21,23 @@
 //! * [`scorer`] — loads a snapshot and answers "top-K riskiest pipes" and
 //!   per-pipe risk queries from a pre-sorted in-memory table; batches of
 //!   queries fan out over a [`pipefail_par::TaskPool`].
+//! * [`parser`] — the incremental HTTP/1.1 request parser: typed errors,
+//!   exact consumed-byte accounting for pipelining, proptest-hardened
+//!   against fragmented and adversarial byte streams.
 //! * [`http`] — a minimal hand-rolled HTTP/1.1 server on
 //!   `std::net::TcpListener` (the workspace's dependency policy rules out
-//!   async frameworks, as it does serde): a fixed worker pool, per-request
-//!   read/write timeouts reusing the `PIPEFAIL_*` budget-knob idiom of the
-//!   experiment runner, graceful shutdown, and an optional risk-map SVG
-//!   endpoint reusing [`pipefail_eval::riskmap`].
-//! * [`metrics`] — lock-free request counters and a latency histogram,
-//!   exposed at `/metrics` in Prometheus text exposition format.
+//!   async frameworks, as it does serde): a fixed worker pool, keep-alive
+//!   connections with pipelined-request parsing, per-request and idle
+//!   timeouts reusing the `PIPEFAIL_*` budget-knob idiom of the experiment
+//!   runner, graceful shutdown, and an optional risk-map SVG endpoint
+//!   reusing [`pipefail_eval::riskmap`].
+//! * [`reload`] — snapshot hot-reload: an mtime-polling watcher that
+//!   atomically swaps the scorer behind an `Arc` so a re-fitted model goes
+//!   live with zero downtime, while a corrupt replacement is rejected by
+//!   the strict loader and the old model keeps serving.
+//! * [`metrics`] — lock-free request counters (including keep-alive reuse
+//!   and reload outcomes) and a latency histogram, exposed at `/metrics`
+//!   in Prometheus text exposition format.
 //!
 //! The fit → snapshot → serve → query walkthrough lives in
 //! `docs/SERVING.md`; the byte-level snapshot spec in
@@ -36,10 +45,13 @@
 
 pub mod http;
 pub mod metrics;
+pub mod parser;
+pub mod reload;
 pub mod scorer;
 
 pub use http::{serve, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;
+pub use parser::{ParseError, ParseOutcome, ParsedRequest};
 pub use scorer::{PipeRisk, Query, QueryResult, Scorer};
 
 use pipefail_core::snapshot::SnapshotError;

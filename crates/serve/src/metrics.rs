@@ -76,6 +76,14 @@ pub struct Metrics {
     /// `LATENCY_BUCKETS_US` + the +Inf overflow bucket.
     latency_buckets: [AtomicU64; 9],
     latency_sum_us: AtomicU64,
+    /// Requests served on an already-used connection (request ≥ 2 on its
+    /// socket) — the payoff of keep-alive.
+    keepalive_reuses: AtomicU64,
+    /// Successful snapshot hot-reload swaps.
+    reloads_total: AtomicU64,
+    /// Snapshot replacements rejected by the strict loader (the previous
+    /// scorer kept serving).
+    reload_failures_total: AtomicU64,
 }
 
 impl Metrics {
@@ -107,6 +115,37 @@ impl Metrics {
     /// Requests handled on `route` so far.
     pub fn route_count(&self, route: Route) -> u64 {
         self.by_route[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record one request answered on an already-used (kept-alive)
+    /// connection.
+    pub fn keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served on reused connections so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Record one successful snapshot hot-reload.
+    pub fn reload_ok(&self) {
+        self.reloads_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one rejected snapshot replacement.
+    pub fn reload_failed(&self) {
+        self.reload_failures_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful hot-reload swaps so far.
+    pub fn reloads_total(&self) -> u64 {
+        self.reloads_total.load(Ordering::Relaxed)
+    }
+
+    /// Rejected snapshot replacements so far.
+    pub fn reload_failures_total(&self) -> u64 {
+        self.reload_failures_total.load(Ordering::Relaxed)
     }
 
     /// Render the Prometheus text exposition.
@@ -147,6 +186,18 @@ impl Metrics {
             self.latency_sum_us.load(Ordering::Relaxed)
         ));
         out.push_str(&format!("pipefail_request_latency_us_count {}\n", self.total()));
+        out.push_str("# TYPE pipefail_keepalive_reuses_total counter\n");
+        out.push_str(&format!(
+            "pipefail_keepalive_reuses_total {}\n",
+            self.keepalive_reuses()
+        ));
+        out.push_str("# TYPE pipefail_reloads_total counter\n");
+        out.push_str(&format!("pipefail_reloads_total {}\n", self.reloads_total()));
+        out.push_str("# TYPE pipefail_reload_failures_total counter\n");
+        out.push_str(&format!(
+            "pipefail_reload_failures_total {}\n",
+            self.reload_failures_total()
+        ));
         out
     }
 }
@@ -187,5 +238,25 @@ mod tests {
         for route in Route::ALL {
             assert!(text.contains(&format!("route=\"{}\"", route.label())));
         }
+        assert!(text.contains("pipefail_keepalive_reuses_total 0"));
+        assert!(text.contains("pipefail_reloads_total 0"));
+        assert!(text.contains("pipefail_reload_failures_total 0"));
+    }
+
+    #[test]
+    fn keepalive_and_reload_counters_accumulate() {
+        let m = Metrics::new();
+        m.keepalive_reuse();
+        m.keepalive_reuse();
+        m.reload_ok();
+        m.reload_failed();
+        m.reload_failed();
+        assert_eq!(m.keepalive_reuses(), 2);
+        assert_eq!(m.reloads_total(), 1);
+        assert_eq!(m.reload_failures_total(), 2);
+        let text = m.render();
+        assert!(text.contains("pipefail_keepalive_reuses_total 2"));
+        assert!(text.contains("pipefail_reloads_total 1"));
+        assert!(text.contains("pipefail_reload_failures_total 2"));
     }
 }

@@ -1,0 +1,115 @@
+//! Snapshot hot-reload: an mtime-polling watcher that swaps the scorer.
+//!
+//! Long-horizon deployments re-fit models as new failure records arrive; a
+//! serving process must absorb the refreshed snapshot without a restart or
+//! a pause. The watcher thread polls the snapshot file's `(mtime, len)`
+//! stamp every [`ServerConfig::reload_poll_secs`] seconds; on change it
+//! re-runs the *strict* `pipefail_core::snapshot` loader and — only on a
+//! clean load — swaps the [`Scorer`] behind the [`ServeContext`]'s
+//! `RwLock<Arc<..>>`. In-flight requests keep the `Arc` they already
+//! cloned and finish on the old scorer; a corrupt or truncated replacement
+//! is rejected with a typed error, logged, and counted in
+//! `pipefail_reload_failures_total`, leaving the previous scorer serving.
+//!
+//! [`ServerConfig::reload_poll_secs`]: crate::http::ServerConfig
+
+use crate::http::ServeContext;
+use crate::metrics::Metrics;
+use crate::scorer::Scorer;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// Change-detection stamp for the watched file: modification time plus
+/// length. Either changing (or the file appearing) triggers a reload
+/// attempt; `None` means the file is currently absent or unreadable.
+pub(crate) fn stamp(path: &Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+/// Sleep `total` in short slices so a shutdown is honored promptly.
+fn sleep_interruptible(total: Duration, shutdown: &AtomicBool) {
+    let slice = Duration::from_millis(10);
+    let mut remaining = total;
+    while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+/// Spawn the watcher thread. Joined by `ServerHandle::shutdown` via the
+/// shared shutdown flag.
+pub(crate) fn spawn_watcher(
+    ctx: Arc<ServeContext>,
+    metrics: Arc<Metrics>,
+    path: PathBuf,
+    poll: Duration,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut last = stamp(&path);
+        while !shutdown.load(Ordering::SeqCst) {
+            sleep_interruptible(poll, &shutdown);
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let current = stamp(&path);
+            if current.is_none() || current == last {
+                continue;
+            }
+            last = current;
+            // Strict load first, swap only on success: requests racing this
+            // reload either hold the old Arc or pick up the new one whole.
+            match Scorer::load(&path) {
+                Ok(scorer) => {
+                    let fresh = ctx.swap_scorer(scorer);
+                    metrics.reload_ok();
+                    eprintln!(
+                        "pipefail-serve: reloaded snapshot {}: now serving {}",
+                        path.display(),
+                        fresh.describe()
+                    );
+                }
+                Err(e) => {
+                    metrics.reload_failed();
+                    eprintln!(
+                        "pipefail-serve: rejected snapshot {}: {e}; keeping previous scorer",
+                        path.display()
+                    );
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_tracks_mtime_and_len() {
+        let dir = std::env::temp_dir().join(format!("pipefail_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("watched");
+        assert_eq!(stamp(&path), None);
+        std::fs::write(&path, b"one").unwrap();
+        let first = stamp(&path).expect("file exists");
+        assert_eq!(first.1, 3);
+        std::fs::write(&path, b"longer").unwrap();
+        let second = stamp(&path).expect("file exists");
+        assert_ne!(first, second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sleep_interruptible_returns_early_on_shutdown() {
+        let flag = AtomicBool::new(true);
+        let start = std::time::Instant::now();
+        sleep_interruptible(Duration::from_secs(30), &flag);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

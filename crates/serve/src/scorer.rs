@@ -114,6 +114,19 @@ impl Scorer {
         &self.sections
     }
 
+    /// One-line identity used in logs ("which model is this process
+    /// serving right now?") — the hot-reload watcher prints it after every
+    /// successful swap.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} / {} ({} pipes, seed {})",
+            self.model,
+            self.region,
+            self.entries.len(),
+            self.seed
+        )
+    }
+
     /// The `k` riskiest pipes (all of them when `k > len`), descending.
     /// Zero-copy: a slice of the pre-sorted table.
     pub fn top_k(&self, k: usize) -> &[PipeRisk] {
@@ -227,5 +240,6 @@ mod tests {
         assert_eq!(s.seed(), 7);
         assert!(!s.is_empty());
         assert!(s.sections().is_empty());
+        assert_eq!(s.describe(), "DPMHBP / Region A (100 pipes, seed 7)");
     }
 }

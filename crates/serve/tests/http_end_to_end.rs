@@ -2,7 +2,16 @@
 //! snapshot file, start the HTTP server on an ephemeral port, and assert
 //! that what comes back over the wire is byte-identical to the in-process
 //! scorer's answer — the acceptance criterion of the serving subsystem.
+//!
+//! Every response is read through the strict framing helpers in
+//! `tests/common/mod.rs`: the status line, `Content-Type`,
+//! `Content-Length`, and `Connection` headers are asserted on every
+//! round trip, so a framing regression fails loudly instead of slipping
+//! past a body-substring check.
 
+mod common;
+
+use common::{get_once, post_once, HttpResponse};
 use pipefail_core::dpmhbp::{Dpmhbp, DpmhbpConfig};
 use pipefail_core::model::FailureModel;
 use pipefail_core::snapshot::Snapshot;
@@ -14,39 +23,15 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
-/// One blocking HTTP/1.1 request; returns (status, body).
-fn http(addr: SocketAddr, request: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(request.as_bytes()).expect("send");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read");
-    let status: u16 = raw
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
-}
-
+/// Strict GET returning the pieces the assertions below use.
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    http(
-        addr,
-        &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"),
-    )
+    let r = get_once(addr, path);
+    (r.status, r.body)
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    http(
-        addr,
-        &format!(
-            "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        ),
-    )
+    let r = post_once(addr, path, body);
+    (r.status, r.body)
 }
 
 #[test]
@@ -77,9 +62,11 @@ fn fit_snapshot_serve_query_roundtrip() {
     let handle = serve(Arc::clone(&ctx), &config).expect("server starts");
     let addr = handle.addr();
 
-    // Liveness.
-    let (status, body) = get(addr, "/health");
-    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    // Liveness, with the content type asserted on the full response.
+    let health = get_once(addr, "/health");
+    assert_eq!((health.status, health.body.as_str()), (200, "{\"status\":\"ok\"}"));
+    assert_eq!(health.reason, "OK");
+    assert_eq!(health.header("content-type"), Some("application/json"));
 
     // Top-K over HTTP is byte-identical to the in-process scorer.
     let (status, body) = get(addr, "/top?k=10");
@@ -104,16 +91,21 @@ fn fit_snapshot_serve_query_roundtrip() {
     assert!(body.starts_with("{\"results\":[{\"top\":["), "{body}");
     assert!(body.ends_with("{\"pipe_risk\":null}]}"), "{body}");
 
-    // The risk-map endpoint renders Fig 18.9 over the served ranking.
-    let (status, body) = get(addr, "/riskmap.svg");
-    assert_eq!(status, 200);
-    assert!(body.starts_with("<svg"), "{}", &body[..body.len().min(80)]);
+    // The risk-map endpoint renders Fig 18.9 over the served ranking, with
+    // its own content type.
+    let riskmap: HttpResponse = get_once(addr, "/riskmap.svg");
+    assert_eq!(riskmap.status, 200);
+    assert_eq!(riskmap.header("content-type"), Some("image/svg+xml"));
+    assert!(riskmap.body.starts_with("<svg"), "{}", &riskmap.body[..riskmap.body.len().min(80)]);
 
-    // Error paths: unknown route, bad parameter, wrong method.
-    assert_eq!(get(addr, "/nope").0, 404);
+    // Error paths: unknown route, bad parameter, wrong method. The strict
+    // reader checks each status line's reason phrase too.
+    let not_found = get_once(addr, "/nope");
+    assert_eq!((not_found.status, not_found.reason.as_str()), (404, "Not Found"));
     assert_eq!(get(addr, "/top?k=banana").0, 400);
     assert_eq!(get(addr, "/pipe?id=999999999").0, 404);
-    assert_eq!(post(addr, "/top", "").0, 405);
+    let wrong_method = post_once(addr, "/top", "");
+    assert_eq!((wrong_method.status, wrong_method.reason.as_str()), (405, "Method Not Allowed"));
     assert_eq!(post(addr, "/batch", "frobnicate 7").0, 400);
 
     // Metrics report non-zero request counts and latency observations.
@@ -192,13 +184,18 @@ fn request_timeout_cuts_off_stalled_clients() {
     ));
     let handle = serve(
         Arc::new(ServeContext::new(scorer)),
-        &ServerConfig { request_timeout_secs: 0.2, ..ServerConfig::default() },
+        &ServerConfig {
+            request_timeout_secs: 0.2,
+            idle_timeout_secs: 0.2,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
     let addr = handle.addr();
 
-    // Open a connection and send… nothing. The server must answer 408 (or
-    // drop the connection) rather than pinning a worker forever.
+    // Open a connection and send… nothing. The idle timeout must close the
+    // socket (quietly — no request was started) rather than pinning a
+    // worker forever.
     let mut stream = TcpStream::connect(addr).expect("connect");
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
     let mut raw = String::new();
@@ -208,10 +205,18 @@ fn request_timeout_cuts_off_stalled_clients() {
         "stalled client should see a timeout, got: {raw:?}"
     );
 
+    // A *partial* request that then stalls gets an explicit 408.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    stream.write_all(b"GET /health HTT").expect("send fragment");
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 408 "), "mid-request stall answers 408, got: {raw:?}");
+
     // The worker is free again: a healthy request still succeeds.
     let (status, _) = get(addr, "/health");
     assert_eq!(status, 200);
-    // Both requests were observed.
+    // The healthy and stalled-mid-request exchanges were observed.
     let metrics: Arc<Metrics> = handle.metrics();
     assert!(metrics.total() >= 2);
     handle.shutdown();

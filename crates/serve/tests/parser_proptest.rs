@@ -1,0 +1,217 @@
+//! Adversarial property tests for the incremental HTTP/1.1 request parser.
+//!
+//! The parser sits directly on attacker-controlled bytes, so its contract
+//! is absolute: on *any* byte sequence it returns `Complete` with an exact
+//! consumed count, `Incomplete`, or a typed [`ParseError`] — it never
+//! panics, and it never reports a consumed count that reaches into the
+//! next pipelined request. These properties drive the keep-alive loop's
+//! `buf.drain(..consumed)` safety.
+
+use pipefail_serve::parser::{parse_request, ParseError, ParseOutcome};
+use proptest::prelude::*;
+
+/// The head/body byte cap used throughout (matches the server's order of
+/// magnitude; the exact value is irrelevant to the properties).
+const MAX: usize = 64 * 1024;
+
+/// Characters allowed in generated paths/queries: no spaces, no CR/LF, so
+/// the rendered request line stays well-formed.
+const TARGET_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_.~%/=&";
+
+/// HTTP-flavored fragments for the structured fuzz test: realistic shards
+/// of requests that, concatenated in random orders, exercise the parser's
+/// framing decisions far more densely than uniform bytes do.
+const FRAGMENTS: &[&str] = &[
+    "GET ",
+    "POST ",
+    "/top?k=3",
+    "/batch",
+    " HTTP/1.1",
+    " HTTP/1.0",
+    " HTTP/9.9",
+    "\r\n",
+    "\r\n\r\n",
+    "\n",
+    "\r",
+    "Host: localhost",
+    "Content-Length: 5",
+    "Content-Length: banana",
+    "Content-Length: 99999999999999999999",
+    "Connection: close",
+    "Connection: keep-alive",
+    "Connection: keep-alive, close",
+    ":",
+    " ",
+    "top 3",
+    "\u{0}\u{1}\u{2}",
+    "é漢",
+];
+
+fn target_string(indices: &[usize]) -> String {
+    indices.iter().map(|&i| TARGET_CHARS[i % TARGET_CHARS.len()] as char).collect()
+}
+
+fn bytes_of(raw: &[u16]) -> Vec<u8> {
+    raw.iter().map(|&b| b as u8).collect()
+}
+
+/// Serialize a well-formed request from generated components.
+fn render_request(method: &str, path: &str, query: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let target = if query.is_empty() { path.to_string() } else { format!("{path}?{query}") };
+    let mut out = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform random bytes: the parser never panics, a `Complete` never
+    /// claims more bytes than the buffer holds, and every error is one of
+    /// the typed variants with a 4xx status.
+    #[test]
+    fn arbitrary_bytes_never_panic_or_overconsume(
+        raw in proptest::collection::vec(0u16..256, 0..400),
+    ) {
+        let bytes = bytes_of(&raw);
+        match parse_request(&bytes, MAX) {
+            Ok(ParseOutcome::Complete(_, n)) => prop_assert!(n <= bytes.len()),
+            Ok(ParseOutcome::Incomplete) => prop_assert!(bytes.len() <= MAX),
+            Err(e) => {
+                let status = e.status();
+                prop_assert!(status == 400 || status == 413);
+            }
+        }
+    }
+
+    /// HTTP-shaped shards in random order: much denser coverage of the
+    /// head-terminator / request-line / Content-Length decision points
+    /// than uniform bytes, same absolute contract.
+    #[test]
+    fn shuffled_http_fragments_never_panic_or_overconsume(
+        picks in proptest::collection::vec(0usize..23, 0..24),
+    ) {
+        let raw: String = picks.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect();
+        match parse_request(raw.as_bytes(), MAX) {
+            Ok(ParseOutcome::Complete(_, n)) => prop_assert!(n <= raw.len()),
+            Ok(ParseOutcome::Incomplete) => prop_assert!(raw.len() <= MAX),
+            Err(e) => {
+                let status = e.status();
+                prop_assert!(status == 400 || status == 413);
+            }
+        }
+    }
+
+    /// Fragmented delivery: every strict prefix of a valid request parses
+    /// `Incomplete` (the read loop keeps reading), and the full buffer
+    /// parses `Complete` consuming exactly its own length — even when the
+    /// body itself contains `\r\n\r\n` or other header-shaped bytes.
+    #[test]
+    fn every_prefix_is_incomplete_then_the_full_request_is_exact(
+        method in proptest::sample::select(vec!["GET", "POST", "DELETE"]),
+        path_ix in proptest::collection::vec(0usize..64, 1..16),
+        query_ix in proptest::collection::vec(0usize..64, 0..12),
+        body_raw in proptest::collection::vec(0u16..256, 0..64),
+        keep_alive in proptest::sample::select(vec![true, false]),
+    ) {
+        let path = format!("/{}", target_string(&path_ix));
+        let query = target_string(&query_ix);
+        let body = bytes_of(&body_raw);
+        let raw = render_request(method, &path, &query, &body, keep_alive);
+
+        for cut in 0..raw.len() {
+            let outcome = parse_request(&raw[..cut], MAX);
+            prop_assert!(
+                outcome == Ok(ParseOutcome::Incomplete),
+                "prefix of {}/{} bytes: {:?}", cut, raw.len(), outcome
+            );
+        }
+        match parse_request(&raw, MAX) {
+            Ok(ParseOutcome::Complete(req, n)) => {
+                prop_assert_eq!(n, raw.len());
+                prop_assert_eq!(req.method.as_str(), method);
+                prop_assert_eq!(req.path, path);
+                prop_assert_eq!(req.query, query);
+                prop_assert_eq!(req.body, String::from_utf8_lossy(&body).into_owned());
+                prop_assert_eq!(req.wants_keep_alive(), keep_alive);
+            }
+            other => prop_assert!(false, "expected complete parse, got {:?}", other),
+        }
+    }
+
+    /// Pipelining: with two requests back-to-back in one buffer, parsing
+    /// the first consumes exactly its own bytes — never a byte of the
+    /// second — and the remainder parses as the untouched second request.
+    #[test]
+    fn consumed_count_never_reaches_the_next_pipelined_request(
+        path_a in proptest::collection::vec(0usize..64, 1..12),
+        body_a in proptest::collection::vec(0u16..256, 0..48),
+        path_b in proptest::collection::vec(0usize..64, 1..12),
+        body_b in proptest::collection::vec(0u16..256, 0..48),
+    ) {
+        let first = render_request("POST", &format!("/{}", target_string(&path_a)), "", &bytes_of(&body_a), true);
+        let second = render_request("POST", &format!("/{}", target_string(&path_b)), "", &bytes_of(&body_b), false);
+        let mut buf = first.clone();
+        buf.extend_from_slice(&second);
+
+        let (req1, n1) = match parse_request(&buf, MAX) {
+            Ok(ParseOutcome::Complete(req, n)) => (req, n),
+            other => return Err(format!("first parse: {other:?}")),
+        };
+        prop_assert!(n1 == first.len(), "consumed count reached into the second request: {} vs {}", n1, first.len());
+        prop_assert_eq!(req1.body, String::from_utf8_lossy(&bytes_of(&body_a)).into_owned());
+        prop_assert!(req1.wants_keep_alive());
+
+        let (req2, n2) = match parse_request(&buf[n1..], MAX) {
+            Ok(ParseOutcome::Complete(req, n)) => (req, n),
+            other => return Err(format!("second parse: {other:?}")),
+        };
+        prop_assert_eq!(n2, second.len());
+        prop_assert_eq!(req2.path, format!("/{}", target_string(&path_b)));
+        prop_assert!(!req2.wants_keep_alive());
+    }
+
+    /// A malformed `Content-Length` is a typed 400 — appending a
+    /// guaranteed non-digit to arbitrary bytes makes the value unparsable
+    /// no matter what the generator drew.
+    #[test]
+    fn non_numeric_content_length_is_a_typed_400(
+        junk in proptest::collection::vec(0usize..64, 0..8),
+        tail in proptest::sample::select(vec!["x", "banana", "-1", "1e3", "0x10", "12 34"]),
+    ) {
+        let value = format!("{}{}", target_string(&junk), tail);
+        let raw = format!("GET / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        match parse_request(raw.as_bytes(), MAX) {
+            Err(e @ ParseError::BadContentLength(_)) => prop_assert_eq!(e.status(), 400),
+            other => prop_assert!(false, "expected BadContentLength, got {:?}", other),
+        }
+    }
+
+    /// Size caps produce 413s, never hangs or panics: an unterminated head
+    /// past the cap is `HeadTooLarge`; a declared body past the cap is
+    /// `BodyTooLarge` even before its bytes arrive.
+    #[test]
+    fn oversized_heads_and_bodies_reject_with_413(
+        pad in 1usize..256,
+        cap in 64usize..512,
+    ) {
+        let head = vec![b'a'; cap + pad];
+        match parse_request(&head, cap) {
+            Err(e @ ParseError::HeadTooLarge { .. }) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected HeadTooLarge, got {:?}", other),
+        }
+
+        // The head (~40 bytes) fits under every cap ≥ 64; only the
+        // declared body busts it, before a single body byte arrives.
+        let raw = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", cap + pad);
+        match parse_request(raw.as_bytes(), cap) {
+            Err(e @ ParseError::BodyTooLarge { .. }) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected BodyTooLarge, got {:?}", other),
+        }
+    }
+}

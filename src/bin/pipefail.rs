@@ -65,9 +65,12 @@ USAGE:
       ranking into a versioned snapshot file (see docs/SNAPSHOT_FORMAT.md).
   pipefail serve --snapshot FILE [--addr HOST:PORT] [--data DIR]
                  [--max-requests N]
-      Serve a snapshot over HTTP: /health /top /pipe /model /batch /metrics
-      (and /riskmap.svg when --data is given). Honors PIPEFAIL_HTTP_WORKERS
-      and PIPEFAIL_HTTP_TIMEOUT_SECS; see docs/SERVING.md.
+      Serve a snapshot over HTTP with keep-alive connections: /health /top
+      /pipe /model /batch /metrics (and /riskmap.svg when --data is given).
+      Honors PIPEFAIL_HTTP_WORKERS, PIPEFAIL_HTTP_TIMEOUT_SECS,
+      PIPEFAIL_HTTP_IDLE_SECS, PIPEFAIL_HTTP_KEEPALIVE_REQS, and
+      PIPEFAIL_HTTP_RELOAD_SECS (N > 0 polls the snapshot file every N
+      seconds and hot-swaps the scorer); see docs/SERVING.md.
   pipefail help";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
@@ -230,9 +233,14 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
         // Optional geometry: enables the /riskmap.svg endpoint.
         ctx = ctx.with_dataset(load(options)?);
     }
-    let mut config = ServerConfig::from_env();
+    // Wire the snapshot file into the config so PIPEFAIL_HTTP_RELOAD_SECS
+    // can arm the hot-reload watcher on the same file we just loaded.
+    let mut config = ServerConfig::from_env().with_snapshot_path(Path::new(path));
     if let Some(addr) = options.get("addr") {
         config = config.with_addr(addr);
+    }
+    if config.reload_poll_secs > 0.0 {
+        println!("hot-reload armed: polling {path} every {}s", config.reload_poll_secs);
     }
     let max_requests = opt_u64(options, "max-requests", 0)?;
     let handle =
