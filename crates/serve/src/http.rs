@@ -74,9 +74,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads; `0` = auto (available parallelism, capped at 8).
     pub workers: usize,
-    /// Per-request read/write timeout in seconds — the serving analogue of
-    /// the fit engine's wall-clock budget: a client stalled *mid-request*
-    /// is cut off with `408`, it cannot pin a worker.
+    /// Cumulative per-request deadline in seconds, counted from the first
+    /// byte of a request — the serving analogue of the fit engine's
+    /// wall-clock budget: a client stalled (or dribbling bytes)
+    /// *mid-request* is cut off with `408` once the total elapsed time
+    /// exceeds this, it cannot pin a worker by trickling traffic.
     pub request_timeout_secs: f64,
     /// Idle timeout in seconds for a keep-alive connection with no request
     /// in flight; expiry closes the socket quietly.
@@ -384,6 +386,12 @@ fn handle_connection(
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let mut served: usize = 0;
+    // Cumulative per-request deadline: armed at the first byte of a
+    // request and *not* extended by later reads, so a client dribbling one
+    // byte at a time cannot hold a worker past the request timeout
+    // (slow-loris); the per-read socket timeout below is always the
+    // *remaining* budget, never a fresh one.
+    let mut request_started: Option<Instant> = None;
 
     'conn: loop {
         // Drain every complete request already buffered before reading
@@ -392,6 +400,9 @@ fn handle_connection(
             match parser::parse_request(&buf, config.max_request_bytes) {
                 Ok(ParseOutcome::Complete(req, consumed)) => {
                     buf.drain(..consumed);
+                    // Leftover bytes are the next pipelined request; its
+                    // deadline starts now. An empty buffer disarms it.
+                    request_started = if buf.is_empty() { None } else { Some(Instant::now()) };
                     served += 1;
                     if served > 1 {
                         metrics.keepalive_reuse();
@@ -401,8 +412,10 @@ fn handle_connection(
                     let at_cap =
                         config.keepalive_requests > 0 && served >= config.keepalive_requests;
                     response.close = !req.wants_keep_alive() || at_cap;
-                    let wrote = response.write_to(&mut stream);
+                    // Observe before writing: a client that has read this
+                    // response must already see it counted in `/metrics`.
                     metrics.observe(route, response.status, started.elapsed());
+                    let wrote = response.write_to(&mut stream);
                     if response.close || wrote.is_err() {
                         break 'conn;
                     }
@@ -412,34 +425,46 @@ fn handle_connection(
                     // Broken framing: the rest of the byte stream cannot be
                     // trusted to align with another request. Answer once,
                     // then drop the connection.
-                    let started = Instant::now();
                     let mut response =
                         Response::json(e.status(), format!("{{\"error\":{}}}", json_str(&e.to_string())));
                     response.close = true;
+                    metrics.observe(Route::Other, response.status, Duration::ZERO);
                     let _ = response.write_to(&mut stream);
-                    metrics.observe(Route::Other, response.status, started.elapsed());
                     break 'conn;
                 }
             }
         }
 
         // Need more bytes. Between requests the idle-timeout budget
-        // applies; mid-request the (stricter) request timeout does.
-        let timeout = if buf.is_empty() { idle_timeout } else { request_timeout };
+        // applies; mid-request, whatever is left of the cumulative
+        // request budget does.
+        let timeout = match request_started {
+            None => idle_timeout,
+            Some(t0) => match request_timeout.checked_sub(t0.elapsed()) {
+                Some(left) if !left.is_zero() => left,
+                _ => {
+                    // Budget already exhausted by dribbled reads.
+                    answer_request_timeout(&mut stream, metrics, request_timeout);
+                    break;
+                }
+            },
+        };
         let _ = stream.set_read_timeout(Some(timeout));
         match stream.read(&mut chunk) {
             Ok(0) => break, // client closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                if request_started.is_none() {
+                    request_started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if !buf.is_empty() {
+                if request_started.is_some() {
                     // Stalled mid-request: tell the client before hanging up.
-                    let mut response = Response::json(408, "{\"error\":\"request timeout\"}");
-                    response.close = true;
-                    let _ = response.write_to(&mut stream);
-                    metrics.observe(Route::Other, 408, timeout);
+                    answer_request_timeout(&mut stream, metrics, request_timeout);
                 }
                 // Idle keep-alive expiry closes quietly: nothing was asked.
                 break;
@@ -447,6 +472,15 @@ fn handle_connection(
             Err(_) => break,
         }
     }
+}
+
+/// Answer a request whose cumulative deadline expired with `408`; the
+/// caller closes the connection.
+fn answer_request_timeout(stream: &mut TcpStream, metrics: &Metrics, elapsed: Duration) {
+    let mut response = Response::json(408, "{\"error\":\"request timeout\"}");
+    response.close = true;
+    metrics.observe(Route::Other, 408, elapsed);
+    let _ = response.write_to(stream);
 }
 
 /// A response ready to serialize.
@@ -486,6 +520,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            501 => "Not Implemented",
             _ => "Error",
         };
         let head = format!(
@@ -519,6 +554,9 @@ fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> 
         ),
         ("GET", "/riskmap.svg") => (Route::Riskmap, riskmap_response(ctx)),
         (m, "/health" | "/top" | "/pipe" | "/model" | "/metrics" | "/riskmap.svg") if m != "GET" => {
+            (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
+        }
+        (m, "/batch") if m != "POST" => {
             (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
         }
         _ => (Route::Other, Response::json(404, "{\"error\":\"no such route\"}")),

@@ -17,9 +17,9 @@ use std::fmt;
 /// growing the buffer until the byte cap trips.
 pub const MAX_HEADER_LINES: usize = 64;
 
-/// Typed request-parse failures. Every variant maps to a 4xx response and
-/// closes the connection (once framing is broken, the byte stream cannot
-/// be trusted to align with the next request).
+/// Typed request-parse failures. Every variant maps to an error response
+/// and closes the connection (once framing is broken, the byte stream
+/// cannot be trusted to align with the next request).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The request line was not `METHOD TARGET HTTP/1.x`.
@@ -44,6 +44,11 @@ pub enum ParseError {
         /// The configured cap in bytes.
         limit: usize,
     },
+    /// A `Transfer-Encoding` header was present. Only `Content-Length`
+    /// framing is implemented; silently ignoring the header would make the
+    /// chunked body bytes parse as the *next* pipelined request
+    /// (connection desync / request smuggling), so it is a hard error.
+    UnsupportedTransferEncoding(String),
 }
 
 impl ParseError {
@@ -51,6 +56,7 @@ impl ParseError {
     pub fn status(&self) -> u16 {
         match self {
             ParseError::HeadTooLarge { .. } | ParseError::BodyTooLarge { .. } => 413,
+            ParseError::UnsupportedTransferEncoding(_) => 501,
             _ => 400,
         }
     }
@@ -69,6 +75,9 @@ impl fmt::Display for ParseError {
             ParseError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
             ParseError::BodyTooLarge { length, limit } => {
                 write!(f, "declared body of {length} bytes exceeds {limit}-byte cap")
+            }
+            ParseError::UnsupportedTransferEncoding(v) => {
+                write!(f, "Transfer-Encoding {v:?} not supported; use Content-Length framing")
             }
         }
     }
@@ -183,6 +192,12 @@ pub fn parse_request(buf: &[u8], max_bytes: usize) -> Result<ParseOutcome, Parse
             continue;
         };
         let value = value.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            // With keep-alive, treating a chunked request as body-less
+            // would desync the connection: its body bytes would be parsed
+            // as the next pipelined request. Refuse the framing outright.
+            return Err(ParseError::UnsupportedTransferEncoding(clip(value)));
+        }
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .parse::<usize>()
@@ -323,6 +338,25 @@ mod tests {
         let e = parse_request(b"GET / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 100);
         assert!(matches!(e, Err(ParseError::BodyTooLarge { length: 999, limit: 100 })));
         assert_eq!(e.unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_desynced() {
+        // A legal HTTP/1.1 chunked request must NOT parse as body-less
+        // (its chunk bytes would become the "next" pipelined request).
+        let raw = b"POST /batch HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\ntop 3\r\n0\r\n\r\n";
+        let e = parse_request(raw, MAX);
+        assert!(
+            matches!(e, Err(ParseError::UnsupportedTransferEncoding(ref v)) if v == "chunked"),
+            "{e:?}"
+        );
+        assert_eq!(e.unwrap_err().status(), 501);
+        // Case-insensitive, and refused even alongside a Content-Length.
+        let raw = b"POST /batch HTTP/1.1\r\ntransfer-encoding: GZIP\r\nContent-Length: 5\r\n\r\ntop 3";
+        assert!(matches!(
+            parse_request(raw, MAX),
+            Err(ParseError::UnsupportedTransferEncoding(_))
+        ));
     }
 
     #[test]

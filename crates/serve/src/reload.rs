@@ -2,14 +2,29 @@
 //!
 //! Long-horizon deployments re-fit models as new failure records arrive; a
 //! serving process must absorb the refreshed snapshot without a restart or
-//! a pause. The watcher thread polls the snapshot file's `(mtime, len)`
-//! stamp every [`ServerConfig::reload_poll_secs`] seconds; on change it
-//! re-runs the *strict* `pipefail_core::snapshot` loader and — only on a
-//! clean load — swaps the [`Scorer`] behind the [`ServeContext`]'s
-//! `RwLock<Arc<..>>`. In-flight requests keep the `Arc` they already
-//! cloned and finish on the old scorer; a corrupt or truncated replacement
-//! is rejected with a typed error, logged, and counted in
-//! `pipefail_reload_failures_total`, leaving the previous scorer serving.
+//! a pause. The watcher thread polls the snapshot file's change stamp
+//! (mtime, length, and — on Unix — inode) every
+//! [`ServerConfig::reload_poll_secs`] seconds; on change it re-runs the
+//! *strict* `pipefail_core::snapshot` loader and — only on a clean load —
+//! swaps the [`Scorer`] behind the [`ServeContext`]'s `RwLock<Arc<..>>`.
+//! In-flight requests keep the `Arc` they already cloned and finish on the
+//! old scorer; a corrupt or truncated replacement is rejected with a typed
+//! error, logged, and counted in `pipefail_reload_failures_total`, leaving
+//! the previous scorer serving.
+//!
+//! ## Replace snapshots by atomic rename
+//!
+//! Publish a new snapshot by writing to a temporary file in the same
+//! directory and `rename(2)`-ing it over the watched path. The stamp is
+//! metadata, not content: an *in-place* rewrite that keeps the byte length
+//! and lands within the filesystem's mtime granularity (a full second on
+//! some filesystems) is undetectable, and a stamp taken mid-write can make
+//! the watcher treat the half-written file as the settled version. A
+//! rename is atomic (the watcher only ever sees the old or the complete
+//! new file) and always changes the inode, so it is detected regardless of
+//! mtime resolution. The strict loader makes a non-atomic copy merely
+//! *delayed* (rejected, retried on the next stamp change) rather than
+//! wrong — but rename makes it exact.
 //!
 //! [`ServerConfig::reload_poll_secs`]: crate::http::ServerConfig
 
@@ -22,12 +37,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime};
 
-/// Change-detection stamp for the watched file: modification time plus
-/// length. Either changing (or the file appearing) triggers a reload
-/// attempt; `None` means the file is currently absent or unreadable.
-pub(crate) fn stamp(path: &Path) -> Option<(SystemTime, u64)> {
+/// Change-detection stamp for the watched file: modification time, length,
+/// and (on Unix) the inode — an atomic-rename replacement always allocates
+/// a fresh inode, so it is detected even when mtime granularity and length
+/// both collide. Any component changing (or the file appearing) triggers a
+/// reload attempt; `None` means the file is currently absent or
+/// unreadable. See the module docs: in-place same-length rewrites within
+/// the mtime granularity are not detectable from metadata alone.
+pub(crate) fn stamp(path: &Path) -> Option<(SystemTime, u64, u64)> {
     let meta = std::fs::metadata(path).ok()?;
-    Some((meta.modified().ok()?, meta.len()))
+    #[cfg(unix)]
+    let ino = std::os::unix::fs::MetadataExt::ino(&meta);
+    #[cfg(not(unix))]
+    let ino = 0u64;
+    Some((meta.modified().ok()?, meta.len(), ino))
 }
 
 /// Sleep `total` in short slices so a shutdown is honored promptly.
@@ -102,6 +125,19 @@ mod tests {
         std::fs::write(&path, b"longer").unwrap();
         let second = stamp(&path).expect("file exists");
         assert_ne!(first, second);
+
+        // The documented publish protocol: same-length replacement via
+        // atomic rename is detected (fresh inode) even if mtime
+        // granularity and length both collide.
+        #[cfg(unix)]
+        {
+            let tmp = dir.join("watched.tmp");
+            std::fs::write(&tmp, b"LONGER").unwrap();
+            std::fs::rename(&tmp, &path).unwrap();
+            let third = stamp(&path).expect("file exists");
+            assert_eq!(third.1, second.1, "same byte length by construction");
+            assert_ne!(second.2, third.2, "rename must change the inode");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,7 +11,7 @@
 
 mod common;
 
-use common::{get_once, post_once, HttpResponse};
+use common::{get_once, post_once, request_once, HttpResponse};
 use pipefail_core::dpmhbp::{Dpmhbp, DpmhbpConfig};
 use pipefail_core::model::FailureModel;
 use pipefail_core::snapshot::Snapshot;
@@ -106,7 +106,17 @@ fn fit_snapshot_serve_query_roundtrip() {
     assert_eq!(get(addr, "/pipe?id=999999999").0, 404);
     let wrong_method = post_once(addr, "/top", "");
     assert_eq!((wrong_method.status, wrong_method.reason.as_str()), (405, "Method Not Allowed"));
+    // The POST-only route answers 405 to a GET too, not a misleading 404.
+    let wrong_method = get_once(addr, "/batch");
+    assert_eq!((wrong_method.status, wrong_method.reason.as_str()), (405, "Method Not Allowed"));
     assert_eq!(post(addr, "/batch", "frobnicate 7").0, 400);
+    // Chunked framing is refused outright (501 + close) — ignoring it
+    // would desync the keep-alive byte stream (request smuggling).
+    let chunked = request_once(
+        addr,
+        "POST /batch HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n5\r\ntop 3\r\n0\r\n\r\n",
+    );
+    assert_eq!((chunked.status, chunked.reason.as_str()), (501, "Not Implemented"));
 
     // Metrics report non-zero request counts and latency observations.
     let (status, text) = get(addr, "/metrics");
@@ -114,7 +124,8 @@ fn fit_snapshot_serve_query_roundtrip() {
     assert!(!text.contains("pipefail_requests_total 0"), "{text}");
     assert!(text.contains("pipefail_requests{route=\"top\"} 2"), "{text}");
     assert!(text.contains("pipefail_requests{route=\"batch\"} 2"), "{text}");
-    assert!(text.contains("pipefail_responses{status=\"4xx\"} 5"), "{text}");
+    assert!(text.contains("pipefail_responses{status=\"4xx\"} 6"), "{text}");
+    assert!(text.contains("pipefail_responses{status=\"5xx\"} 1"), "{text}");
     assert!(text.contains("pipefail_request_latency_us_bucket{le=\"+Inf\"}"), "{text}");
     let served: u64 = handle.metrics().total();
     assert!(served >= 10, "all requests observed: {served}");
@@ -212,6 +223,42 @@ fn request_timeout_cuts_off_stalled_clients() {
     let mut raw = String::new();
     let _ = stream.read_to_string(&mut raw);
     assert!(raw.starts_with("HTTP/1.1 408 "), "mid-request stall answers 408, got: {raw:?}");
+
+    // A client dribbling one byte at a time cannot hold a worker: the
+    // request deadline is cumulative from the first byte, not a per-read
+    // timeout that every dribbled byte would reset (slow-loris defence).
+    // With the old per-read behaviour this loop would run its full 4s cap;
+    // the cumulative deadline cuts the connection off at ~0.2s.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(10)));
+    let started = std::time::Instant::now();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 256];
+    while started.elapsed() < std::time::Duration::from_secs(4) {
+        let _ = stream.write_all(b"X"); // never completes a head; EPIPE after close is fine
+        match stream.read(&mut buf) {
+            Ok(0) => break, // server hung up
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                if raw.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break; // full 408 head received
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break, // reset by the server's close — also a cut-off
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "dribbling client held a worker for {:?}",
+        started.elapsed()
+    );
+    if !raw.is_empty() {
+        assert!(raw.starts_with(b"HTTP/1.1 408 "), "got: {:?}", String::from_utf8_lossy(&raw));
+    }
 
     // The worker is free again: a healthy request still succeeds.
     let (status, _) = get(addr, "/health");
