@@ -187,8 +187,16 @@ fn main() {
     benches();
     let snap = pipefail_bench::perf::snapshot("experiments_bench", criterion::take_records());
     for s in pipefail_bench::perf::speedups(&snap.entries) {
+        // More worker threads than cores is guaranteed slower — say so
+        // instead of letting the ratio read as a parallelism regression
+        // (the trajectory entry carries the same flag).
+        let caveat = if s.threads > snap.host_parallelism {
+            " [OVERSUBSCRIBED: threads > host cores; ratio not meaningful]"
+        } else {
+            ""
+        };
         println!(
-            "speedup {} at {} threads: {:.2}x (host parallelism {})",
+            "speedup {} at {} threads: {:.2}x (host parallelism {}){caveat}",
             s.id, s.threads, s.speedup, snap.host_parallelism
         );
     }

@@ -1,22 +1,42 @@
-//! Serving-layer bench: the latency payoff of HTTP keep-alive.
+//! Serving-layer bench: keep-alive payoff, sharded scatter-gather cost,
+//! and point-lookup latency.
 //!
-//! Both entries issue 100 `GET /top?k=10` queries against a live server on
-//! a loopback socket; `keepalive` reuses ONE connection for all of them,
-//! `fresh` opens a new connection per request (the pre-keep-alive
-//! behaviour). The ratio is the per-request cost of TCP setup + teardown
-//! that connection reuse amortises away. A custom `main` appends both
-//! measurements to the `BENCH_perf.json` trajectory.
+//! The `serve/keepalive` and `serve/fresh` entries issue 100
+//! `GET /top?k=10` queries against a live server on a loopback socket;
+//! `keepalive` reuses ONE connection for all of them, `fresh` opens a new
+//! connection per request (the pre-keep-alive behaviour). The ratio is the
+//! per-request cost of TCP setup + teardown that connection reuse
+//! amortises away.
+//!
+//! The `serve/sharded/*` entries price shard-by-region serving on the same
+//! total pipe count: `monolithic_topk` serves 100k pipes from one
+//! snapshot, `global_topk` serves the same pipes split over 8 regional
+//! shards and scatter-gathers the global top-K with the bounded k-way
+//! merge (the acceptance bound: ≤ 1.5× monolithic), and `region_routed`
+//! answers `?region=...` queries routed to a single shard (expected within
+//! noise of single-snapshot serving). All three issue the same
+//! `/top?k=10` query shape as the keep-alive entries.
+//!
+//! The `scorer/risk_of_100k` entry times in-process `/pipe` point lookups
+//! against the 100k-pipe table — the binary-searched id→rank index built
+//! at snapshot load.
+//!
+//! A custom `main` appends every measurement to the `BENCH_perf.json`
+//! trajectory.
 
 use criterion::{black_box, criterion_group, Criterion};
 use pipefail_core::model::{RiskRanking, RiskScore};
 use pipefail_core::snapshot::Snapshot;
 use pipefail_network::ids::PipeId;
-use pipefail_serve::{serve, ServeContext, ServerConfig, Scorer};
+use pipefail_serve::{serve, Scorer, ServeContext, ServerConfig, ShardSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
 const QUERIES: usize = 100;
+/// Total pipes in the sharded-vs-monolithic comparison (8 shards × 12.5k).
+const TOTAL_PIPES: u32 = 100_000;
+const SHARDS: u32 = 8;
 
 fn scorer(n: u32) -> Scorer {
     let ranking = RiskRanking::new(
@@ -28,6 +48,21 @@ fn scorer(n: u32) -> Scorer {
             .collect(),
     );
     Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+}
+
+/// One regional shard holding `n` of the `TOTAL_PIPES` scores: shard `s`
+/// gets the scores at positions `s, s+8, s+16, …` of the global descending
+/// order, so the merged global top-K draws from every shard.
+fn shard_scorer(s: u32, n: u32) -> Scorer {
+    let ranking = RiskRanking::new(
+        (0..n)
+            .map(|i| RiskScore {
+                pipe: PipeId(i),
+                score: 1.0 - f64::from(i * SHARDS + s) / f64::from(TOTAL_PIPES),
+            })
+            .collect(),
+    );
+    Scorer::new(Snapshot::new("DPMHBP", format!("Shard {s}"), 7, &ranking))
 }
 
 /// Read exactly one `Content-Length`-framed response off the stream.
@@ -57,13 +92,29 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> usize {
     content_length
 }
 
-fn get(stream: &mut TcpStream, buf: &mut Vec<u8>, keep_alive: bool) -> usize {
+fn get_path(stream: &mut TcpStream, buf: &mut Vec<u8>, path: &str, keep_alive: bool) -> usize {
     let request = format!(
-        "GET /top?k=10 HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" }
     );
     stream.write_all(request.as_bytes()).expect("send");
     read_response(stream, buf)
+}
+
+fn get(stream: &mut TcpStream, buf: &mut Vec<u8>, keep_alive: bool) -> usize {
+    get_path(stream, buf, "/top?k=10", keep_alive)
+}
+
+/// One keep-alive connection, `QUERIES` requests for `path`.
+fn keepalive_round(addr: SocketAddr, path: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut buf = Vec::new();
+    let mut bytes = 0usize;
+    for _ in 0..QUERIES {
+        bytes += get_path(&mut stream, &mut buf, path, true);
+    }
+    bytes
 }
 
 fn bench_serving(c: &mut Criterion) {
@@ -110,7 +161,80 @@ fn bench_serving(c: &mut Criterion) {
     handle.shutdown();
 }
 
-criterion_group!(benches, bench_serving);
+/// Scatter-gather vs monolithic on the same 100k pipes, plus region-routed
+/// single-shard queries. Everything runs over keep-alive connections so the
+/// delta is pure scoring/merge cost, not TCP churn.
+fn bench_sharded(c: &mut Criterion) {
+    let config = ServerConfig {
+        keepalive_requests: 0,
+        ..ServerConfig::default()
+    };
+    let per_shard = TOTAL_PIPES / SHARDS;
+
+    let mono = serve(
+        Arc::new(ServeContext::new(scorer(TOTAL_PIPES))),
+        &config,
+    )
+    .expect("monolithic server starts");
+    let shard_set = ShardSet::from_scorers((0..SHARDS).map(|s| shard_scorer(s, per_shard)).collect())
+        .expect("distinct regions");
+    let sharded = serve(Arc::new(ServeContext::sharded(shard_set)), &config)
+        .expect("sharded server starts");
+
+    let mut g = c.benchmark_group("serve");
+    // The sharded/monolithic ratio is the acceptance bound; more samples
+    // keep single-core scheduler noise from dominating it.
+    g.sample_size(30);
+
+    // Baseline: top-10 out of one 100k-pipe snapshot — the same query the
+    // `serve/keepalive` entry issues, so every serve entry shares one
+    // operating point.
+    g.bench_function(format!("sharded/monolithic_topk/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(mono.addr(), "/top?k=10")))
+    });
+
+    // The same pipes behind 8 regional shards: each query fans out to every
+    // shard and k-way-merges 8×10 candidates. The delta over the
+    // monolithic entry is the routing + scatter-gather cost (bound: ≤ 1.5×;
+    // the global entries also carry region/shard_rank tags, so the body is
+    // a little larger by construction).
+    g.bench_function(format!("sharded/global_topk/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(sharded.addr(), "/top?k=10")))
+    });
+
+    // Region-tagged queries touch exactly one shard — expected within noise
+    // of single-snapshot serving.
+    g.bench_function(format!("sharded/region_routed/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(sharded.addr(), "/top?region=shard_3&k=10")))
+    });
+    g.finish();
+
+    mono.shutdown();
+    sharded.shutdown();
+}
+
+/// In-process `/pipe` point lookups against the 100k-pipe table: the
+/// binary-searched id→rank index (`Scorer::risk_of`), no HTTP in the loop.
+fn bench_scorer_lookup(c: &mut Criterion) {
+    let s = scorer(TOTAL_PIPES);
+    let mut g = c.benchmark_group("scorer");
+    g.sample_size(10);
+    g.bench_function("risk_of_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            // A stride that is coprime with 100k walks the whole id space.
+            let mut id = 0u32;
+            for _ in 0..1000 {
+                id = (id + 77_773) % (TOTAL_PIPES + 7);
+                hits += usize::from(s.risk_of(PipeId(id)).is_some());
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_sharded, bench_scorer_lookup);
 
 fn main() {
     benches();

@@ -160,11 +160,16 @@ pub mod perf {
         s.push_str("    \"speedups\": [\n");
         for (i, v) in sp.iter().enumerate() {
             let sep = if i + 1 < sp.len() { "," } else { "" };
+            // An N-thread run on a host with fewer than N cores is
+            // guaranteed slower — flag it so trajectory readers never
+            // mistake scheduler thrash for a parallelism regression (see
+            // PERFORMANCE.md, "Reading speedups").
             s.push_str(&format!(
-                "      {{\"id\": \"{}\", \"threads\": {}, \"speedup\": {:.3}}}{sep}\n",
+                "      {{\"id\": \"{}\", \"threads\": {}, \"speedup\": {:.3}, \"oversubscribed\": {}}}{sep}\n",
                 escape(&v.id),
                 v.threads,
-                v.speedup
+                v.speedup,
+                v.threads > snap.host_parallelism
             ));
         }
         s.push_str("    ]\n  }");
@@ -226,6 +231,28 @@ pub mod perf {
             // Two snapshots ⇒ exactly one separating comma between objects.
             assert_eq!(body.matches("},\n  {").count(), 1);
             let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn speedups_are_flagged_oversubscribed_beyond_host_parallelism() {
+            let mut snap = snapshot(
+                "b",
+                vec![
+                    rec("parallel/five_models/threads=1", 4000.0),
+                    rec("parallel/five_models/threads=2", 2100.0),
+                    rec("parallel/five_models/threads=64", 3900.0),
+                ],
+            );
+            snap.host_parallelism = 2;
+            let j = to_json(&snap);
+            assert!(
+                j.contains("\"threads\": 2, \"speedup\": 1.905, \"oversubscribed\": false"),
+                "{j}"
+            );
+            assert!(
+                j.contains("\"threads\": 64, \"speedup\": 1.026, \"oversubscribed\": true"),
+                "{j}"
+            );
         }
 
         #[test]

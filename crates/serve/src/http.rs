@@ -13,26 +13,28 @@
 //! worker, following the same `PIPEFAIL_*` environment-knob idiom as the
 //! experiment runner's wall-clock budgets.
 //!
-//! When a snapshot path is configured, a watcher thread ([`crate::reload`])
-//! polls it and hot-swaps the scorer on change — see
-//! [`ServerConfig::reload_poll_secs`].
+//! When watched snapshot paths are configured, a watcher thread
+//! ([`crate::reload`]) polls them and hot-swaps each shard's scorer on
+//! change — see [`ServerConfig::reload_poll_secs`].
 //!
 //! ## Routes
 //!
 //! | Route | Answer |
 //! |---|---|
 //! | `GET /health` | liveness probe |
-//! | `GET /top?k=N` | the N riskiest pipes, descending (default 10) |
-//! | `GET /pipe?id=N` | one pipe's score and rank |
-//! | `GET /model` | snapshot identity + posterior-summary inventory |
-//! | `POST /batch` | one query per line (`top K` / `pipe ID`), fanned over the task pool |
-//! | `GET /riskmap.svg` | Fig 18.9 risk map (only when a dataset is loaded) |
-//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /top?k=N` | the N riskiest pipes, descending (default 10); sharded servers scatter-gather a **global** top-K across every region |
+//! | `GET /top?region=R&k=N` | one region's top-K (routed to that shard; unknown region → typed 404, degraded shard → typed 503) |
+//! | `GET /pipe?region=R&id=N` | one pipe's score and rank (`region` required when serving more than one shard) |
+//! | `GET /model` | snapshot identity + posterior-summary inventory (sharded: the full shard inventory) |
+//! | `POST /batch` | one query per line (`[region=R ]top K` / `region=R pipe ID`), fanned over the task pool |
+//! | `GET /riskmap.svg` | Fig 18.9 risk map (single-snapshot mode with a dataset only) |
+//! | `GET /metrics` | Prometheus text exposition (sharded: per-shard `shard="R"` series) |
 
 use crate::metrics::{Metrics, Route};
 use crate::parser::{self, ParseOutcome, ParsedRequest};
 use crate::reload;
 use crate::scorer::{PipeRisk, Query, QueryResult, Scorer};
+use crate::shards::{GlobalRisk, ShardSet};
 use crate::ServeError;
 use pipefail_network::dataset::Dataset;
 use pipefail_network::ids::PipeId;
@@ -43,7 +45,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -175,23 +177,32 @@ fn positive_f64_env(key: &str) -> Option<f64> {
 }
 
 /// Everything a worker needs to answer queries: the (hot-swappable)
-/// scorer, a task pool for `/batch` fan-out, and an optional dataset for
-/// the risk-map route.
+/// per-region shards, a task pool for `/batch` fan-out, and an optional
+/// dataset for the risk-map route.
 #[derive(Debug)]
 pub struct ServeContext {
-    /// The active scorer. Requests clone the `Arc` once and answer from
-    /// that consistent view; the reload watcher replaces the `Arc` whole,
-    /// so in-flight requests finish on the scorer they started with.
-    scorer: RwLock<Arc<Scorer>>,
+    /// The served shards (a single-snapshot server is a one-shard set).
+    /// Requests clone a shard's `Arc<Scorer>` once and answer from that
+    /// consistent view; the reload watcher replaces each shard's `Arc`
+    /// whole, so in-flight requests finish on the scorer they started
+    /// with.
+    shards: ShardSet,
     pool: TaskPool,
     dataset: Option<Dataset>,
 }
 
 impl ServeContext {
-    /// Context serving `scorer`, batching over `PIPEFAIL_THREADS`.
+    /// Context serving one `scorer` (legacy single-snapshot mode),
+    /// batching over `PIPEFAIL_THREADS`.
     pub fn new(scorer: Scorer) -> Self {
+        Self::sharded(ShardSet::single(scorer))
+    }
+
+    /// Context serving a whole shard set behind one endpoint, batching
+    /// over `PIPEFAIL_THREADS`.
+    pub fn sharded(shards: ShardSet) -> Self {
         Self {
-            scorer: RwLock::new(Arc::new(scorer)),
+            shards,
             pool: TaskPool::from_env(),
             dataset: None,
         }
@@ -199,7 +210,7 @@ impl ServeContext {
 
     /// This context with the dataset the model was fitted on, enabling
     /// `GET /riskmap.svg` (the Fig 18.9 renderer of `pipefail-eval` over
-    /// the served ranking).
+    /// the served ranking; single-snapshot mode only).
     pub fn with_dataset(mut self, dataset: Dataset) -> Self {
         self.dataset = Some(dataset);
         self
@@ -211,21 +222,25 @@ impl ServeContext {
         self
     }
 
-    /// The currently active scoring engine. The returned `Arc` is a stable
-    /// view: it keeps answering consistently even if a hot-reload swaps
-    /// the context's scorer mid-request.
-    pub fn scorer(&self) -> Arc<Scorer> {
-        Arc::clone(&self.scorer.read().unwrap_or_else(|p| p.into_inner()))
+    /// The served shards.
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
     }
 
-    /// Atomically replace the active scorer (the hot-reload swap),
-    /// returning the new shared handle. Never blocks readers for longer
-    /// than one pointer store.
+    /// The currently active scoring engine of the *first* shard — the
+    /// single-snapshot accessor (a one-shard set is exactly the legacy
+    /// server). The returned `Arc` is a stable view: it keeps answering
+    /// consistently even if a hot-reload swaps the shard's scorer
+    /// mid-request.
+    pub fn scorer(&self) -> Arc<Scorer> {
+        self.shards.shards()[0].last_good()
+    }
+
+    /// Atomically replace the first shard's active scorer (the
+    /// single-snapshot hot-reload swap), returning the new shared handle.
+    /// Never blocks readers for longer than one pointer store.
     pub fn swap_scorer(&self, scorer: Scorer) -> Arc<Scorer> {
-        let fresh = Arc::new(scorer);
-        let mut guard = self.scorer.write().unwrap_or_else(|p| p.into_inner());
-        *guard = Arc::clone(&fresh);
-        fresh
+        self.shards.shards()[0].swap(scorer)
     }
 }
 
@@ -294,7 +309,8 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
             "idle_timeout_secs must be positive".into(),
         ));
     }
-    if config.reload_poll_secs > 0.0 && config.snapshot_path.is_none() {
+    let any_shard_path = ctx.shards().shards().iter().any(|s| s.path().is_some());
+    if config.reload_poll_secs > 0.0 && config.snapshot_path.is_none() && !any_shard_path {
         return Err(ServeError::BadConfig(
             "reload_poll_secs set but no snapshot_path to watch".into(),
         ));
@@ -303,7 +319,9 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
         .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let metrics = Arc::new(Metrics::new());
+    let metrics = Arc::new(Metrics::with_shards(
+        ctx.shards().keys().map(String::from).collect(),
+    ));
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -327,15 +345,16 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
         }));
     }
 
-    let watcher = match (&config.snapshot_path, config.reload_poll_secs) {
-        (Some(path), poll) if poll > 0.0 => Some(reload::spawn_watcher(
+    let watcher = if config.reload_poll_secs > 0.0 {
+        Some(reload::spawn_watcher(
             Arc::clone(&ctx),
             Arc::clone(&metrics),
-            path.clone(),
-            Duration::from_secs_f64(poll),
+            config.snapshot_path.clone(),
+            Duration::from_secs_f64(config.reload_poll_secs),
             Arc::clone(&shutdown),
-        )),
-        _ => None,
+        ))
+    } else {
+        None
     };
 
     let accept_shutdown = Arc::clone(&shutdown);
@@ -521,6 +540,7 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             501 => "Not Implemented",
+            503 => "Service Unavailable",
             _ => "Error",
         };
         let head = format!(
@@ -544,10 +564,10 @@ impl Response {
 fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> (Route, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (Route::Health, Response::json(200, "{\"status\":\"ok\"}")),
-        ("GET", "/top") => (Route::Top, top_response(req, ctx)),
-        ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx)),
-        ("GET", "/model") => (Route::Model, Response::json(200, render_model(&ctx.scorer()))),
-        ("POST", "/batch") => (Route::Batch, batch_response(req, ctx)),
+        ("GET", "/top") => (Route::Top, top_response(req, ctx, metrics)),
+        ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx, metrics)),
+        ("GET", "/model") => (Route::Model, model_response(ctx)),
+        ("POST", "/batch") => (Route::Batch, batch_response(req, ctx, metrics)),
         ("GET", "/metrics") => (
             Route::Metrics,
             Response::text(200, "text/plain; version=0.0.4", metrics.render()),
@@ -564,7 +584,8 @@ fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> 
 }
 
 /// Value of query-string parameter `key` (no percent-decoding — the API
-/// only takes integers).
+/// only takes integers and sanitized [`crate::shards::region_key`]
+/// tokens).
 fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     query
         .split('&')
@@ -573,7 +594,51 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
         .map(|(_, v)| v)
 }
 
-fn top_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
+/// The typed 404 body for a region key naming no loaded shard: the error
+/// plus the full list of known regions, so a caller can self-correct
+/// without a second round trip.
+fn unknown_region_body(shards: &ShardSet, key: &str) -> String {
+    let regions: Vec<String> = shards.keys().map(json_str).collect();
+    format!(
+        "{{\"error\":{},\"regions\":[{}]}}",
+        json_str(&format!("unknown region {key:?}")),
+        regions.join(",")
+    )
+}
+
+/// The typed 503 body for a degraded shard (corrupt hot-swap under
+/// [`crate::shards::ReloadPolicy::Degrade`]); names the shard so the
+/// client knows every *other* region is still serving.
+fn degraded_shard_body(key: &str, reason: &str) -> String {
+    format!(
+        "{{\"error\":{},\"shard\":{}}}",
+        json_str(&format!("shard {key:?} degraded: {reason}")),
+        json_str(key)
+    )
+}
+
+/// Resolve a `?region=` key to a serving shard: `Err` carries the ready
+/// typed 404 (unknown region) or 503 (degraded shard) response. The `Ok`
+/// scorer is a stable `Arc` view for the rest of the request.
+fn resolve_region(
+    ctx: &ServeContext,
+    metrics: &Metrics,
+    key: &str,
+) -> Result<(usize, Arc<Scorer>), Response> {
+    let shards = ctx.shards();
+    let Some(idx) = shards.index_of(key) else {
+        return Err(Response::json(404, unknown_region_body(shards, key)));
+    };
+    match shards.shards()[idx].serving() {
+        Ok(scorer) => Ok((idx, scorer)),
+        Err(reason) => {
+            metrics.shard_unavailable(idx);
+            Err(Response::json(503, degraded_shard_body(key, &reason)))
+        }
+    }
+}
+
+fn top_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
     let k = match query_param(&req.query, "k") {
         None => 10,
         Some(v) => match v.parse::<usize>() {
@@ -583,53 +648,227 @@ fn top_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
             }
         },
     };
-    Response::json(200, render_top_k(&ctx.scorer(), k))
+    match query_param(&req.query, "region") {
+        // Region-tagged: route straight to one shard, zero cross-shard
+        // work — the single-snapshot fast path with a binary search in
+        // front.
+        Some(key) => match resolve_region(ctx, metrics, key) {
+            Ok((idx, scorer)) => {
+                metrics.shard_request(idx);
+                Response::json(200, render_top_k(&scorer, k))
+            }
+            Err(response) => response,
+        },
+        // One shard: region-less /top is exactly the legacy endpoint.
+        None if ctx.shards().is_single() => {
+            metrics.shard_request(0);
+            Response::json(200, render_top_k(&ctx.scorer(), k))
+        }
+        // Scatter-gather global top-K across every region.
+        None => match ctx.shards().global_top_k(k) {
+            Ok(merged) => {
+                metrics.global_topk();
+                Response::json(200, render_global_top_k(ctx.shards(), &merged, k))
+            }
+            Err(degraded) => {
+                for key in &degraded {
+                    if let Some(idx) = ctx.shards().index_of(key) {
+                        metrics.shard_unavailable(idx);
+                    }
+                }
+                let keys: Vec<String> = degraded.iter().map(|k| json_str(k)).collect();
+                Response::json(
+                    503,
+                    format!(
+                        "{{\"error\":\"global top-k unavailable: degraded shards\",\"shards\":[{}]}}",
+                        keys.join(",")
+                    ),
+                )
+            }
+        },
+    }
 }
 
-fn pipe_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
+fn pipe_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
     let Some(raw) = query_param(&req.query, "id") else {
         return Response::json(400, "{\"error\":\"missing id parameter\"}");
     };
     let Ok(id) = raw.parse::<u32>() else {
         return Response::json(400, format!("{{\"error\":\"bad id: {raw:?}\"}}"));
     };
-    match ctx.scorer().risk_of(PipeId(id)) {
+    let (idx, scorer) = match query_param(&req.query, "region") {
+        Some(key) => match resolve_region(ctx, metrics, key) {
+            Ok(found) => found,
+            Err(response) => return response,
+        },
+        None if ctx.shards().is_single() => (0, ctx.scorer()),
+        // Pipe ids are only unique within a region's snapshot; answering
+        // from an arbitrary shard would be silently wrong.
+        None => {
+            let regions: Vec<String> = ctx.shards().keys().map(json_str).collect();
+            return Response::json(
+                400,
+                format!(
+                    "{{\"error\":\"pipe ids are per-region; pass ?region=<key>\",\"regions\":[{}]}}",
+                    regions.join(",")
+                ),
+            );
+        }
+    };
+    metrics.shard_request(idx);
+    match scorer.risk_of(PipeId(id)) {
         Some(risk) => Response::json(200, render_pipe_risk(&risk)),
         None => Response::json(404, format!("{{\"error\":\"pipe {id} not ranked\"}}")),
     }
 }
 
-fn batch_response(req: &ParsedRequest, ctx: &ServeContext) -> Response {
-    let mut queries = Vec::new();
-    for (lineno, line) in req.body.lines().enumerate() {
-        let line = line.trim();
+fn model_response(ctx: &ServeContext) -> Response {
+    // One shard: the legacy body, byte-identical to the single-snapshot
+    // server (pinned by the end-to-end tests).
+    if ctx.shards().is_single() {
+        return Response::json(200, render_model(&ctx.scorer()));
+    }
+    Response::json(200, render_shard_inventory(ctx.shards()))
+}
+
+/// One parsed, shard-resolved `/batch` line.
+enum BatchOp {
+    /// A query answered by one shard (index into the shard set).
+    Shard(usize, Query),
+    /// A region-less `top K` on a sharded server: the scatter-gather
+    /// global top-K.
+    GlobalTop(usize),
+}
+
+fn batch_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
+    let shards = ctx.shards();
+    let mut ops = Vec::new();
+    let mut wants_global = false;
+    for (lineno, raw_line) in req.body.lines().enumerate() {
+        let mut line = raw_line.trim();
         if line.is_empty() {
             continue;
+        }
+        // Optional routing prefix: `region=<key> ` in front of the query.
+        let mut region: Option<&str> = None;
+        if let Some(rest) = line.strip_prefix("region=") {
+            let Some((key, query)) = rest.split_once(' ') else {
+                return Response::json(
+                    400,
+                    format!(
+                        "{{\"error\":\"bad query on line {}: {raw_line:?}\"}}",
+                        lineno + 1
+                    ),
+                );
+            };
+            region = Some(key);
+            line = query.trim();
         }
         let parsed = match line.split_once(' ') {
             Some(("top", k)) => k.parse::<usize>().ok().map(Query::TopK),
             Some(("pipe", id)) => id.parse::<u32>().ok().map(|i| Query::Pipe(PipeId(i))),
             _ => None,
         };
-        match parsed {
-            Some(q) => queries.push(q),
-            None => {
+        let Some(query) = parsed else {
+            return Response::json(
+                400,
+                format!("{{\"error\":\"bad query on line {}: {raw_line:?}\"}}", lineno + 1),
+            );
+        };
+        // Resolve the shard up front: a batch with an unaddressable line
+        // fails whole, before any scoring work.
+        let op = match (region, query) {
+            (Some(key), query) => {
+                let Some(idx) = shards.index_of(key) else {
+                    return Response::json(404, unknown_region_body(shards, key));
+                };
+                BatchOp::Shard(idx, query)
+            }
+            (None, query) if shards.is_single() => BatchOp::Shard(0, query),
+            (None, Query::TopK(k)) => {
+                wants_global = true;
+                BatchOp::GlobalTop(k)
+            }
+            (None, Query::Pipe(_)) => {
+                let regions: Vec<String> = shards.keys().map(json_str).collect();
                 return Response::json(
                     400,
-                    format!("{{\"error\":\"bad query on line {}: {line:?}\"}}", lineno + 1),
+                    format!(
+                        "{{\"error\":\"pipe ids are per-region; prefix line {} with region=<key>\",\"regions\":[{}]}}",
+                        lineno + 1,
+                        regions.join(",")
+                    ),
                 );
+            }
+        };
+        ops.push(op);
+    }
+
+    // One Arc clone per shard for the whole batch: every line answers from
+    // the same set of snapshots even if a reload lands mid-batch. A
+    // referenced degraded shard fails the batch with the same typed 503 a
+    // single request would get; a global line needs the whole fleet.
+    let mut views: Vec<Option<Arc<Scorer>>> = vec![None; shards.len()];
+    for (idx, shard) in shards.shards().iter().enumerate() {
+        let referenced = wants_global
+            || ops
+                .iter()
+                .any(|op| matches!(op, BatchOp::Shard(i, _) if *i == idx));
+        if !referenced {
+            continue;
+        }
+        match shard.serving() {
+            Ok(scorer) => views[idx] = Some(scorer),
+            Err(reason) => {
+                metrics.shard_unavailable(idx);
+                return Response::json(503, degraded_shard_body(shard.key(), &reason));
             }
         }
     }
-    // One Arc clone for the whole batch: every line answers from the same
-    // snapshot even if a reload lands mid-batch.
-    let scorer = ctx.scorer();
-    let results = scorer.answer_batch(&queries, &ctx.pool);
-    let rendered: Vec<String> = results.iter().map(render_query_result).collect();
+    for op in &ops {
+        match op {
+            BatchOp::Shard(idx, _) => metrics.shard_request(*idx),
+            BatchOp::GlobalTop(_) => metrics.global_topk(),
+        }
+    }
+
+    // Fan out over the pool; every answer is a pure function of its line
+    // and the frozen views, so results are in line order at any thread
+    // count.
+    let rendered = ctx.pool.run(ops.len(), |i| match &ops[i] {
+        BatchOp::Shard(idx, query) => {
+            let scorer = views[*idx].as_ref().expect("resolved above");
+            render_query_result(&scorer.answer(*query))
+        }
+        BatchOp::GlobalTop(k) => {
+            let tables: Vec<&[PipeRisk]> = views
+                .iter()
+                .map(|v| v.as_ref().expect("resolved above").top_k(*k))
+                .collect();
+            let merged = crate::shards::merge_top_k(&tables, *k);
+            let keys: Vec<String> = shards.shards().iter().map(|s| json_str(s.key())).collect();
+            let mut out = String::with_capacity(16 + merged.len() * 80);
+            out.push_str("{\"top\":[");
+            for (rank, g) in merged.iter().enumerate() {
+                if rank > 0 {
+                    out.push(',');
+                }
+                write_global_risk(&mut out, &keys, g, rank);
+            }
+            out.push_str("]}");
+            out
+        }
+    });
     Response::json(200, format!("{{\"results\":[{}]}}", rendered.join(",")))
 }
 
 fn riskmap_response(ctx: &ServeContext) -> Response {
+    if !ctx.shards().is_single() {
+        return Response::json(
+            404,
+            "{\"error\":\"risk maps are single-region; serve one snapshot with --data to enable them\"}",
+        );
+    }
     match &ctx.dataset {
         Some(dataset) => {
             let ranking = ctx.scorer().ranking();
@@ -661,16 +900,29 @@ pub fn render_pipe_risk(risk: &PipeRisk) -> String {
 }
 
 /// JSON for a top-K answer; the exact body served by `GET /top`.
+///
+/// Streams into one preallocated buffer instead of allocating a `String`
+/// per entry — at `k=100` this is the hot path of the `serve/sharded/*`
+/// benches, and per-entry allocation dominated the merge itself.
 pub fn render_top_k(scorer: &Scorer, k: usize) -> String {
+    use std::fmt::Write as _;
     let top = scorer.top_k(k);
-    let items: Vec<String> = top.iter().map(render_pipe_risk).collect();
-    format!(
-        "{{\"model\":{},\"region\":{},\"k\":{},\"results\":[{}]}}",
+    let mut out = String::with_capacity(64 + top.len() * 48);
+    let _ = write!(
+        out,
+        "{{\"model\":{},\"region\":{},\"k\":{},\"results\":[",
         json_str(scorer.model()),
         json_str(scorer.region()),
         top.len(),
-        items.join(",")
-    )
+    );
+    for (i, r) in top.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"pipe\":{},\"score\":{},\"rank\":{}}}", r.pipe.0, r.score, r.rank);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// JSON for the snapshot identity and posterior-summary inventory; the
@@ -699,6 +951,74 @@ pub fn render_model(scorer: &Scorer) -> String {
         scorer.seed(),
         scorer.len(),
         sections.join(",")
+    )
+}
+
+/// JSON for one merged [`GlobalRisk`] entry: the pipe's risk, its
+/// *global* rank (position in the merged ranking), the region key it came
+/// from, and its rank within that shard.
+/// JSON for the scatter-gathered global top-K; the exact body served by a
+/// region-less `GET /top` on a sharded server. Entries carry the global
+/// rank, the owning region, and the entry's rank *within* that region.
+///
+/// Streamed into one buffer with the shard keys escaped once up front —
+/// per-entry allocation here was the bulk of the scatter-gather overhead
+/// over monolithic serving (see `serve/sharded/*` in `BENCH_perf.json`).
+pub fn render_global_top_k(shards: &ShardSet, merged: &[GlobalRisk], k: usize) -> String {
+    use std::fmt::Write as _;
+    let keys: Vec<String> = shards.shards().iter().map(|s| json_str(s.key())).collect();
+    let mut out = String::with_capacity(48 + merged.len() * 80);
+    let _ = write!(out, "{{\"k\":{},\"shards\":{},\"results\":[", k, shards.len());
+    for (rank, g) in merged.iter().enumerate() {
+        if rank > 0 {
+            out.push(',');
+        }
+        write_global_risk(&mut out, &keys, g, rank);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Append one merged entry to `out`; `keys` holds the pre-escaped shard
+/// keys so per-entry rendering never re-escapes.
+fn write_global_risk(out: &mut String, keys: &[String], g: &GlobalRisk, global_rank: usize) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"pipe\":{},\"score\":{},\"rank\":{},\"region\":{},\"shard_rank\":{}}}",
+        g.risk.pipe.0, g.risk.score, global_rank, keys[g.shard], g.risk.rank
+    );
+}
+
+/// JSON for the whole shard inventory; the exact body served by
+/// `GET /model` on a sharded server. Degraded shards are listed with
+/// their fault (identity fields come from the last good scorer) so the
+/// inventory stays complete while a region is down.
+pub fn render_shard_inventory(shards: &ShardSet) -> String {
+    let entries: Vec<String> = shards
+        .shards()
+        .iter()
+        .map(|shard| {
+            let scorer = shard.last_good();
+            let status = match shard.fault() {
+                None => "\"serving\"".to_string(),
+                Some(reason) => format!("\"degraded\",\"fault\":{}", json_str(&reason)),
+            };
+            format!(
+                "{{\"shard\":{},\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"status\":{}}}",
+                json_str(shard.key()),
+                json_str(scorer.model()),
+                json_str(scorer.region()),
+                scorer.seed(),
+                scorer.len(),
+                status
+            )
+        })
+        .collect();
+    format!(
+        "{{\"shards\":{},\"models\":[{}]}}",
+        shards.len(),
+        entries.join(",")
     )
 }
 
@@ -808,6 +1128,173 @@ mod tests {
         assert_eq!(after.model(), "HBP");
         assert_eq!(ctx.scorer().model(), "HBP");
         assert_eq!(ctx.scorer().len(), 1);
+    }
+
+    fn region_scorer(region: &str, scores: &[(u32, f64)]) -> Scorer {
+        let ranking = RiskRanking::new(
+            scores
+                .iter()
+                .map(|&(pipe, score)| RiskScore { pipe: PipeId(pipe), score })
+                .collect(),
+        );
+        Scorer::new(Snapshot::new("DPMHBP", region, 7, &ranking))
+    }
+
+    fn sharded_ctx() -> ServeContext {
+        ServeContext::sharded(
+            ShardSet::from_scorers(vec![
+                region_scorer("Region A", &[(1, 0.9), (2, 0.4)]),
+                region_scorer("Region B", &[(1, 0.7), (9, 0.5)]),
+            ])
+            .expect("distinct regions"),
+        )
+    }
+
+    fn get(path_and_query: &str) -> ParsedRequest {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (path_and_query.to_string(), String::new()),
+        };
+        ParsedRequest {
+            method: "GET".into(),
+            path,
+            query,
+            http11: true,
+            connection: crate::parser::ConnectionDirective::Unspecified,
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn unknown_region_is_a_typed_404_listing_known_regions() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let (route, resp) = route_request(&get("/top?region=region_z&k=3"), &ctx, &metrics);
+        assert_eq!(route, Route::Top);
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("unknown region \\\"region_z\\\""), "{}", resp.body);
+        assert!(resp.body.contains("\"regions\":[\"region_a\",\"region_b\"]"), "{}", resp.body);
+        // Same typed body on /pipe.
+        let (_, resp) = route_request(&get("/pipe?region=nope&id=1"), &ctx, &metrics);
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("\"regions\":["));
+    }
+
+    #[test]
+    fn region_tagged_queries_route_to_one_shard() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let (_, resp) = route_request(&get("/top?region=region_b&k=1"), &ctx, &metrics);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"region\":\"Region B\""), "{}", resp.body);
+        assert!(resp.body.contains("\"pipe\":1"));
+        // Pipe 9 exists only in Region B.
+        let (_, resp) = route_request(&get("/pipe?region=region_b&id=9"), &ctx, &metrics);
+        assert_eq!(resp.status, 200);
+        let (_, resp) = route_request(&get("/pipe?region=region_a&id=9"), &ctx, &metrics);
+        assert_eq!(resp.status, 404);
+        assert_eq!(metrics.shard_requests(1), 2);
+        assert_eq!(metrics.shard_requests(0), 1);
+    }
+
+    #[test]
+    fn regionless_top_scatter_gathers_and_regionless_pipe_is_rejected() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let (_, resp) = route_request(&get("/top?k=3"), &ctx, &metrics);
+        assert_eq!(resp.status, 200);
+        // Global order: 0.9 (A), 0.7 (B), 0.5 (B) — ranks are global,
+        // shard_rank is the within-region rank.
+        assert!(resp.body.starts_with("{\"k\":3,\"shards\":2,"), "{}", resp.body);
+        assert!(resp.body.contains(
+            "{\"pipe\":1,\"score\":0.9,\"rank\":0,\"region\":\"region_a\",\"shard_rank\":0}"
+        ), "{}", resp.body);
+        assert!(resp.body.contains(
+            "{\"pipe\":9,\"score\":0.5,\"rank\":2,\"region\":\"region_b\",\"shard_rank\":1}"
+        ), "{}", resp.body);
+        assert_eq!(metrics.global_topk_total(), 1);
+        // Region-less /pipe cannot route: pipe ids are per-region.
+        let (_, resp) = route_request(&get("/pipe?id=1"), &ctx, &metrics);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("per-region"), "{}", resp.body);
+    }
+
+    #[test]
+    fn degraded_shard_answers_503_and_siblings_keep_serving() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        ctx.shards().get("region_a").unwrap().degrade("checksum mismatch".into());
+        let (_, resp) = route_request(&get("/top?region=region_a"), &ctx, &metrics);
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("degraded: checksum mismatch"), "{}", resp.body);
+        assert!(resp.body.contains("\"shard\":\"region_a\""), "{}", resp.body);
+        // The sibling still answers…
+        let (_, resp) = route_request(&get("/top?region=region_b"), &ctx, &metrics);
+        assert_eq!(resp.status, 200);
+        // …but the global merge refuses a partial fleet.
+        let (_, resp) = route_request(&get("/top"), &ctx, &metrics);
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("\"shards\":[\"region_a\"]"), "{}", resp.body);
+        assert_eq!(metrics.shard_unavailable_total(0), 2);
+    }
+
+    #[test]
+    fn sharded_model_inventories_every_shard_and_riskmap_is_refused() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let (_, resp) = route_request(&get("/model"), &ctx, &metrics);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.starts_with("{\"shards\":2,"), "{}", resp.body);
+        assert!(resp.body.contains("\"shard\":\"region_a\""));
+        assert!(resp.body.contains("\"status\":\"serving\""));
+        ctx.shards().get("region_b").unwrap().degrade("boom".into());
+        let (_, resp) = route_request(&get("/model"), &ctx, &metrics);
+        assert!(resp.body.contains("\"status\":\"degraded\",\"fault\":\"boom\""), "{}", resp.body);
+        let (_, resp) = route_request(&get("/riskmap.svg"), &ctx, &metrics);
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("single-region"), "{}", resp.body);
+    }
+
+    #[test]
+    fn batch_routes_region_prefixed_lines_and_global_top() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let mut req = get("/batch");
+        req.method = "POST".into();
+        req.body = "region=region_b pipe 9\ntop 2\nregion=region_a top 1\n".into();
+        let (route, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(route, Route::Batch);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // Line 1: shard-routed pipe lookup; line 2: global top with region
+        // tags; line 3: shard-routed top.
+        assert!(resp.body.contains("\"pipe_risk\":{\"pipe\":9"), "{}", resp.body);
+        assert!(resp.body.contains("\"region\":\"region_a\""), "{}", resp.body);
+        assert_eq!(metrics.shard_requests(1), 1);
+        assert_eq!(metrics.shard_requests(0), 1);
+        assert_eq!(metrics.global_topk_total(), 1);
+        // Unknown region in a batch line fails the whole batch, typed.
+        req.body = "region=region_z top 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("\"regions\":["));
+        // Region-less pipe line on a sharded server is a typed 400.
+        req.body = "pipe 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("region=<key>"), "{}", resp.body);
+        // A degraded shard fails batches that reference it, including via
+        // a global line.
+        ctx.shards().get("region_a").unwrap().degrade("bad".into());
+        req.body = "region=region_a top 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(resp.status, 503);
+        req.body = "top 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(resp.status, 503);
+        // …but a batch touching only healthy shards still works.
+        req.body = "region=region_b top 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics);
+        assert_eq!(resp.status, 200, "{}", resp.body);
     }
 
     #[test]

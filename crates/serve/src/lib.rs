@@ -31,10 +31,18 @@
 //!   timeouts reusing the `PIPEFAIL_*` budget-knob idiom of the experiment
 //!   runner, graceful shutdown, and an optional risk-map SVG endpoint
 //!   reusing [`pipefail_eval::riskmap`].
-//! * [`reload`] — snapshot hot-reload: an mtime-polling watcher that
-//!   atomically swaps the scorer behind an `Arc` so a re-fitted model goes
-//!   live with zero downtime, while a corrupt replacement is rejected by
-//!   the strict loader and the old model keeps serving.
+//! * [`shards`] — shard-by-region serving: a [`ShardSet`] loads one
+//!   snapshot per region **in parallel on the `TaskPool`** and serves them
+//!   behind one endpoint. Region-tagged queries route to one shard;
+//!   region-less `/top` scatter-gathers a global top-K with a bounded
+//!   k-way merge (O(shards·k), never re-sorting the union).
+//! * [`reload`] — snapshot hot-reload: an mtime-polling watcher with a
+//!   per-shard `(mtime, len, inode)` stamp that atomically swaps each
+//!   shard's scorer behind an `Arc` so a re-fitted model goes live with
+//!   zero downtime. A corrupt replacement is rejected by the strict
+//!   loader; in single-snapshot mode the old model keeps serving, in
+//!   sharded mode only that shard degrades to a typed 503 until a valid
+//!   snapshot heals it.
 //! * [`metrics`] — lock-free request counters (including keep-alive reuse
 //!   and reload outcomes) and a latency histogram, exposed at `/metrics`
 //!   in Prometheus text exposition format.
@@ -48,11 +56,13 @@ pub mod metrics;
 pub mod parser;
 pub mod reload;
 pub mod scorer;
+pub mod shards;
 
 pub use http::{serve, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;
 pub use parser::{ParseError, ParseOutcome, ParsedRequest};
 pub use scorer::{PipeRisk, Query, QueryResult, Scorer};
+pub use shards::{merge_top_k, region_key, GlobalRisk, ReloadPolicy, Shard, ShardSet};
 
 use pipefail_core::snapshot::SnapshotError;
 
@@ -65,6 +75,15 @@ pub enum ServeError {
     Io(String),
     /// Invalid server configuration.
     BadConfig(String),
+    /// One shard's snapshot failed to load during a sharded startup —
+    /// names the offending file so a multi-snapshot load error is
+    /// actionable.
+    Shard {
+        /// The snapshot path that failed to load.
+        path: String,
+        /// Why the strict loader rejected it.
+        error: SnapshotError,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -73,6 +92,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::BadConfig(e) => write!(f, "bad config: {e}"),
+            ServeError::Shard { path, error } => {
+                write!(f, "shard snapshot {path}: {error}")
+            }
         }
     }
 }
@@ -81,6 +103,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Snapshot(e) => Some(e),
+            ServeError::Shard { error, .. } => Some(error),
             _ => None,
         }
     }

@@ -66,6 +66,18 @@ impl Route {
     }
 }
 
+/// Per-shard counters for sharded serving: requests routed to the shard,
+/// its reload outcomes, and requests refused because the shard was
+/// degraded. Exposed with a `shard="<region key>"` label.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    label: String,
+    requests: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
+    unavailable: AtomicU64,
+}
+
 /// Lock-free request metrics shared by all server workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -79,17 +91,37 @@ pub struct Metrics {
     /// Requests served on an already-used connection (request ≥ 2 on its
     /// socket) — the payoff of keep-alive.
     keepalive_reuses: AtomicU64,
-    /// Successful snapshot hot-reload swaps.
+    /// Successful snapshot hot-reload swaps (all shards).
     reloads_total: AtomicU64,
-    /// Snapshot replacements rejected by the strict loader (the previous
-    /// scorer kept serving).
+    /// Snapshot replacements rejected by the strict loader (all shards).
     reload_failures_total: AtomicU64,
+    /// Region-less `/top` scatter-gathers on a sharded server.
+    global_topk: AtomicU64,
+    /// One entry per shard, in shard-set (routing-key) order; empty for a
+    /// plain `Metrics::new()`.
+    shards: Vec<ShardCounters>,
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics with no per-shard series.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh zeroed metrics with one `shard="<label>"` series per shard,
+    /// in shard-set order (indices passed to the `shard_*` methods are
+    /// positions in this list).
+    pub fn with_shards(labels: Vec<String>) -> Self {
+        Self {
+            shards: labels
+                .into_iter()
+                .map(|label| ShardCounters {
+                    label,
+                    ..ShardCounters::default()
+                })
+                .collect(),
+            ..Self::default()
+        }
     }
 
     /// Record one handled request.
@@ -148,6 +180,65 @@ impl Metrics {
         self.reload_failures_total.load(Ordering::Relaxed)
     }
 
+    /// Record one request routed to shard `idx` (each `/batch` line counts
+    /// separately). Out-of-range indices are ignored — metrics must never
+    /// take a request down.
+    pub fn shard_request(&self, idx: usize) {
+        if let Some(s) = self.shards.get(idx) {
+            s.requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one successful hot-reload of shard `idx`; also counts in the
+    /// aggregate [`Metrics::reloads_total`].
+    pub fn shard_reload_ok(&self, idx: usize) {
+        self.reload_ok();
+        if let Some(s) = self.shards.get(idx) {
+            s.reloads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one rejected snapshot replacement on shard `idx`; also
+    /// counts in the aggregate [`Metrics::reload_failures_total`].
+    pub fn shard_reload_failed(&self, idx: usize) {
+        self.reload_failed();
+        if let Some(s) = self.shards.get(idx) {
+            s.reload_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one request refused with `503` because shard `idx` was
+    /// degraded.
+    pub fn shard_unavailable(&self, idx: usize) {
+        if let Some(s) = self.shards.get(idx) {
+            s.unavailable.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests routed to shard `idx` so far.
+    pub fn shard_requests(&self, idx: usize) -> u64 {
+        self.shards
+            .get(idx)
+            .map_or(0, |s| s.requests.load(Ordering::Relaxed))
+    }
+
+    /// Requests refused because shard `idx` was degraded, so far.
+    pub fn shard_unavailable_total(&self, idx: usize) -> u64 {
+        self.shards
+            .get(idx)
+            .map_or(0, |s| s.unavailable.load(Ordering::Relaxed))
+    }
+
+    /// Record one region-less scatter-gather global top-K.
+    pub fn global_topk(&self) {
+        self.global_topk.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scatter-gather global top-K requests so far.
+    pub fn global_topk_total(&self) -> u64 {
+        self.global_topk.load(Ordering::Relaxed)
+    }
+
     /// Render the Prometheus text exposition.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -198,6 +289,45 @@ impl Metrics {
             "pipefail_reload_failures_total {}\n",
             self.reload_failures_total()
         ));
+        out.push_str("# TYPE pipefail_global_topk_total counter\n");
+        out.push_str(&format!(
+            "pipefail_global_topk_total {}\n",
+            self.global_topk_total()
+        ));
+        if !self.shards.is_empty() {
+            out.push_str("# TYPE pipefail_shard_requests counter\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "pipefail_shard_requests{{shard=\"{}\"}} {}\n",
+                    s.label,
+                    s.requests.load(Ordering::Relaxed)
+                ));
+            }
+            out.push_str("# TYPE pipefail_shard_reloads counter\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "pipefail_shard_reloads{{shard=\"{}\"}} {}\n",
+                    s.label,
+                    s.reloads.load(Ordering::Relaxed)
+                ));
+            }
+            out.push_str("# TYPE pipefail_shard_reload_failures counter\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "pipefail_shard_reload_failures{{shard=\"{}\"}} {}\n",
+                    s.label,
+                    s.reload_failures.load(Ordering::Relaxed)
+                ));
+            }
+            out.push_str("# TYPE pipefail_shard_unavailable counter\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "pipefail_shard_unavailable{{shard=\"{}\"}} {}\n",
+                    s.label,
+                    s.unavailable.load(Ordering::Relaxed)
+                ));
+            }
+        }
         out
     }
 }
@@ -241,6 +371,38 @@ mod tests {
         assert!(text.contains("pipefail_keepalive_reuses_total 0"));
         assert!(text.contains("pipefail_reloads_total 0"));
         assert!(text.contains("pipefail_reload_failures_total 0"));
+    }
+
+    #[test]
+    fn shard_series_render_with_labels_and_feed_aggregates() {
+        let m = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        m.shard_request(0);
+        m.shard_request(0);
+        m.shard_request(1);
+        m.shard_reload_ok(1);
+        m.shard_reload_failed(0);
+        m.shard_unavailable(0);
+        m.global_topk();
+        // Out-of-range indices are ignored, never panic.
+        m.shard_request(99);
+        m.shard_reload_ok(99);
+        assert_eq!(m.shard_requests(0), 2);
+        assert_eq!(m.shard_requests(1), 1);
+        assert_eq!(m.shard_unavailable_total(0), 1);
+        assert_eq!(m.global_topk_total(), 1);
+        // Per-shard reload outcomes also count in the aggregates the
+        // single-snapshot dashboards already scrape.
+        assert_eq!(m.reloads_total(), 2); // 1 for shard 1 + 1 out-of-range
+        assert_eq!(m.reload_failures_total(), 1);
+        let text = m.render();
+        assert!(text.contains("pipefail_shard_requests{shard=\"region_a\"} 2"));
+        assert!(text.contains("pipefail_shard_requests{shard=\"region_b\"} 1"));
+        assert!(text.contains("pipefail_shard_reloads{shard=\"region_b\"} 1"));
+        assert!(text.contains("pipefail_shard_reload_failures{shard=\"region_a\"} 1"));
+        assert!(text.contains("pipefail_shard_unavailable{shard=\"region_a\"} 1"));
+        assert!(text.contains("pipefail_global_topk_total 1"));
+        // A shard-less Metrics::new() renders no shard series at all.
+        assert!(!Metrics::new().render().contains("pipefail_shard_"));
     }
 
     #[test]

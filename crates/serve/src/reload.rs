@@ -1,16 +1,29 @@
-//! Snapshot hot-reload: an mtime-polling watcher that swaps the scorer.
+//! Snapshot hot-reload: an mtime-polling watcher that swaps shard scorers.
 //!
 //! Long-horizon deployments re-fit models as new failure records arrive; a
-//! serving process must absorb the refreshed snapshot without a restart or
-//! a pause. The watcher thread polls the snapshot file's change stamp
-//! (mtime, length, and — on Unix — inode) every
-//! [`ServerConfig::reload_poll_secs`] seconds; on change it re-runs the
-//! *strict* `pipefail_core::snapshot` loader and — only on a clean load —
-//! swaps the [`Scorer`] behind the [`ServeContext`]'s `RwLock<Arc<..>>`.
-//! In-flight requests keep the `Arc` they already cloned and finish on the
-//! old scorer; a corrupt or truncated replacement is rejected with a typed
-//! error, logged, and counted in `pipefail_reload_failures_total`, leaving
-//! the previous scorer serving.
+//! serving process must absorb the refreshed snapshots without a restart or
+//! a pause. One watcher thread owns a **per-shard** change stamp (mtime,
+//! length, and — on Unix — inode) and polls every watched snapshot file
+//! every [`ServerConfig::reload_poll_secs`] seconds; on change it re-runs
+//! the *strict* `pipefail_core::snapshot` loader for just the shards that
+//! changed and — only on a clean load — swaps that shard's [`Scorer`]
+//! behind its `RwLock<Arc<..>>`. One region's refresh never blocks or
+//! invalidates the others: in-flight requests keep the `Arc` they already
+//! cloned, sibling shards are untouched, and each shard's stamp advances
+//! independently.
+//!
+//! A corrupt or truncated replacement is rejected with a typed error,
+//! logged, and counted in `pipefail_reload_failures_total` (and the
+//! shard's own `pipefail_shard_reload_failures` series). What happens next
+//! depends on the shard set's [`ReloadPolicy`]:
+//!
+//! * [`ReloadPolicy::KeepLastGood`] (single-snapshot mode): the previous
+//!   scorer keeps serving every request, invisibly to clients.
+//! * [`ReloadPolicy::Degrade`] (sharded mode): *that shard only* starts
+//!   answering a typed `503` until a valid snapshot lands — a region
+//!   silently pinned to last week's model while its siblings move on is
+//!   the invisible failure mode sharded serving refuses. The shard heals
+//!   on the next valid swap.
 //!
 //! ## Replace snapshots by atomic rename
 //!
@@ -27,17 +40,21 @@
 //! wrong — but rename makes it exact.
 //!
 //! [`ServerConfig::reload_poll_secs`]: crate::http::ServerConfig
+//! [`ReloadPolicy`]: crate::shards::ReloadPolicy
+//! [`ReloadPolicy::KeepLastGood`]: crate::shards::ReloadPolicy::KeepLastGood
+//! [`ReloadPolicy::Degrade`]: crate::shards::ReloadPolicy::Degrade
 
 use crate::http::ServeContext;
 use crate::metrics::Metrics;
 use crate::scorer::Scorer;
+use crate::shards::ReloadPolicy;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime};
 
-/// Change-detection stamp for the watched file: modification time, length,
+/// Change-detection stamp for a watched file: modification time, length,
 /// and (on Unix) the inode — an atomic-rename replacement always allocates
 /// a fresh inode, so it is detected even when mtime granularity and length
 /// both collide. Any component changing (or the file appearing) triggers a
@@ -64,45 +81,82 @@ fn sleep_interruptible(total: Duration, shutdown: &AtomicBool) {
     }
 }
 
-/// Spawn the watcher thread. Joined by `ServerHandle::shutdown` via the
-/// shared shutdown flag.
+/// Spawn the watcher thread over every watched shard path. Each shard's
+/// own snapshot path is watched; `override_path` (the legacy
+/// `ServerConfig::snapshot_path`) stands in for the *first* shard when it
+/// has none — exactly the single-snapshot configuration. Joined by
+/// `ServerHandle::shutdown` via the shared shutdown flag.
 pub(crate) fn spawn_watcher(
     ctx: Arc<ServeContext>,
     metrics: Arc<Metrics>,
-    path: PathBuf,
+    override_path: Option<PathBuf>,
     poll: Duration,
     shutdown: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut last = stamp(&path);
+        // The effective watch list, parallel to the shard set: a shard
+        // without a path (built in-process) is simply never reloaded.
+        let paths: Vec<Option<PathBuf>> = ctx
+            .shards()
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                shard
+                    .path()
+                    .map(Path::to_path_buf)
+                    .or_else(|| if i == 0 { override_path.clone() } else { None })
+            })
+            .collect();
+        let mut last: Vec<Option<(SystemTime, u64, u64)>> = paths
+            .iter()
+            .map(|p| p.as_deref().and_then(stamp))
+            .collect();
+        let policy = ctx.shards().policy();
         while !shutdown.load(Ordering::SeqCst) {
             sleep_interruptible(poll, &shutdown);
             if shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let current = stamp(&path);
-            if current.is_none() || current == last {
-                continue;
-            }
-            last = current;
-            // Strict load first, swap only on success: requests racing this
-            // reload either hold the old Arc or pick up the new one whole.
-            match Scorer::load(&path) {
-                Ok(scorer) => {
-                    let fresh = ctx.swap_scorer(scorer);
-                    metrics.reload_ok();
-                    eprintln!(
-                        "pipefail-serve: reloaded snapshot {}: now serving {}",
-                        path.display(),
-                        fresh.describe()
-                    );
+            for (idx, path) in paths.iter().enumerate() {
+                let Some(path) = path.as_deref() else { continue };
+                let current = stamp(path);
+                if current.is_none() || current == last[idx] {
+                    continue;
                 }
-                Err(e) => {
-                    metrics.reload_failed();
-                    eprintln!(
-                        "pipefail-serve: rejected snapshot {}: {e}; keeping previous scorer",
-                        path.display()
-                    );
+                last[idx] = current;
+                let shard = &ctx.shards().shards()[idx];
+                // Strict load first, swap only on success: requests racing
+                // this reload either hold the old Arc or pick up the new
+                // one whole.
+                match Scorer::load(path) {
+                    Ok(scorer) => {
+                        let fresh = shard.swap(scorer);
+                        metrics.shard_reload_ok(idx);
+                        eprintln!(
+                            "pipefail-serve: reloaded snapshot {}: shard {:?} now serving {}",
+                            path.display(),
+                            shard.key(),
+                            fresh.describe()
+                        );
+                    }
+                    Err(e) => {
+                        metrics.shard_reload_failed(idx);
+                        match policy {
+                            ReloadPolicy::KeepLastGood => eprintln!(
+                                "pipefail-serve: rejected snapshot {}: {e}; keeping previous scorer",
+                                path.display()
+                            ),
+                            ReloadPolicy::Degrade => {
+                                shard.degrade(e.to_string());
+                                eprintln!(
+                                    "pipefail-serve: rejected snapshot {}: {e}; shard {:?} degraded until a valid snapshot lands",
+                                    path.display(),
+                                    shard.key()
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }

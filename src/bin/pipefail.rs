@@ -63,54 +63,67 @@ USAGE:
   pipefail snapshot --data DIR --out FILE [--model NAME] [--seed N] [--full]
       Fit a model and freeze its posterior summary plus the full risk
       ranking into a versioned snapshot file (see docs/SNAPSHOT_FORMAT.md).
-  pipefail serve --snapshot FILE [--addr HOST:PORT] [--data DIR]
-                 [--max-requests N]
-      Serve a snapshot over HTTP with keep-alive connections: /health /top
-      /pipe /model /batch /metrics (and /riskmap.svg when --data is given).
-      Honors PIPEFAIL_HTTP_WORKERS, PIPEFAIL_HTTP_TIMEOUT_SECS,
+  pipefail serve (--snapshot FILE [--snapshot FILE ...] | --snapshot-dir DIR)
+                 [--addr HOST:PORT] [--data DIR] [--max-requests N]
+      Serve snapshots over HTTP with keep-alive connections: /health /top
+      /pipe /model /batch /metrics (and /riskmap.svg when --data is given
+      with a single snapshot). One --snapshot is the classic single-region
+      server; repeated --snapshot flags or --snapshot-dir (every *.pfsnap
+      in DIR) serve one shard per region behind one endpoint: /top?region=R
+      routes to one shard, region-less /top scatter-gathers the global
+      top-K. Honors PIPEFAIL_HTTP_WORKERS, PIPEFAIL_HTTP_TIMEOUT_SECS,
       PIPEFAIL_HTTP_IDLE_SECS, PIPEFAIL_HTTP_KEEPALIVE_REQS, and
-      PIPEFAIL_HTTP_RELOAD_SECS (N > 0 polls the snapshot file every N
-      seconds and hot-swaps the scorer); see docs/SERVING.md.
+      PIPEFAIL_HTTP_RELOAD_SECS (N > 0 polls every watched snapshot file
+      every N seconds and hot-swaps shards independently); see
+      docs/SERVING.md.
   pipefail help";
 
-fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+/// Parsed CLI options: every `--key` keeps all its values in order, so
+/// repeatable flags (`--snapshot A --snapshot B`) accumulate while
+/// single-valued flags read the last occurrence.
+type Options = HashMap<String, Vec<String>>;
+
+fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut it = args.iter();
     let command = it.next()?.clone();
-    let mut options = HashMap::new();
+    let mut options: Options = HashMap::new();
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?;
-        if key == "full" {
-            options.insert(key.to_string(), "1".to_string());
+        let value = if key == "full" {
+            "1".to_string()
         } else {
-            options.insert(key.to_string(), it.next()?.clone());
-        }
+            it.next()?.clone()
+        };
+        options.entry(key.to_string()).or_default().push(value);
     }
     Some((command, options))
 }
 
-fn opt_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
-    options
-        .get(key)
+/// Last value of a single-valued option (the usual "last flag wins").
+fn opt<'a>(options: &'a Options, key: &str) -> Option<&'a String> {
+    options.get(key).and_then(|v| v.last())
+}
+
+fn opt_f64(options: &Options, key: &str, default: f64) -> Result<f64, String> {
+    opt(options, key)
         .map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad --{key}: {v:?}")))
 }
 
-fn opt_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    options
-        .get(key)
+fn opt_u64(options: &Options, key: &str, default: u64) -> Result<u64, String> {
+    opt(options, key)
         .map_or(Ok(default), |v| v.parse().map_err(|_| format!("bad --{key}: {v:?}")))
 }
 
-fn load(options: &HashMap<String, String>) -> Result<Dataset, String> {
-    let dir = options
-        .get("data")
+fn load(options: &Options) -> Result<Dataset, String> {
+    let dir = opt(options, "data")
         .ok_or("missing --data DIR (a directory written by `pipefail generate`)")?;
     read_dataset(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
 }
 
-fn cmd_generate(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_generate(options: &Options) -> Result<(), String> {
     let scale = opt_f64(options, "scale", 0.05)?;
     let seed = opt_u64(options, "seed", 7)?;
-    let out = PathBuf::from(options.get("out").map_or("data", String::as_str));
+    let out = PathBuf::from(opt(options, "out").map_or("data", String::as_str));
     let world = WorldConfig::paper().scaled(scale).build(seed);
     for ds in world.regions() {
         let dir = out.join(ds.name().to_lowercase().replace(' ', "_"));
@@ -142,11 +155,11 @@ fn make_model(name: &str, full: bool) -> Result<Box<dyn FailureModel>, String> {
     })
 }
 
-fn cmd_rank(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_rank(options: &Options) -> Result<(), String> {
     let ds = load(options)?;
     let seed = opt_u64(options, "seed", 7)?;
     let top = opt_u64(options, "top", 20)? as usize;
-    let name = options.get("model").map_or("dpmhbp", String::as_str);
+    let name = opt(options, "model").map_or("dpmhbp", String::as_str);
     let mut model = make_model(name, true)?;
     let split = TrainTestSplit::paper_protocol();
     let ranking = model
@@ -166,7 +179,7 @@ fn cmd_rank(options: &HashMap<String, String>) -> Result<(), String> {
             ds.pipe_length_m(s.pipe)
         );
     }
-    if let Some(path) = options.get("out") {
+    if let Some(path) = opt(options, "out") {
         let mut csv = String::from("pipe_id,score\n");
         for s in ranking.scores() {
             csv.push_str(&format!("{},{}\n", s.pipe.0, s.score));
@@ -177,7 +190,7 @@ fn cmd_rank(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_evaluate(options: &Options) -> Result<(), String> {
     let ds = load(options)?;
     let seed = opt_u64(options, "seed", 7)?;
     let fast = !options.contains_key("full");
@@ -192,13 +205,12 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_snapshot(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_snapshot(options: &Options) -> Result<(), String> {
     let ds = load(options)?;
     let seed = opt_u64(options, "seed", 7)?;
-    let out = options
-        .get("out")
+    let out = opt(options, "out")
         .ok_or("missing --out FILE (where to write the snapshot)")?;
-    let name = options.get("model").map_or("dpmhbp", String::as_str);
+    let name = opt(options, "model").map_or("dpmhbp", String::as_str);
     let mut model = make_model(name, options.contains_key("full"))?;
     let split = TrainTestSplit::paper_protocol();
     let ranking = model
@@ -217,30 +229,82 @@ fn cmd_snapshot(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
-    let path = options
-        .get("snapshot")
-        .ok_or("missing --snapshot FILE (written by `pipefail snapshot`)")?;
-    let scorer = Scorer::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
-    println!(
-        "loaded {} snapshot of {} ({} pipes)",
-        scorer.model(),
-        scorer.region(),
-        scorer.len()
-    );
-    let mut ctx = ServeContext::new(scorer);
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    let snapshots: &[String] = options.get("snapshot").map_or(&[], Vec::as_slice);
+    let dir = opt(options, "snapshot-dir");
+    let pool = pipefail::par::TaskPool::from_env();
+    // Three shapes: --snapshot-dir DIR (one shard per *.pfsnap), repeated
+    // --snapshot (one shard each), or a single --snapshot (the classic
+    // single-region server). Snapshots load and strict-validate in
+    // parallel on the task pool either way.
+    let ctx = match (dir, snapshots) {
+        (Some(_), [_, ..]) => {
+            return Err("pass either --snapshot-dir or --snapshot, not both".into());
+        }
+        (Some(dir), []) => ServeContext::sharded(
+            ShardSet::load_dir(Path::new(dir), &pool).map_err(|e| e.to_string())?,
+        ),
+        (None, []) => {
+            return Err(
+                "missing --snapshot FILE or --snapshot-dir DIR (written by `pipefail snapshot`)"
+                    .into(),
+            );
+        }
+        (None, [path]) => {
+            let scorer =
+                Scorer::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+            ServeContext::new(scorer)
+        }
+        (None, many) => {
+            let paths: Vec<PathBuf> = many.iter().map(PathBuf::from).collect();
+            ServeContext::sharded(ShardSet::load_paths(&paths, &pool).map_err(|e| e.to_string())?)
+        }
+    };
+    let mut ctx = ctx;
+    for shard in ctx.shards().shards() {
+        let s = shard.last_good();
+        println!(
+            "loaded {} snapshot of {} ({} pipes){}",
+            s.model(),
+            s.region(),
+            s.len(),
+            if ctx.shards().is_single() {
+                String::new()
+            } else {
+                format!(" [region={}]", shard.key())
+            }
+        );
+    }
     if options.contains_key("data") {
+        if !ctx.shards().is_single() {
+            return Err("--data (risk maps) only works with a single --snapshot".into());
+        }
         // Optional geometry: enables the /riskmap.svg endpoint.
         ctx = ctx.with_dataset(load(options)?);
     }
-    // Wire the snapshot file into the config so PIPEFAIL_HTTP_RELOAD_SECS
-    // can arm the hot-reload watcher on the same file we just loaded.
-    let mut config = ServerConfig::from_env().with_snapshot_path(Path::new(path));
-    if let Some(addr) = options.get("addr") {
+    // Wire the snapshot files into the config so PIPEFAIL_HTTP_RELOAD_SECS
+    // can arm the hot-reload watcher on the same files we just loaded:
+    // sharded sets carry their own per-shard paths, single-snapshot mode
+    // watches the one file.
+    let mut config = ServerConfig::from_env();
+    if let (true, [path]) = (ctx.shards().is_single(), snapshots) {
+        config = config.with_snapshot_path(Path::new(path));
+    }
+    if let Some(addr) = opt(options, "addr") {
         config = config.with_addr(addr);
     }
     if config.reload_poll_secs > 0.0 {
-        println!("hot-reload armed: polling {path} every {}s", config.reload_poll_secs);
+        let watched = ctx
+            .shards()
+            .shards()
+            .iter()
+            .filter(|s| s.path().is_some())
+            .count()
+            .max(usize::from(config.snapshot_path.is_some()));
+        println!(
+            "hot-reload armed: polling {watched} snapshot file(s) every {}s",
+            config.reload_poll_secs
+        );
     }
     let max_requests = opt_u64(options, "max-requests", 0)?;
     let handle =

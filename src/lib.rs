@@ -23,6 +23,7 @@ pub use pipefail_core as core;
 pub use pipefail_eval as eval;
 pub use pipefail_mcmc as mcmc;
 pub use pipefail_network as network;
+pub use pipefail_par as par;
 pub use pipefail_serve as serve;
 pub use pipefail_stats as stats;
 pub use pipefail_synth as synth;
@@ -47,6 +48,6 @@ pub mod prelude {
     pub use pipefail_network::{
         Dataset, FailureKind, Material, PipeClass, PipeId, SegmentId, TrainTestSplit,
     };
-    pub use pipefail_serve::{ServeContext, ServerConfig, Scorer};
+    pub use pipefail_serve::{Scorer, ServeContext, ServerConfig, ShardSet};
     pub use pipefail_synth::{RegionTemplate, WorldConfig};
 }
