@@ -17,6 +17,15 @@
 //! noise of single-snapshot serving). All three issue the same
 //! `/top?k=10` query shape as the keep-alive entries.
 //!
+//! The `serve/federated/*` entries price remote-shard federation on the
+//! same shard tables served behind real sockets: `region_routed` is one
+//! relay hop over `sharded/region_routed`, `global_topk` scatters to every
+//! backend over TCP and k-way-merges at the front-end, and the
+//! `{hedged,unhedged}_with_stragglers` pair routes one region through a
+//! proxy that delays every 10th response by 25ms — hedging (5ms trigger)
+//! should strip most of the stragglers' contribution from the total,
+//! the unhedged run eats every delay.
+//!
 //! The `scorer/risk_of_100k` entry times in-process `/pipe` point lookups
 //! against the 100k-pipe table — the binary-searched id→rank index built
 //! at snapshot load.
@@ -28,10 +37,14 @@ use criterion::{black_box, criterion_group, Criterion};
 use pipefail_core::model::{RiskRanking, RiskScore};
 use pipefail_core::snapshot::Snapshot;
 use pipefail_network::ids::PipeId;
-use pipefail_serve::{serve, Scorer, ServeContext, ServerConfig, ShardSet};
+use pipefail_serve::{
+    serve, serve_federated, FedConfig, Federation, Scorer, ServeContext, ServerConfig, ShardSet,
+};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const QUERIES: usize = 100;
 /// Total pipes in the sharded-vs-monolithic comparison (8 shards × 12.5k).
@@ -213,6 +226,167 @@ fn bench_sharded(c: &mut Criterion) {
     sharded.shutdown();
 }
 
+/// Read one exact-framed response and return its raw bytes (head + body),
+/// ready to forward verbatim.
+fn read_framed_raw(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let content_length: usize = head
+        .split("\r\n")
+        .find_map(|l| l.split_once(':').filter(|(k, _)| k.eq_ignore_ascii_case("content-length")))
+        .and_then(|(_, v)| v.trim().parse().ok())?;
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    buf.truncate(total);
+    Some(buf)
+}
+
+/// A minimal forwarding proxy that delays every `stride`-th response by
+/// `delay` — a deterministic straggler injector for the hedged-vs-unhedged
+/// comparison. No faults, just tail latency.
+fn straggler_proxy(upstream: SocketAddr, stride: usize, delay: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    let counter = Arc::new(AtomicUsize::new(0));
+    std::thread::spawn(move || {
+        for client in listener.incoming() {
+            let Ok(mut client) = client else { continue };
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                client.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    // One GET request head == one request.
+                    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        match client.read(&mut chunk) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        }
+                    }
+                    let request = std::mem::take(&mut buf);
+                    let Ok(mut up) = TcpStream::connect(upstream) else { return };
+                    up.set_nodelay(true).ok();
+                    if up.write_all(&request).is_err() {
+                        return;
+                    }
+                    let Some(response) = read_framed_raw(&mut up) else { return };
+                    if counter.fetch_add(1, Ordering::Relaxed) % stride == stride - 1 {
+                        std::thread::sleep(delay);
+                    }
+                    if client.write_all(&response).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Federated serving vs the in-process sharded baseline, plus the
+/// hedged-vs-unhedged tail-latency comparison through a deterministic
+/// straggler proxy (every 10th response +25ms).
+fn bench_federated(c: &mut Criterion) {
+    let config = ServerConfig {
+        keepalive_requests: 0,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let per_shard = TOTAL_PIPES / SHARDS;
+
+    // One backend serve process per region — the same shard tables the
+    // `serve/sharded/*` entries serve in-process, now behind sockets.
+    let backends: Vec<_> = (0..SHARDS)
+        .map(|s| {
+            serve(
+                Arc::new(ServeContext::new(shard_scorer(s, per_shard))),
+                &config,
+            )
+            .expect("backend starts")
+        })
+        .collect();
+    let targets: Vec<(String, String)> = backends
+        .iter()
+        .enumerate()
+        .map(|(s, h)| (format!("Shard {s}"), h.addr().to_string()))
+        .collect();
+    let fed_config = FedConfig {
+        retries: 0,
+        hedge_ms: Some(0),
+        ..FedConfig::default()
+    };
+    let fed = Arc::new(Federation::new(targets.clone(), fed_config.clone()).expect("federation"));
+    let front = serve_federated(Arc::clone(&fed), &config).expect("front-end starts");
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+
+    // Region-routed: one relay hop over the in-process `sharded/region_routed`
+    // baseline — the price of the extra socket round trip.
+    g.bench_function(format!("federated/region_routed/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(front.addr(), "/top?region=shard_3&k=10")))
+    });
+
+    // Global top-K: scatter to every backend over TCP, k-way merge at the
+    // front-end — against the in-process `sharded/global_topk` baseline.
+    g.bench_function(format!("federated/global_topk/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(front.addr(), "/top?k=10")))
+    });
+    g.finish();
+    front.shutdown();
+
+    // Tail latency: one region behind a straggler proxy; hedging ON should
+    // cut the stragglers' contribution, hedging OFF eats every delay.
+    let proxied = straggler_proxy(
+        backends[0].addr(),
+        10,
+        Duration::from_millis(25),
+    );
+    let straggler_targets: Vec<(String, String)> = vec![("Shard 0".into(), proxied.to_string())];
+    for (label, hedge_ms) in [("unhedged", Some(0)), ("hedged", Some(5))] {
+        let fed = Arc::new(
+            Federation::new(
+                straggler_targets.clone(),
+                FedConfig {
+                    retries: 0,
+                    hedge_ms,
+                    ..FedConfig::default()
+                },
+            )
+            .expect("federation"),
+        );
+        let front = serve_federated(fed, &config).expect("front-end starts");
+        let mut g = c.benchmark_group("serve");
+        g.sample_size(10);
+        g.bench_function(
+            format!("federated/{label}_with_stragglers/{QUERIES}_queries"),
+            |b| b.iter(|| black_box(keepalive_round(front.addr(), "/top?region=shard_0&k=10"))),
+        );
+        g.finish();
+        front.shutdown();
+    }
+
+    for h in backends {
+        h.shutdown();
+    }
+}
+
 /// In-process `/pipe` point lookups against the 100k-pipe table: the
 /// binary-searched id→rank index (`Scorer::risk_of`), no HTTP in the loop.
 fn bench_scorer_lookup(c: &mut Criterion) {
@@ -234,7 +408,7 @@ fn bench_scorer_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_serving, bench_sharded, bench_scorer_lookup);
+criterion_group!(benches, bench_serving, bench_sharded, bench_federated, bench_scorer_lookup);
 
 fn main() {
     benches();

@@ -22,6 +22,7 @@
 //! | Route | Answer |
 //! |---|---|
 //! | `GET /health` | liveness probe |
+//! | `GET /healthz` | readiness probe: `200` when every shard serves, `503` + `Retry-After` while any shard is degraded; excluded from the request metrics so federation health checks don't pollute them |
 //! | `GET /top?k=N` | the N riskiest pipes, descending (default 10); sharded servers scatter-gather a **global** top-K across every region |
 //! | `GET /top?region=R&k=N` | one region's top-K (routed to that shard; unknown region → typed 404, degraded shard → typed 503) |
 //! | `GET /pipe?region=R&id=N` | one pipe's score and rank (`region` required when serving more than one shard) |
@@ -164,7 +165,12 @@ impl ServerConfig {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism().map_or(2, |n| n.get()).min(8)
+            // Floor of 2 even on a single-core box: with one worker, a
+            // single idle keep-alive client pins the whole server and
+            // every new connection starves until the idle timeout.
+            std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .clamp(2, 8)
         }
     }
 }
@@ -252,7 +258,9 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     accept: Option<JoinHandle<()>>,
-    watcher: Option<JoinHandle<()>>,
+    /// Auxiliary shutdown-aware threads joined on stop: the reload watcher
+    /// (local serving) or the backend health prober (federation).
+    background: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -281,7 +289,7 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.watcher.take() {
+        for h in self.background.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -296,9 +304,89 @@ impl Drop for ServerHandle {
     }
 }
 
+/// What a worker pool serves: anything that turns a parsed request into a
+/// routed response. The local snapshot router ([`LocalRouter`]) and the
+/// federation front-end (`crate::federation`) both plug in here, sharing
+/// the whole connection layer — keep-alive loop, pipelining, timeouts,
+/// framing — unchanged.
+pub(crate) trait RequestHandler: Send + Sync + 'static {
+    /// Answer one request. `Route::Healthz` responses are counted in
+    /// [`Metrics::healthz_total`] instead of the request metrics.
+    fn handle(&self, req: &ParsedRequest, metrics: &Metrics) -> (Route, Response);
+}
+
+/// The in-process router: answers every route from the local
+/// [`ServeContext`] shards.
+pub(crate) struct LocalRouter {
+    ctx: Arc<ServeContext>,
+    /// Seconds advertised in `Retry-After` on degrade `503`s — derived
+    /// from the reload poll interval, since that is when a degraded shard
+    /// can next heal.
+    retry_after_secs: u64,
+}
+
+impl RequestHandler for LocalRouter {
+    fn handle(&self, req: &ParsedRequest, metrics: &Metrics) -> (Route, Response) {
+        route_request(req, &self.ctx, metrics, self.retry_after_secs)
+    }
+}
+
+/// `Retry-After` seconds for degrade responses: the next reload poll is
+/// the soonest a degraded shard can recover, so advertise that (minimum
+/// 1s); without a watcher there is no self-heal schedule, so advertise a
+/// nominal 1s.
+pub(crate) fn retry_after_secs(reload_poll_secs: f64) -> u64 {
+    if reload_poll_secs > 0.0 {
+        (reload_poll_secs.ceil() as u64).max(1)
+    } else {
+        1
+    }
+}
+
 /// Bind, spawn the accept thread, worker pool, and (when configured) the
 /// snapshot-reload watcher, and return immediately.
 pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHandle, ServeError> {
+    let any_shard_path = ctx.shards().shards().iter().any(|s| s.path().is_some());
+    if config.reload_poll_secs > 0.0 && config.snapshot_path.is_none() && !any_shard_path {
+        return Err(ServeError::BadConfig(
+            "reload_poll_secs set but no snapshot_path to watch".into(),
+        ));
+    }
+    let metrics = Arc::new(Metrics::with_shards(
+        ctx.shards().keys().map(String::from).collect(),
+    ));
+    let handler = Arc::new(LocalRouter {
+        ctx: Arc::clone(&ctx),
+        retry_after_secs: retry_after_secs(config.reload_poll_secs),
+    });
+    let watcher_metrics = Arc::clone(&metrics);
+    let poll = config.reload_poll_secs;
+    let snapshot_path = config.snapshot_path.clone();
+    serve_handler(handler, metrics, config, move |shutdown| {
+        if poll > 0.0 {
+            vec![reload::spawn_watcher(
+                ctx,
+                watcher_metrics,
+                snapshot_path,
+                Duration::from_secs_f64(poll),
+                Arc::clone(shutdown),
+            )]
+        } else {
+            vec![]
+        }
+    })
+}
+
+/// The handler-generic server core: bind, spawn the accept thread and
+/// worker pool around `handler`, start any `background` threads (reload
+/// watcher, health prober) wired to the shutdown switch, and return
+/// immediately.
+pub(crate) fn serve_handler(
+    handler: Arc<dyn RequestHandler>,
+    metrics: Arc<Metrics>,
+    config: &ServerConfig,
+    background: impl FnOnce(&Arc<AtomicBool>) -> Vec<JoinHandle<()>>,
+) -> Result<ServerHandle, ServeError> {
     if config.request_timeout_secs <= 0.0 {
         return Err(ServeError::BadConfig(
             "request_timeout_secs must be positive".into(),
@@ -309,26 +397,17 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
             "idle_timeout_secs must be positive".into(),
         ));
     }
-    let any_shard_path = ctx.shards().shards().iter().any(|s| s.path().is_some());
-    if config.reload_poll_secs > 0.0 && config.snapshot_path.is_none() && !any_shard_path {
-        return Err(ServeError::BadConfig(
-            "reload_poll_secs set but no snapshot_path to watch".into(),
-        ));
-    }
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let metrics = Arc::new(Metrics::with_shards(
-        ctx.shards().keys().map(String::from).collect(),
-    ));
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let mut workers = Vec::with_capacity(config.resolved_workers());
     for _ in 0..config.resolved_workers() {
         let rx = Arc::clone(&rx);
-        let ctx = Arc::clone(&ctx);
+        let handler = Arc::clone(&handler);
         let metrics = Arc::clone(&metrics);
         let config = config.clone();
         workers.push(std::thread::spawn(move || loop {
@@ -339,23 +418,13 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
                 guard.recv()
             };
             match stream {
-                Ok(stream) => handle_connection(stream, &ctx, &metrics, &config),
+                Ok(stream) => handle_connection(stream, handler.as_ref(), &metrics, &config),
                 Err(_) => break, // sender dropped: accept loop has exited
             }
         }));
     }
 
-    let watcher = if config.reload_poll_secs > 0.0 {
-        Some(reload::spawn_watcher(
-            Arc::clone(&ctx),
-            Arc::clone(&metrics),
-            config.snapshot_path.clone(),
-            Duration::from_secs_f64(config.reload_poll_secs),
-            Arc::clone(&shutdown),
-        ))
-    } else {
-        None
-    };
+    let background = background(&shutdown);
 
     let accept_shutdown = Arc::clone(&shutdown);
     let accept = std::thread::spawn(move || {
@@ -382,7 +451,7 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
         shutdown,
         metrics,
         accept: Some(accept),
-        watcher,
+        background,
         workers,
     })
 }
@@ -394,7 +463,7 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
 /// breaks framing.
 fn handle_connection(
     mut stream: TcpStream,
-    ctx: &ServeContext,
+    handler: &dyn RequestHandler,
     metrics: &Metrics,
     config: &ServerConfig,
 ) {
@@ -427,13 +496,20 @@ fn handle_connection(
                         metrics.keepalive_reuse();
                     }
                     let started = Instant::now();
-                    let (route, mut response) = route_request(&req, ctx, metrics);
+                    let (route, mut response) = handler.handle(&req, metrics);
                     let at_cap =
                         config.keepalive_requests > 0 && served >= config.keepalive_requests;
                     response.close = !req.wants_keep_alive() || at_cap;
                     // Observe before writing: a client that has read this
                     // response must already see it counted in `/metrics`.
-                    metrics.observe(route, response.status, started.elapsed());
+                    // Health probes count in their own side counter so a
+                    // federation front-end polling `/healthz` every second
+                    // doesn't drown the request series.
+                    if route == Route::Healthz {
+                        metrics.healthz();
+                    } else {
+                        metrics.observe(route, response.status, started.elapsed());
+                    }
                     let wrote = response.write_to(&mut stream);
                     if response.close || wrote.is_err() {
                         break 'conn;
@@ -503,32 +579,52 @@ fn answer_request_timeout(stream: &mut TcpStream, metrics: &Metrics, elapsed: Du
 }
 
 /// A response ready to serialize.
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: String,
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+    /// Extra headers beyond the always-present framing set
+    /// (`Retry-After`, `X-Pipefail-Partial`, …).
+    pub(crate) headers: Vec<(&'static str, String)>,
     /// Whether the server closes the connection after this response; also
     /// decides the advertised `Connection` header.
-    close: bool,
+    pub(crate) close: bool,
 }
 
 impl Response {
-    fn json(status: u16, body: impl Into<String>) -> Self {
+    pub(crate) fn json(status: u16, body: impl Into<String>) -> Self {
         Self {
             status,
             content_type: "application/json",
             body: body.into(),
+            headers: Vec::new(),
             close: false,
         }
     }
 
-    fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+    pub(crate) fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
         Self {
             status,
             content_type,
             body: body.into(),
+            headers: Vec::new(),
             close: false,
         }
+    }
+
+    /// This response with one extra header appended.
+    pub(crate) fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// First extra-header value with the given name, if set.
+    #[cfg(test)]
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
@@ -540,17 +636,24 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             501 => "Not Implemented",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Error",
         };
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        use std::fmt::Write as _;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" }
         );
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
         // One buffer, one write: two writes would let Nagle hold the body
         // back until the client ACKs the head — a ~40ms delayed-ACK stall
         // on every kept-alive response.
@@ -561,9 +664,15 @@ impl Response {
     }
 }
 
-fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> (Route, Response) {
-    match (req.method.as_str(), req.path.as_str()) {
+fn route_request(
+    req: &ParsedRequest,
+    ctx: &ServeContext,
+    metrics: &Metrics,
+    retry_after_secs: u64,
+) -> (Route, Response) {
+    let (route, mut response) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (Route::Health, Response::json(200, "{\"status\":\"ok\"}")),
+        ("GET", "/healthz") => (Route::Healthz, healthz_response(ctx)),
         ("GET", "/top") => (Route::Top, top_response(req, ctx, metrics)),
         ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx, metrics)),
         ("GET", "/model") => (Route::Model, model_response(ctx)),
@@ -573,20 +682,47 @@ fn route_request(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> 
             Response::text(200, "text/plain; version=0.0.4", metrics.render()),
         ),
         ("GET", "/riskmap.svg") => (Route::Riskmap, riskmap_response(ctx)),
-        (m, "/health" | "/top" | "/pipe" | "/model" | "/metrics" | "/riskmap.svg") if m != "GET" => {
+        (m, "/health" | "/healthz" | "/top" | "/pipe" | "/model" | "/metrics" | "/riskmap.svg")
+            if m != "GET" =>
+        {
             (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
         }
         (m, "/batch") if m != "POST" => {
             (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
         }
         _ => (Route::Other, Response::json(404, "{\"error\":\"no such route\"}")),
+    };
+    // Every local 503 is a degraded shard that can heal at the next reload
+    // poll: tell the client when to come back. (One place, so no degrade
+    // path — region-routed, global merge, batch, healthz — can forget it.)
+    if response.status == 503 {
+        response = response.with_header("Retry-After", retry_after_secs.to_string());
     }
+    (route, response)
+}
+
+/// The readiness answer: `200` when every shard serves, `503` naming the
+/// degraded shards otherwise. Cheap — no scoring, no per-route counter
+/// (see [`Route::Healthz`]).
+fn healthz_response(ctx: &ServeContext) -> Response {
+    let degraded = ctx.shards().degraded_keys();
+    if degraded.is_empty() {
+        return Response::json(200, "{\"status\":\"ok\"}");
+    }
+    let keys: Vec<String> = degraded.iter().map(|k| json_str(k)).collect();
+    Response::json(
+        503,
+        format!(
+            "{{\"status\":\"degraded\",\"shards\":[{}]}}",
+            keys.join(",")
+        ),
+    )
 }
 
 /// Value of query-string parameter `key` (no percent-decoding — the API
 /// only takes integers and sanitized [`crate::shards::region_key`]
 /// tokens).
-fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     query
         .split('&')
         .filter_map(|kv| kv.split_once('='))
@@ -598,7 +734,16 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
 /// plus the full list of known regions, so a caller can self-correct
 /// without a second round trip.
 fn unknown_region_body(shards: &ShardSet, key: &str) -> String {
-    let regions: Vec<String> = shards.keys().map(json_str).collect();
+    unknown_region_body_keys(shards.keys(), key)
+}
+
+/// [`unknown_region_body`] over raw routing keys — shared with the
+/// federation front-end, whose regions live behind remote backends.
+pub(crate) fn unknown_region_body_keys<'a>(
+    keys: impl Iterator<Item = &'a str>,
+    key: &str,
+) -> String {
+    let regions: Vec<String> = keys.map(json_str).collect();
     format!(
         "{{\"error\":{},\"regions\":[{}]}}",
         json_str(&format!("unknown region {key:?}")),
@@ -965,15 +1110,32 @@ pub fn render_model(scorer: &Scorer) -> String {
 /// per-entry allocation here was the bulk of the scatter-gather overhead
 /// over monolithic serving (see `serve/sharded/*` in `BENCH_perf.json`).
 pub fn render_global_top_k(shards: &ShardSet, merged: &[GlobalRisk], k: usize) -> String {
-    use std::fmt::Write as _;
     let keys: Vec<String> = shards.shards().iter().map(|s| json_str(s.key())).collect();
+    render_global_top_k_keys(&keys, merged, k)
+}
+
+/// [`render_global_top_k`] over pre-escaped shard keys instead of a local
+/// [`ShardSet`] — the federation front-end renders the same body from
+/// remote backends, so the two paths share one serializer (byte-identity
+/// by construction).
+pub(crate) fn render_global_top_k_keys(
+    keys_escaped: &[String],
+    merged: &[GlobalRisk],
+    k: usize,
+) -> String {
+    use std::fmt::Write as _;
     let mut out = String::with_capacity(48 + merged.len() * 80);
-    let _ = write!(out, "{{\"k\":{},\"shards\":{},\"results\":[", k, shards.len());
+    let _ = write!(
+        out,
+        "{{\"k\":{},\"shards\":{},\"results\":[",
+        k,
+        keys_escaped.len()
+    );
     for (rank, g) in merged.iter().enumerate() {
         if rank > 0 {
             out.push(',');
         }
-        write_global_risk(&mut out, &keys, g, rank);
+        write_global_risk(&mut out, keys_escaped, g, rank);
     }
     out.push_str("]}");
     out
@@ -1034,7 +1196,7 @@ fn render_query_result(result: &QueryResult) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -1169,13 +1331,13 @@ mod tests {
     fn unknown_region_is_a_typed_404_listing_known_regions() {
         let ctx = sharded_ctx();
         let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
-        let (route, resp) = route_request(&get("/top?region=region_z&k=3"), &ctx, &metrics);
+        let (route, resp) = route_request(&get("/top?region=region_z&k=3"), &ctx, &metrics, 1);
         assert_eq!(route, Route::Top);
         assert_eq!(resp.status, 404);
         assert!(resp.body.contains("unknown region \\\"region_z\\\""), "{}", resp.body);
         assert!(resp.body.contains("\"regions\":[\"region_a\",\"region_b\"]"), "{}", resp.body);
         // Same typed body on /pipe.
-        let (_, resp) = route_request(&get("/pipe?region=nope&id=1"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/pipe?region=nope&id=1"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 404);
         assert!(resp.body.contains("\"regions\":["));
     }
@@ -1184,14 +1346,14 @@ mod tests {
     fn region_tagged_queries_route_to_one_shard() {
         let ctx = sharded_ctx();
         let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
-        let (_, resp) = route_request(&get("/top?region=region_b&k=1"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/top?region=region_b&k=1"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("\"region\":\"Region B\""), "{}", resp.body);
         assert!(resp.body.contains("\"pipe\":1"));
         // Pipe 9 exists only in Region B.
-        let (_, resp) = route_request(&get("/pipe?region=region_b&id=9"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/pipe?region=region_b&id=9"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 200);
-        let (_, resp) = route_request(&get("/pipe?region=region_a&id=9"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/pipe?region=region_a&id=9"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 404);
         assert_eq!(metrics.shard_requests(1), 2);
         assert_eq!(metrics.shard_requests(0), 1);
@@ -1201,7 +1363,7 @@ mod tests {
     fn regionless_top_scatter_gathers_and_regionless_pipe_is_rejected() {
         let ctx = sharded_ctx();
         let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
-        let (_, resp) = route_request(&get("/top?k=3"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/top?k=3"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 200);
         // Global order: 0.9 (A), 0.7 (B), 0.5 (B) — ranks are global,
         // shard_rank is the within-region rank.
@@ -1214,7 +1376,7 @@ mod tests {
         ), "{}", resp.body);
         assert_eq!(metrics.global_topk_total(), 1);
         // Region-less /pipe cannot route: pipe ids are per-region.
-        let (_, resp) = route_request(&get("/pipe?id=1"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/pipe?id=1"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 400);
         assert!(resp.body.contains("per-region"), "{}", resp.body);
     }
@@ -1224,33 +1386,76 @@ mod tests {
         let ctx = sharded_ctx();
         let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
         ctx.shards().get("region_a").unwrap().degrade("checksum mismatch".into());
-        let (_, resp) = route_request(&get("/top?region=region_a"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/top?region=region_a"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("degraded: checksum mismatch"), "{}", resp.body);
         assert!(resp.body.contains("\"shard\":\"region_a\""), "{}", resp.body);
         // The sibling still answers…
-        let (_, resp) = route_request(&get("/top?region=region_b"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/top?region=region_b"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 200);
         // …but the global merge refuses a partial fleet.
-        let (_, resp) = route_request(&get("/top"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/top"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("\"shards\":[\"region_a\"]"), "{}", resp.body);
         assert_eq!(metrics.shard_unavailable_total(0), 2);
     }
 
     #[test]
+    fn healthz_reports_readiness_and_degrade_503s_carry_retry_after() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let (route, resp) = route_request(&get("/healthz"), &ctx, &metrics, 5);
+        assert_eq!(route, Route::Healthz);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"status\":\"ok\"}");
+        assert!(resp.header("Retry-After").is_none());
+        ctx.shards().get("region_a").unwrap().degrade("bad bytes".into());
+        // Readiness flips to 503 naming the degraded shard…
+        let (_, resp) = route_request(&get("/healthz"), &ctx, &metrics, 5);
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("\"shards\":[\"region_a\"]"), "{}", resp.body);
+        assert_eq!(resp.header("Retry-After"), Some("5"));
+        // …and every other degrade path advertises the same Retry-After:
+        // region-routed, global merge, and batch.
+        let (_, resp) = route_request(&get("/top?region=region_a"), &ctx, &metrics, 5);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("Retry-After"), Some("5"));
+        let (_, resp) = route_request(&get("/top"), &ctx, &metrics, 5);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("Retry-After"), Some("5"));
+        let mut req = get("/batch");
+        req.method = "POST".into();
+        req.body = "region=region_a top 1\n".into();
+        let (_, resp) = route_request(&req, &ctx, &metrics, 5);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("Retry-After"), Some("5"));
+        // Healthy responses never carry it.
+        let (_, resp) = route_request(&get("/top?region=region_b"), &ctx, &metrics, 5);
+        assert_eq!(resp.status, 200);
+        assert!(resp.header("Retry-After").is_none());
+    }
+
+    #[test]
+    fn retry_after_derives_from_poll_interval() {
+        assert_eq!(retry_after_secs(0.0), 1);
+        assert_eq!(retry_after_secs(0.25), 1);
+        assert_eq!(retry_after_secs(2.0), 2);
+        assert_eq!(retry_after_secs(2.5), 3);
+    }
+
+    #[test]
     fn sharded_model_inventories_every_shard_and_riskmap_is_refused() {
         let ctx = sharded_ctx();
         let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
-        let (_, resp) = route_request(&get("/model"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/model"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 200);
         assert!(resp.body.starts_with("{\"shards\":2,"), "{}", resp.body);
         assert!(resp.body.contains("\"shard\":\"region_a\""));
         assert!(resp.body.contains("\"status\":\"serving\""));
         ctx.shards().get("region_b").unwrap().degrade("boom".into());
-        let (_, resp) = route_request(&get("/model"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/model"), &ctx, &metrics, 1);
         assert!(resp.body.contains("\"status\":\"degraded\",\"fault\":\"boom\""), "{}", resp.body);
-        let (_, resp) = route_request(&get("/riskmap.svg"), &ctx, &metrics);
+        let (_, resp) = route_request(&get("/riskmap.svg"), &ctx, &metrics, 1);
         assert_eq!(resp.status, 404);
         assert!(resp.body.contains("single-region"), "{}", resp.body);
     }
@@ -1262,7 +1467,7 @@ mod tests {
         let mut req = get("/batch");
         req.method = "POST".into();
         req.body = "region=region_b pipe 9\ntop 2\nregion=region_a top 1\n".into();
-        let (route, resp) = route_request(&req, &ctx, &metrics);
+        let (route, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(route, Route::Batch);
         assert_eq!(resp.status, 200, "{}", resp.body);
         // Line 1: shard-routed pipe lookup; line 2: global top with region
@@ -1274,26 +1479,26 @@ mod tests {
         assert_eq!(metrics.global_topk_total(), 1);
         // Unknown region in a batch line fails the whole batch, typed.
         req.body = "region=region_z top 1\n".into();
-        let (_, resp) = route_request(&req, &ctx, &metrics);
+        let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 404);
         assert!(resp.body.contains("\"regions\":["));
         // Region-less pipe line on a sharded server is a typed 400.
         req.body = "pipe 1\n".into();
-        let (_, resp) = route_request(&req, &ctx, &metrics);
+        let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 400);
         assert!(resp.body.contains("region=<key>"), "{}", resp.body);
         // A degraded shard fails batches that reference it, including via
         // a global line.
         ctx.shards().get("region_a").unwrap().degrade("bad".into());
         req.body = "region=region_a top 1\n".into();
-        let (_, resp) = route_request(&req, &ctx, &metrics);
+        let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 503);
         req.body = "top 1\n".into();
-        let (_, resp) = route_request(&req, &ctx, &metrics);
+        let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 503);
         // …but a batch touching only healthy shards still works.
         req.body = "region=region_b top 1\n".into();
-        let (_, resp) = route_request(&req, &ctx, &metrics);
+        let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 200, "{}", resp.body);
     }
 

@@ -46,11 +46,22 @@
 //! * [`metrics`] — lock-free request counters (including keep-alive reuse
 //!   and reload outcomes) and a latency histogram, exposed at `/metrics`
 //!   in Prometheus text exposition format.
+//! * [`federation`] — remote-shard federation: a front-end process that
+//!   routes `?region=K` queries to backend serve processes over keep-alive
+//!   TCP and scatter-gathers the global top-K with the same k-way merge
+//!   (byte-identical bodies). Robustness layer: typed
+//!   `Healthy`/`Suspect`/`Down` backend health (periodic `/healthz`
+//!   probes plus passive failure marking), per-request deadlines with capped
+//!   jittered backoff retries on idempotent GETs, p99-derived hedged
+//!   requests, and per-region degradation — a `Down` backend 503s only
+//!   its own region (with `Retry-After`) while the global merge keeps
+//!   serving behind an `X-Pipefail-Partial` header.
 //!
 //! The fit → snapshot → serve → query walkthrough lives in
 //! `docs/SERVING.md`; the byte-level snapshot spec in
 //! `docs/SNAPSHOT_FORMAT.md`.
 
+pub mod federation;
 pub mod http;
 pub mod metrics;
 pub mod parser;
@@ -58,6 +69,7 @@ pub mod reload;
 pub mod scorer;
 pub mod shards;
 
+pub use federation::{serve_federated, BackendState, FedConfig, Federation, FederationError};
 pub use http::{serve, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;
 pub use parser::{ParseError, ParseOutcome, ParsedRequest};

@@ -19,6 +19,12 @@ pub const LATENCY_BUCKETS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 25_00
 pub enum Route {
     /// `GET /health`
     Health,
+    /// `GET /healthz` — the cheap health-check probe target. Deliberately
+    /// **excluded** from the request counters/histogram (the connection
+    /// loop never calls [`Metrics::observe`] for it) so a federation
+    /// front-end probing every second does not pollute the serving
+    /// metrics; probes count in [`Metrics::healthz_total`] instead.
+    Healthz,
     /// `GET /top`
     Top,
     /// `GET /pipe`
@@ -36,8 +42,9 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 8] = [
+    const ALL: [Route; 9] = [
         Route::Health,
+        Route::Healthz,
         Route::Top,
         Route::Pipe,
         Route::Model,
@@ -51,6 +58,7 @@ impl Route {
     pub fn label(&self) -> &'static str {
         match self {
             Route::Health => "health",
+            Route::Healthz => "healthz",
             Route::Top => "top",
             Route::Pipe => "pipe",
             Route::Model => "model",
@@ -62,7 +70,7 @@ impl Route {
     }
 
     fn index(&self) -> usize {
-        Route::ALL.iter().position(|r| r == self).unwrap_or(7)
+        Route::ALL.iter().position(|r| r == self).unwrap_or(Route::ALL.len() - 1)
     }
 }
 
@@ -82,7 +90,7 @@ struct ShardCounters {
 #[derive(Debug, Default)]
 pub struct Metrics {
     total: AtomicU64,
-    by_route: [AtomicU64; 8],
+    by_route: [AtomicU64; 9],
     /// Status classes 1xx..5xx.
     by_status: [AtomicU64; 5],
     /// `LATENCY_BUCKETS_US` + the +Inf overflow bucket.
@@ -97,6 +105,22 @@ pub struct Metrics {
     reload_failures_total: AtomicU64,
     /// Region-less `/top` scatter-gathers on a sharded server.
     global_topk: AtomicU64,
+    /// `GET /healthz` probes answered — kept out of the request counters
+    /// (see [`Route::Healthz`]).
+    healthz: AtomicU64,
+    /// Federation only: retry attempts after a failed backend request.
+    fed_retries: AtomicU64,
+    /// Federation only: hedged duplicate requests fired.
+    fed_hedges: AtomicU64,
+    /// Federation only: hedged duplicates that finished before the primary.
+    fed_hedge_wins: AtomicU64,
+    /// Federation only: health probes sent.
+    fed_probes: AtomicU64,
+    /// Federation only: health probes that failed.
+    fed_probe_failures: AtomicU64,
+    /// True when this server is a federation front-end: the `fed_*`
+    /// counters render (and the shard series are labelled per backend).
+    federated: bool,
     /// One entry per shard, in shard-set (routing-key) order; empty for a
     /// plain `Metrics::new()`.
     shards: Vec<ShardCounters>,
@@ -121,6 +145,16 @@ impl Metrics {
                 })
                 .collect(),
             ..Self::default()
+        }
+    }
+
+    /// Fresh zeroed metrics for a federation front-end: one shard series
+    /// per remote backend (labelled with its region key) plus the
+    /// federation-specific `pipefail_fed_*` counters in the exposition.
+    pub fn with_backends(labels: Vec<String>) -> Self {
+        Self {
+            federated: true,
+            ..Self::with_shards(labels)
         }
     }
 
@@ -239,6 +273,67 @@ impl Metrics {
         self.global_topk.load(Ordering::Relaxed)
     }
 
+    /// Record one answered `GET /healthz` probe (kept out of the request
+    /// counters — see [`Route::Healthz`]).
+    pub fn healthz(&self) {
+        self.healthz.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `GET /healthz` probes answered so far.
+    pub fn healthz_total(&self) -> u64 {
+        self.healthz.load(Ordering::Relaxed)
+    }
+
+    /// Record one federation retry (a repeat attempt after a failed
+    /// backend request, not the first attempt).
+    pub fn fed_retry(&self) {
+        self.fed_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Federation retries so far.
+    pub fn fed_retries_total(&self) -> u64 {
+        self.fed_retries.load(Ordering::Relaxed)
+    }
+
+    /// Record one hedged duplicate request fired after the hedge delay.
+    pub fn fed_hedge(&self) {
+        self.fed_hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hedged duplicates fired so far.
+    pub fn fed_hedges_total(&self) -> u64 {
+        self.fed_hedges.load(Ordering::Relaxed)
+    }
+
+    /// Record one hedged duplicate that answered before its primary.
+    pub fn fed_hedge_win(&self) {
+        self.fed_hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hedge wins so far.
+    pub fn fed_hedge_wins_total(&self) -> u64 {
+        self.fed_hedge_wins.load(Ordering::Relaxed)
+    }
+
+    /// Record one health probe sent to a backend; `ok` is whether the
+    /// backend answered a well-formed response.
+    pub fn fed_probe(&self, ok: bool) {
+        self.fed_probes.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.fed_probe_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Health probes sent so far.
+    pub fn fed_probes_total(&self) -> u64 {
+        self.fed_probes.load(Ordering::Relaxed)
+    }
+
+    /// Health probes that failed so far.
+    pub fn fed_probe_failures_total(&self) -> u64 {
+        self.fed_probe_failures.load(Ordering::Relaxed)
+    }
+
     /// Render the Prometheus text exposition.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -294,6 +389,35 @@ impl Metrics {
             "pipefail_global_topk_total {}\n",
             self.global_topk_total()
         ));
+        out.push_str("# TYPE pipefail_healthz_total counter\n");
+        out.push_str(&format!("pipefail_healthz_total {}\n", self.healthz_total()));
+        if self.federated {
+            out.push_str("# TYPE pipefail_fed_retries_total counter\n");
+            out.push_str(&format!(
+                "pipefail_fed_retries_total {}\n",
+                self.fed_retries_total()
+            ));
+            out.push_str("# TYPE pipefail_fed_hedges_total counter\n");
+            out.push_str(&format!(
+                "pipefail_fed_hedges_total {}\n",
+                self.fed_hedges_total()
+            ));
+            out.push_str("# TYPE pipefail_fed_hedge_wins_total counter\n");
+            out.push_str(&format!(
+                "pipefail_fed_hedge_wins_total {}\n",
+                self.fed_hedge_wins_total()
+            ));
+            out.push_str("# TYPE pipefail_fed_probes_total counter\n");
+            out.push_str(&format!(
+                "pipefail_fed_probes_total {}\n",
+                self.fed_probes_total()
+            ));
+            out.push_str("# TYPE pipefail_fed_probe_failures_total counter\n");
+            out.push_str(&format!(
+                "pipefail_fed_probe_failures_total {}\n",
+                self.fed_probe_failures_total()
+            ));
+        }
         if !self.shards.is_empty() {
             out.push_str("# TYPE pipefail_shard_requests counter\n");
             for s in &self.shards {
@@ -403,6 +527,46 @@ mod tests {
         assert!(text.contains("pipefail_global_topk_total 1"));
         // A shard-less Metrics::new() renders no shard series at all.
         assert!(!Metrics::new().render().contains("pipefail_shard_"));
+    }
+
+    #[test]
+    fn healthz_counts_outside_request_metrics() {
+        let m = Metrics::new();
+        m.healthz();
+        m.healthz();
+        assert_eq!(m.healthz_total(), 2);
+        // Probes never touch the request counters.
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.route_count(Route::Healthz), 0);
+        assert!(m.render().contains("pipefail_healthz_total 2"));
+    }
+
+    #[test]
+    fn federation_counters_render_only_on_federated_metrics() {
+        let m = Metrics::with_backends(vec!["region_a".into(), "region_b".into()]);
+        m.fed_retry();
+        m.fed_hedge();
+        m.fed_hedge();
+        m.fed_hedge_win();
+        m.fed_probe(true);
+        m.fed_probe(false);
+        m.fed_probe(false);
+        assert_eq!(m.fed_retries_total(), 1);
+        assert_eq!(m.fed_hedges_total(), 2);
+        assert_eq!(m.fed_hedge_wins_total(), 1);
+        assert_eq!(m.fed_probes_total(), 3);
+        assert_eq!(m.fed_probe_failures_total(), 2);
+        let text = m.render();
+        assert!(text.contains("pipefail_fed_retries_total 1"));
+        assert!(text.contains("pipefail_fed_hedges_total 2"));
+        assert!(text.contains("pipefail_fed_hedge_wins_total 1"));
+        assert!(text.contains("pipefail_fed_probes_total 3"));
+        assert!(text.contains("pipefail_fed_probe_failures_total 2"));
+        // Backends reuse the per-shard series, labelled by region key.
+        m.shard_request(1);
+        assert!(m.render().contains("pipefail_shard_requests{shard=\"region_b\"} 1"));
+        // Non-federated expositions never mention the fed counters.
+        assert!(!Metrics::with_shards(vec!["x".into()]).render().contains("pipefail_fed_"));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub(crate) fn stamp(path: &Path) -> Option<(SystemTime, u64, u64)> {
 }
 
 /// Sleep `total` in short slices so a shutdown is honored promptly.
-fn sleep_interruptible(total: Duration, shutdown: &AtomicBool) {
+pub(crate) fn sleep_interruptible(total: Duration, shutdown: &AtomicBool) {
     let slice = Duration::from_millis(10);
     let mut remaining = total;
     while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
@@ -192,6 +192,42 @@ mod tests {
             assert_eq!(third.1, second.1, "same byte length by construction");
             assert_ne!(second.2, third.2, "rename must change the inode");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The worst-case publish race: a replacement with the *same byte
+    /// length* whose mtime is pinned to the original's (as can happen when
+    /// both writes land within one filesystem timestamp granule, within a
+    /// single poll tick). mtime and length are then both blind; only the
+    /// inode component of the stamp sees the atomic rename.
+    #[test]
+    #[cfg(unix)]
+    fn stamp_catches_same_mtime_same_len_rename_by_inode() {
+        let dir = std::env::temp_dir().join(format!(
+            "pipefail_reload_inode_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("watched");
+        std::fs::write(&path, b"model v1").unwrap();
+        let before = stamp(&path).expect("file exists");
+
+        // Publish a same-length v2 by rename, then force its mtime to the
+        // exact mtime of v1 — simulating a replacement inside one
+        // timestamp granule.
+        let tmp = dir.join("watched.tmp");
+        std::fs::write(&tmp, b"model v2").unwrap();
+        let original_mtime = before.0;
+        let f = std::fs::File::options().append(true).open(&tmp).unwrap();
+        f.set_modified(original_mtime).unwrap();
+        drop(f);
+        std::fs::rename(&tmp, &path).unwrap();
+
+        let after = stamp(&path).expect("file exists");
+        assert_eq!(after.0, before.0, "mtime pinned equal by construction");
+        assert_eq!(after.1, before.1, "length equal by construction");
+        assert_ne!(after.2, before.2, "the inode must differ after rename");
+        assert_ne!(after, before, "the composite stamp detects the swap");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -301,6 +301,17 @@ impl ShardSet {
         self.index_of(key).map(|i| &self.shards[i])
     }
 
+    /// Routing keys of shards currently refusing requests (Degrade policy
+    /// after a failed reload), in shard order. Empty when fully healthy —
+    /// the `/healthz` answer is derived from this.
+    pub fn degraded_keys(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .filter(|s| s.serving().is_err())
+            .map(|s| s.key().to_string())
+            .collect()
+    }
+
     /// Scatter-gather global top-K: every *serving* shard contributes its
     /// own top-K slice and the slices are k-way merged. Errs with the keys
     /// of degraded shards — a global ranking computed over a partial fleet

@@ -1,0 +1,273 @@
+//! A wire-level fault-injection proxy for the federation e2e battery.
+//!
+//! Sits between the federation front-end and one backend, forwarding
+//! HTTP/1.1 request/response pairs byte-for-byte — until a fault is armed.
+//! Faults are applied *per request* (the fault cell is re-read for every
+//! request on every connection), so pooled keep-alive connections honor a
+//! fault change immediately, and clearing the fault heals the wire without
+//! restarting anything.
+//!
+//! Each fault exercises one typed `FederationError` path:
+//!
+//! | Fault | Wire behavior | Expected federation error |
+//! |---|---|---|
+//! | `CloseOnAccept` | accept, then close instantly | `Io` (closed before response) |
+//! | `Blackhole` | swallow the request, never answer | `Timeout` |
+//! | `Reset` | read the request, close without answering | `Io` |
+//! | `Garbage` | answer with non-HTTP bytes | `BadResponse` |
+//! | `Truncate(n)` | forward only `n` bytes of the response | `BadResponse`/`TruncatedBody` |
+//! | `Delay(d)` | answer after `d` | `Timeout` when `d` exceeds the budget |
+//!
+//! `delay_next` arms a one-shot delay consumed by exactly one request —
+//! the deterministic way to make a hedged duplicate win the race.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One wire-level failure mode; `None` forwards faithfully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Forward everything faithfully.
+    None,
+    /// Accept the connection, then close it before reading anything —
+    /// what a killed backend process looks like to a client.
+    CloseOnAccept,
+    /// Read the request and never answer; the client's deadline decides.
+    Blackhole,
+    /// Read the request, then close the connection without a response.
+    Reset,
+    /// Answer with bytes that are not HTTP.
+    Garbage,
+    /// Forward only the first `n` bytes of the backend's response, then
+    /// close mid-body.
+    Truncate(usize),
+    /// Hold every response back by this delay before forwarding it.
+    Delay(Duration),
+}
+
+struct FaultCell {
+    fault: Fault,
+    /// One-shot delay consumed by exactly one request (hedge testing).
+    delay_next: Option<Duration>,
+}
+
+/// The proxy: every accepted connection gets a forwarding thread; faults
+/// are read per request from the shared cell.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    cell: Arc<Mutex<FaultCell>>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start forwarding to `upstream` on an ephemeral port, fault-free.
+    pub fn start(upstream: SocketAddr) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr");
+        let cell = Arc::new(Mutex::new(FaultCell { fault: Fault::None, delay_next: None }));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_cell = Arc::clone(&cell);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept = std::thread::spawn(move || {
+            for client in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = client else { continue };
+                let cell = Arc::clone(&accept_cell);
+                let shutdown = Arc::clone(&accept_shutdown);
+                std::thread::spawn(move || forward_connection(client, upstream, &cell, &shutdown));
+            }
+        });
+        Self { addr, cell, shutdown, accept: Some(accept) }
+    }
+
+    /// The address the federation should dial instead of the backend.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Arm (or clear, with [`Fault::None`]) the persistent fault.
+    pub fn set_fault(&self, fault: Fault) {
+        self.cell.lock().expect("fault cell").fault = fault;
+    }
+
+    /// Arm a one-shot delay consumed by exactly the next `/top` request
+    /// (health probes pass through undelayed, so they cannot steal it).
+    pub fn delay_next(&self, delay: Duration) {
+        self.cell.lock().expect("fault cell").delay_next = Some(delay);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve one client connection: read a request, consult the fault cell,
+/// forward or sabotage. Returns when either side closes or a fault calls
+/// for a hangup.
+fn forward_connection(
+    mut client: TcpStream,
+    upstream: SocketAddr,
+    cell: &Mutex<FaultCell>,
+    shutdown: &AtomicBool,
+) {
+    client.set_nodelay(true).ok();
+    loop {
+        // CloseOnAccept applies before any read — including to pooled
+        // keep-alive connections waiting for their next request.
+        if matches!(cell.lock().expect("fault cell").fault, Fault::CloseOnAccept) {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+        let Some(request) = read_head(&mut client, shutdown) else { return };
+
+        // Snapshot the fault exactly once per request. The one-shot delay
+        // is consumed only by scoring requests, so a concurrently racing
+        // health probe can never steal it from the request under test.
+        let (fault, one_shot_delay) = {
+            let mut cell = cell.lock().expect("fault cell");
+            let delay = if request.starts_with(b"GET /top") {
+                cell.delay_next.take()
+            } else {
+                None
+            };
+            (cell.fault, delay)
+        };
+        if let Some(delay) = one_shot_delay {
+            interruptible_sleep(delay, shutdown);
+        }
+        match fault {
+            Fault::CloseOnAccept | Fault::Reset => {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+            Fault::Blackhole => {
+                // Swallow the request; hold the socket open until the
+                // client gives up (its deadline) or the proxy stops.
+                interruptible_sleep(Duration::from_secs(30), shutdown);
+                return;
+            }
+            Fault::Garbage => {
+                let _ = client.write_all(b"\x16\x03\x01 this is not HTTP \xde\xad\xbe\xef\r\n");
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+            Fault::None | Fault::Delay(_) | Fault::Truncate(_) => {
+                let Some(response) = exchange_upstream(upstream, &request) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    return;
+                };
+                if let Fault::Delay(d) = fault {
+                    interruptible_sleep(d, shutdown);
+                }
+                match fault {
+                    Fault::Truncate(n) => {
+                        let cut = n.min(response.len());
+                        let _ = client.write_all(&response[..cut]);
+                        let _ = client.flush();
+                        let _ = client.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    _ => {
+                        if client.write_all(&response).is_err() {
+                            return;
+                        }
+                        let _ = client.flush();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Read one request head (federation traffic is GETs: head == request).
+/// `None` on EOF, error, or proxy shutdown.
+fn read_head(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<Vec<u8>> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            return Some(buf);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One fresh upstream round trip: send the request, read one exact-framed
+/// response (head + `Content-Length` body), return its raw bytes.
+fn exchange_upstream(upstream: SocketAddr, request: &[u8]) -> Option<Vec<u8>> {
+    let mut conn =
+        TcpStream::connect_timeout(&upstream, Duration::from_secs(5)).ok()?;
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    conn.write_all(request).ok()?;
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let content_length: usize = head
+        .split("\r\n")
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))?
+        .1
+        .trim()
+        .parse()
+        .ok()?;
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        match conn.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    buf.truncate(total);
+    Some(buf)
+}
+
+fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
+    let slice = Duration::from_millis(10);
+    let mut remaining = total;
+    while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}

@@ -10,6 +10,8 @@
 
 #![allow(dead_code)] // each test binary uses its own subset
 
+pub mod faultproxy;
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;

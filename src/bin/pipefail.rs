@@ -63,7 +63,8 @@ USAGE:
   pipefail snapshot --data DIR --out FILE [--model NAME] [--seed N] [--full]
       Fit a model and freeze its posterior summary plus the full risk
       ranking into a versioned snapshot file (see docs/SNAPSHOT_FORMAT.md).
-  pipefail serve (--snapshot FILE [--snapshot FILE ...] | --snapshot-dir DIR)
+  pipefail serve (--snapshot FILE [--snapshot FILE ...] | --snapshot-dir DIR
+                  | --backend KEY=HOST:PORT [--backend KEY=HOST:PORT ...])
                  [--addr HOST:PORT] [--data DIR] [--max-requests N]
       Serve snapshots over HTTP with keep-alive connections: /health /top
       /pipe /model /batch /metrics (and /riskmap.svg when --data is given
@@ -76,6 +77,14 @@ USAGE:
       PIPEFAIL_HTTP_RELOAD_SECS (N > 0 polls every watched snapshot file
       every N seconds and hot-swaps shards independently); see
       docs/SERVING.md.
+      Repeated --backend flags start a *federation front-end* instead: no
+      snapshots are loaded; region-tagged queries relay to the named
+      backend serve processes over keep-alive TCP with health checks,
+      timeouts, retries, and hedged requests, and region-less /top
+      scatter-gathers the global top-K across the live fleet. Honors the
+      PIPEFAIL_FED_* knobs (TIMEOUT_SECS, RETRIES, BACKOFF_MS,
+      BACKOFF_CAP_MS, HEDGE_MS, PROBE_SECS, FAIL_THRESHOLD); see the
+      Federation section of docs/SERVING.md.
   pipefail help";
 
 /// Parsed CLI options: every `--key` keeps all its values in order, so
@@ -229,7 +238,55 @@ fn cmd_snapshot(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Federation mode: `--backend KEY=HOST:PORT` flags build a front-end that
+/// holds no snapshots, only routes. Mutually exclusive with the snapshot
+/// flags — a process is either a shard owner or a router, never both.
+fn cmd_serve_federated(options: &Options, backends: &[String]) -> Result<(), String> {
+    for flag in ["snapshot", "snapshot-dir", "data"] {
+        if options.contains_key(flag) {
+            return Err(format!("--backend starts a federation front-end; --{flag} is for snapshot-serving processes"));
+        }
+    }
+    let mut targets = Vec::with_capacity(backends.len());
+    for spec in backends {
+        let Some((key, addr)) = spec.split_once('=') else {
+            return Err(format!("bad --backend {spec:?}: expected KEY=HOST:PORT"));
+        };
+        targets.push((key.to_string(), addr.to_string()));
+    }
+    let fed = std::sync::Arc::new(
+        pipefail::serve::Federation::new(targets, pipefail::serve::FedConfig::from_env())
+            .map_err(|e| e.to_string())?,
+    );
+    for key in fed.keys() {
+        println!("federating region {key}");
+    }
+    let mut config = ServerConfig::from_env();
+    if let Some(addr) = opt(options, "addr") {
+        config = config.with_addr(addr);
+    }
+    let handle =
+        pipefail::serve::serve_federated(fed, &config).map_err(|e| e.to_string())?;
+    println!("federation front-end on http://{} (Ctrl-C to stop)", handle.addr());
+    let max_requests = opt_u64(options, "max-requests", 0)?;
+    if max_requests > 0 {
+        while handle.metrics().total() < max_requests {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        handle.shutdown();
+        println!("served {max_requests} requests; shut down");
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(options: &Options) -> Result<(), String> {
+    if let Some(backends) = options.get("backend") {
+        return cmd_serve_federated(options, backends);
+    }
     let snapshots: &[String] = options.get("snapshot").map_or(&[], Vec::as_slice);
     let dir = opt(options, "snapshot-dir");
     let pool = pipefail::par::TaskPool::from_env();
