@@ -30,6 +30,12 @@
 //! against the 100k-pipe table — the binary-searched id→rank index built
 //! at snapshot load.
 //!
+//! The `serve/{epoll,threaded}/open_loop/*` entries come from the
+//! open-loop Poisson load generator (see [`open_loop`]): a concurrency
+//! sweep comparing the epoll event-loop core against the
+//! thread-per-connection core at a fixed offered rate, recording
+//! coordinated-omission-free latency percentiles per point.
+//!
 //! A custom `main` appends every measurement to the `BENCH_perf.json`
 //! trajectory.
 
@@ -410,9 +416,320 @@ fn bench_scorer_lookup(c: &mut Criterion) {
 
 criterion_group!(benches, bench_serving, bench_sharded, bench_federated, bench_scorer_lookup);
 
+/// Open-loop load generation: Poisson arrivals at a fixed offered rate,
+/// swept across connection counts, against both connection cores.
+///
+/// Open-loop means request *arrival times* are scheduled up front from the
+/// target rate and latency is measured from the **scheduled** arrival, not
+/// from when the client got around to sending — a server that stalls
+/// therefore accumulates queueing delay into its percentiles instead of
+/// silently slowing the load down (the coordinated-omission trap of
+/// closed-loop harnesses). Every swept connection is opened before the
+/// clock starts and held for the whole window, so a sweep point measures
+/// the server *holding* `N` sockets while serving the offered rate over
+/// them. Requests that miss the 2s client deadline are counted as errors
+/// *at* the deadline value, keeping them inside the percentiles.
+///
+/// Knobs: `PIPEFAIL_LOADTEST_CONNS` (comma-separated sweep, default
+/// `64,256,1024,4096`), `PIPEFAIL_LOADTEST_RPS` (offered rate, default
+/// 500), `PIPEFAIL_LOADTEST_SECS` (window per point, default 5);
+/// `PIPEFAIL_BENCH_SMOKE=1` shrinks the defaults to `64,256` @ 200 rps ×
+/// 1s. `PIPEFAIL_LOADTEST_ONLY=1` skips the criterion groups so CI can run
+/// just this harness.
+///
+/// Each point yields `serve/{core}/open_loop/c{N}/{p50,p95,p99,p999}`
+/// trajectory entries (ns per request) plus an `…/errors` entry, and one
+/// greppable `LOADTEST core=… conns=… p99_us=…` stdout line.
+mod open_loop {
+    use super::{scorer, ServeContext, ServerConfig};
+    use criterion::BenchRecord;
+    use pipefail_serve::{serve, HttpCore};
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::{Arc, Barrier};
+    use std::time::{Duration, Instant};
+
+    /// A request unanswered this long after its scheduled arrival is an
+    /// error, recorded at exactly this latency.
+    const CLIENT_DEADLINE: Duration = Duration::from_secs(2);
+    /// The sweep query: the same `/top` shape every serve bench issues.
+    const PATH: &str = "/top?k=10";
+
+    struct Point {
+        core: &'static str,
+        conns: usize,
+        rps: f64,
+        secs: f64,
+        latencies_us: Vec<u64>,
+        errors: u64,
+    }
+
+    /// SplitMix64 — deterministic Poisson schedules, no external RNG.
+    struct SplitMix(u64);
+
+    impl SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Exponential inter-arrivals at `rps` until `secs` — one shared
+    /// schedule per sweep point, reused for both cores so the comparison
+    /// is paired.
+    fn poisson_schedule(rps: f64, secs: f64, seed: u64) -> Vec<Duration> {
+        let mut rng = SplitMix(seed);
+        let mut t = 0.0f64;
+        let mut out = Vec::new();
+        loop {
+            t += -(1.0 - rng.next_f64()).ln() / rps;
+            if t >= secs {
+                return out;
+            }
+            out.push(Duration::from_secs_f64(t));
+        }
+    }
+
+    /// Read one `Content-Length`-framed response, failing (instead of
+    /// panicking like the closed-loop helpers) on close or deadline.
+    fn read_framed(
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+        deadline: Instant,
+    ) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&buf[..head_end]);
+                let content_length: usize = head
+                    .split("\r\n")
+                    .find_map(|l| {
+                        l.split_once(':')
+                            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                    })
+                    .and_then(|(_, v)| v.trim().parse().ok())
+                    .ok_or_else(|| {
+                        std::io::Error::new(ErrorKind::InvalidData, "missing Content-Length")
+                    })?;
+                let total = head_end + 4 + content_length;
+                if buf.len() >= total {
+                    buf.drain(..total);
+                    return Ok(());
+                }
+            }
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| std::io::Error::from(ErrorKind::TimedOut))?;
+            stream.set_read_timeout(Some(left.max(Duration::from_millis(1))))?;
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One swept connection: open before the clock starts, fire the
+    /// requests of its slice of the Poisson schedule, hold the socket
+    /// until the window ends. Returns `(latency_us, is_error)` per
+    /// request; a failed request reconnects so one dead socket doesn't
+    /// void the rest of the slice.
+    fn client(
+        addr: SocketAddr,
+        start: &Barrier,
+        epoch_at: Instant,
+        schedule: Vec<Duration>,
+        window: Duration,
+    ) -> Vec<(u64, bool)> {
+        let mut conn = TcpStream::connect(addr).ok();
+        if let Some(c) = conn.as_ref() {
+            c.set_nodelay(true).ok();
+        }
+        start.wait();
+        let mut buf = Vec::new();
+        let mut out = Vec::with_capacity(schedule.len());
+        let request =
+            format!("GET {PATH} HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n");
+        for at in schedule {
+            if let Some(wait) = (epoch_at + at).checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let scheduled = epoch_at + at;
+            let deadline = scheduled + CLIENT_DEADLINE;
+            let result = (|| -> std::io::Result<()> {
+                if conn.is_none() {
+                    let left = deadline
+                        .checked_duration_since(Instant::now())
+                        .ok_or_else(|| std::io::Error::from(ErrorKind::TimedOut))?;
+                    let fresh = TcpStream::connect_timeout(&addr, left)?;
+                    fresh.set_nodelay(true).ok();
+                    buf.clear();
+                    conn = Some(fresh);
+                }
+                let stream = conn.as_mut().expect("just connected");
+                stream.write_all(request.as_bytes())?;
+                read_framed(stream, &mut buf, deadline)
+            })();
+            match result {
+                Ok(()) => {
+                    let lat = Instant::now().saturating_duration_since(scheduled);
+                    out.push((lat.as_micros() as u64, false));
+                }
+                Err(_) => {
+                    // Open-loop convention: a miss costs the full deadline.
+                    out.push((CLIENT_DEADLINE.as_micros() as u64, true));
+                    conn = None;
+                }
+            }
+        }
+        // Keep holding the socket until the window closes — the point is
+        // to measure the server sustaining N open connections.
+        if let Some(wait) = (epoch_at + window).checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        out
+    }
+
+    /// Run one `(core, conns)` sweep point against a fresh server.
+    fn run_point(core_name: &'static str, core: HttpCore, conns: usize, rps: f64, secs: f64) -> Point {
+        let config = ServerConfig {
+            core,
+            // The sweep measures raw concurrency: admission off, keep-alive
+            // uncapped, a fixed worker pool so both cores score identically.
+            keepalive_requests: 0,
+            max_connections: 0,
+            max_inflight: 0,
+            workers: 8,
+            ..ServerConfig::default()
+        };
+        let handle = serve(Arc::new(ServeContext::new(scorer(1000))), &config).expect("server");
+        let addr = handle.addr();
+
+        // Same seed per conns-point for both cores: paired arrivals.
+        let schedule = poisson_schedule(rps, secs, 0x70_69_70_65 ^ conns as u64);
+        let mut slices: Vec<Vec<Duration>> = vec![Vec::new(); conns];
+        for (i, &at) in schedule.iter().enumerate() {
+            slices[i % conns].push(at);
+        }
+
+        let start = Barrier::new(conns + 1);
+        let window = Duration::from_secs_f64(secs);
+        let mut results: Vec<(u64, bool)> = Vec::with_capacity(schedule.len());
+        std::thread::scope(|s| {
+            let start = &start;
+            let handles: Vec<_> = slices
+                .into_iter()
+                .map(|slice| {
+                    std::thread::Builder::new()
+                        // 4096 idle clients don't need default-sized stacks.
+                        .stack_size(128 * 1024)
+                        .spawn_scoped(s, move || {
+                            // Epoch resolves after every thread passes the
+                            // barrier; measure from there.
+                            client(addr, start, Instant::now(), slice, window)
+                        })
+                        .expect("spawn load client")
+                })
+                .collect();
+            start.wait();
+            for h in handles {
+                results.extend(h.join().expect("load client panicked"));
+            }
+        });
+        handle.shutdown();
+
+        let errors = results.iter().filter(|(_, e)| *e).count() as u64;
+        let mut latencies_us: Vec<u64> = results.into_iter().map(|(us, _)| us).collect();
+        latencies_us.sort_unstable();
+        Point { core: core_name, conns, rps, secs, latencies_us, errors }
+    }
+
+    fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// The full sweep: every connection count against both cores (epoll
+    /// first; non-Linux hosts only have the threaded core). Returns
+    /// trajectory records ready to append to the bench snapshot.
+    pub fn run() -> Vec<BenchRecord> {
+        let smoke = criterion::smoke_mode();
+        let conns_default = if smoke { "64,256" } else { "64,256,1024,4096" };
+        let conns: Vec<usize> = std::env::var("PIPEFAIL_LOADTEST_CONNS")
+            .unwrap_or_else(|_| conns_default.into())
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+        let rps: f64 = env_or("PIPEFAIL_LOADTEST_RPS", if smoke { 200.0 } else { 500.0 });
+        let secs: f64 = env_or("PIPEFAIL_LOADTEST_SECS", if smoke { 1.0 } else { 5.0 });
+
+        let mut cores: Vec<(&'static str, HttpCore)> = Vec::new();
+        if cfg!(target_os = "linux") {
+            cores.push(("epoll", HttpCore::Epoll));
+        }
+        cores.push(("threaded", HttpCore::Threads));
+
+        let mut records = Vec::new();
+        for &n in &conns {
+            for &(name, core) in &cores {
+                let point = run_point(name, core, n, rps, secs);
+                let total = point.latencies_us.len() as u64;
+                let (p50, p95, p99, p999) = (
+                    percentile_us(&point.latencies_us, 0.50),
+                    percentile_us(&point.latencies_us, 0.95),
+                    percentile_us(&point.latencies_us, 0.99),
+                    percentile_us(&point.latencies_us, 0.999),
+                );
+                println!(
+                    "LOADTEST core={} conns={} rps={} secs={} requests={} errors={} \
+                     p50_us={p50} p95_us={p95} p99_us={p99} p999_us={p999}",
+                    point.core, point.conns, point.rps, point.secs, total, point.errors,
+                );
+                let prefix = format!("serve/{}/open_loop/c{}", point.core, point.conns);
+                for (tag, us) in
+                    [("p50", p50), ("p95", p95), ("p99", p99), ("p999", p999)]
+                {
+                    records.push(BenchRecord {
+                        id: format!("{prefix}/{tag}"),
+                        ns_per_iter: us as f64 * 1000.0,
+                        iters: total,
+                    });
+                }
+                records.push(BenchRecord {
+                    id: format!("{prefix}/errors"),
+                    ns_per_iter: point.errors as f64,
+                    iters: total,
+                });
+            }
+        }
+        records
+    }
+}
+
 fn main() {
-    benches();
-    let snap = pipefail_bench::perf::snapshot("serve_bench", criterion::take_records());
+    let loadtest_only = std::env::var("PIPEFAIL_LOADTEST_ONLY").is_ok_and(|v| v == "1");
+    if !loadtest_only {
+        benches();
+    }
+    let mut records = criterion::take_records();
+    records.extend(open_loop::run());
+    let snap = pipefail_bench::perf::snapshot("serve_bench", records);
     match pipefail_bench::perf::append_to_trajectory(&snap) {
         Ok(path) => println!("[appended trajectory entry to {}]", path.display()),
         Err(e) => eprintln!("cannot write bench trajectory: {e}"),

@@ -52,7 +52,6 @@ use crate::shards::{merge_top_k, region_key, GlobalRisk};
 use crate::ServeError;
 use pipefail_network::ids::PipeId;
 use std::fmt;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -732,6 +731,16 @@ fn dial(backend: &Backend, deadline: Instant) -> Result<TcpStream, FederationErr
         }
     })?;
     conn.set_nodelay(true).ok();
+    // Backend sockets are non-blocking for their whole (pooled) lifetime:
+    // every read/write goes through the `sys` deadline helpers, so a
+    // stalled backend can never hold a pooled connection past the request
+    // deadline — per-read socket timeouts reset on every byte dribbled,
+    // a poll()-checked deadline does not.
+    conn.set_nonblocking(true)
+        .map_err(|e| FederationError::Connect {
+            backend: backend.key.clone(),
+            detail: e.to_string(),
+        })?;
     Ok(conn)
 }
 
@@ -759,16 +768,16 @@ fn exchange(
         }
     };
 
-    let budget = left(Instant::now());
-    if budget.is_zero() {
+    if left(Instant::now()).is_zero() {
         return Err((FederationError::Timeout { backend: key() }, false));
     }
-    conn.set_write_timeout(Some(budget)).ok();
     let request = format!(
         "GET {path_query} HTTP/1.1\r\nHost: backend\r\nConnection: {}\r\n\r\n",
         if reuse { "keep-alive" } else { "close" }
     );
-    conn.write_all(request.as_bytes())
+    // Non-blocking deadline I/O (poll()-bounded, EINTR-safe): expiry maps
+    // to TimedOut, which `io_err` turns into FederationError::Timeout.
+    crate::sys::write_all_deadline(&mut conn, request.as_bytes(), deadline)
         .map_err(|e| io_err(&e, false))?;
 
     // Read the head: bounded, deadline-driven.
@@ -788,12 +797,10 @@ fn exchange(
                 true,
             ));
         }
-        let budget = left(Instant::now());
-        if budget.is_zero() {
+        if left(Instant::now()).is_zero() {
             return Err((FederationError::Timeout { backend: key() }, !buf.is_empty()));
         }
-        conn.set_read_timeout(Some(budget)).ok();
-        match conn.read(&mut chunk) {
+        match crate::sys::read_deadline(&mut conn, &mut chunk, deadline) {
             Ok(0) => {
                 let read_any = !buf.is_empty();
                 return Err(if read_any {
@@ -857,12 +864,10 @@ fn exchange(
     // Read the body to exactly Content-Length.
     let total = head_end + 4 + content_length;
     while buf.len() < total {
-        let budget = left(Instant::now());
-        if budget.is_zero() {
+        if left(Instant::now()).is_zero() {
             return Err((FederationError::Timeout { backend: key() }, true));
         }
-        conn.set_read_timeout(Some(budget)).ok();
-        match conn.read(&mut chunk) {
+        match crate::sys::read_deadline(&mut conn, &mut chunk, deadline) {
             Ok(0) => return Err((FederationError::TruncatedBody { backend: key() }, true)),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) => return Err(io_err(&e, true)),

@@ -41,8 +41,8 @@ use pipefail_network::dataset::Dataset;
 use pipefail_network::ids::PipeId;
 use pipefail_network::split::TrainTestSplit;
 use pipefail_par::TaskPool;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -69,6 +69,52 @@ pub const HTTP_IDLE_ENV: &str = "PIPEFAIL_HTTP_IDLE_SECS";
 /// Environment variable: snapshot hot-reload poll interval in seconds
 /// (`0`/unset = reloading off).
 pub const HTTP_RELOAD_ENV: &str = "PIPEFAIL_HTTP_RELOAD_SECS";
+
+/// Environment variable: connection-core selection — `epoll` (the default
+/// on Linux: one event-loop thread multiplexes every connection, workers
+/// only score) or `threads` (thread-per-connection over the worker pool;
+/// the only core on non-Linux platforms). Unknown values keep the
+/// platform default.
+pub const HTTP_CORE_ENV: &str = "PIPEFAIL_HTTP_CORE";
+
+/// Environment variable: maximum concurrently open connections under the
+/// epoll core (`0` = unlimited). At the cap the longest-idle keep-alive
+/// connection is shed; when nothing is sheddable, new connections get
+/// `429` + `Retry-After`.
+pub const HTTP_MAX_CONNS_ENV: &str = "PIPEFAIL_HTTP_MAX_CONNS";
+
+/// Environment variable: maximum requests simultaneously in flight at the
+/// worker pool under the epoll core (`0` = unbounded); excess parsed
+/// requests are answered `429` + `Retry-After` without queueing.
+pub const HTTP_INFLIGHT_ENV: &str = "PIPEFAIL_HTTP_INFLIGHT";
+
+/// Which connection core drives the accept/read/write path. Both cores
+/// share the parser, router, worker pool, metrics, and response framing,
+/// and answer byte-identically (proptest-asserted in
+/// `tests/epoll_core.rs`); they differ only in how sockets are
+/// multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpCore {
+    /// Event-driven core: a single epoll loop owns every socket,
+    /// dispatching parsed requests to the worker pool and draining
+    /// response buffers on writability. Scales to thousands of idle
+    /// keep-alive connections; Linux only.
+    Epoll,
+    /// Thread-per-connection core: each accepted socket pins one worker
+    /// for its keep-alive lifetime.
+    Threads,
+}
+
+impl Default for HttpCore {
+    /// Epoll on Linux, threads elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            HttpCore::Epoll
+        } else {
+            HttpCore::Threads
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +143,15 @@ pub struct ServerConfig {
     /// Snapshot file watched for hot-reload (usually the file the scorer
     /// was loaded from).
     pub snapshot_path: Option<PathBuf>,
+    /// Connection core ([`HttpCore`]); non-Linux platforms always resolve
+    /// to [`HttpCore::Threads`].
+    pub core: HttpCore,
+    /// Maximum open connections (epoll core; `0` = unlimited). See
+    /// [`HTTP_MAX_CONNS_ENV`].
+    pub max_connections: usize,
+    /// Maximum in-flight requests at the workers (epoll core; `0` =
+    /// unbounded). See [`HTTP_INFLIGHT_ENV`].
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +165,9 @@ impl Default for ServerConfig {
             max_request_bytes: 64 * 1024,
             reload_poll_secs: 0.0,
             snapshot_path: None,
+            core: HttpCore::default(),
+            max_connections: 8192,
+            max_inflight: 4096,
         }
     }
 }
@@ -146,6 +204,25 @@ impl ServerConfig {
         {
             cfg.reload_poll_secs = t;
         }
+        if let Ok(v) = std::env::var(HTTP_CORE_ENV) {
+            match v.to_ascii_lowercase().as_str() {
+                "epoll" => cfg.core = HttpCore::Epoll,
+                "threads" => cfg.core = HttpCore::Threads,
+                _ => {} // unknown value keeps the platform default
+            }
+        }
+        if let Some(n) = std::env::var(HTTP_MAX_CONNS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.max_connections = n;
+        }
+        if let Some(n) = std::env::var(HTTP_INFLIGHT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.max_inflight = n;
+        }
         cfg
     }
 
@@ -161,7 +238,17 @@ impl ServerConfig {
         self
     }
 
-    fn resolved_workers(&self) -> usize {
+    /// The connection core actually used: the configured one, except that
+    /// epoll only exists on Linux — everywhere else resolves to threads.
+    pub fn resolved_core(&self) -> HttpCore {
+        if cfg!(target_os = "linux") {
+            self.core
+        } else {
+            HttpCore::Threads
+        }
+    }
+
+    pub(crate) fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
         } else {
@@ -397,10 +484,35 @@ pub(crate) fn serve_handler(
             "idle_timeout_secs must be positive".into(),
         ));
     }
-    let listener = TcpListener::bind(&config.addr)
+    // SO_REUSEADDR-before-bind: a restarted server (or a test re-binding a
+    // just-freed port) never flakes on EADDRINUSE from TIME_WAIT.
+    let listener = crate::sys::bind_reuseaddr(&config.addr)
         .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+
+    #[cfg(target_os = "linux")]
+    if config.resolved_core() == HttpCore::Epoll {
+        let background = background(&shutdown);
+        let (loop_thread, workers) = crate::event_loop::spawn(
+            Arc::clone(&handler),
+            Arc::clone(&metrics),
+            config,
+            listener,
+            Arc::clone(&shutdown),
+        )
+        .map_err(|e| ServeError::Io(format!("event loop: {e}")))?;
+        return Ok(ServerHandle {
+            addr,
+            shutdown,
+            metrics,
+            // The loop thread owns the listener and exits on the same
+            // shutdown poke as a threaded accept loop.
+            accept: Some(loop_thread),
+            background,
+            workers,
+        });
+    }
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -470,6 +582,7 @@ fn handle_connection(
     let request_timeout = Duration::from_secs_f64(config.request_timeout_secs);
     let idle_timeout = Duration::from_secs_f64(config.idle_timeout_secs);
     let _ = stream.set_write_timeout(Some(request_timeout));
+    metrics.conn_opened();
 
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
@@ -545,7 +658,9 @@ fn handle_connection(
             },
         };
         let _ = stream.set_read_timeout(Some(timeout));
-        match stream.read(&mut chunk) {
+        // EINTR-retrying read: a signal landing mid-read must not tear
+        // down a healthy connection.
+        match crate::sys::read_retry(&mut stream, &mut chunk) {
             Ok(0) => break, // client closed
             Ok(n) => {
                 if request_started.is_none() {
@@ -567,6 +682,7 @@ fn handle_connection(
             Err(_) => break,
         }
     }
+    metrics.conn_closed();
 }
 
 /// Answer a request whose cumulative deadline expired with `408`; the
@@ -627,7 +743,10 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Serialize the full response frame — status line, framing headers,
+    /// extras, body — into one buffer. Shared by both connection cores so
+    /// their wire output is byte-identical by construction.
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
@@ -635,6 +754,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             501 => "Not Implemented",
             502 => "Bad Gateway",
             503 => "Service Unavailable",
@@ -654,12 +774,16 @@ impl Response {
             let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(self.body.as_bytes());
+        frame
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         // One buffer, one write: two writes would let Nagle hold the body
         // back until the client ACKs the head — a ~40ms delayed-ACK stall
         // on every kept-alive response.
-        let mut frame = head.into_bytes();
-        frame.extend_from_slice(self.body.as_bytes());
-        stream.write_all(&frame)?;
+        stream.write_all(&self.to_bytes())?;
         stream.flush()
     }
 }

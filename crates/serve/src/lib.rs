@@ -26,11 +26,16 @@
 //!   against fragmented and adversarial byte streams.
 //! * [`http`] — a minimal hand-rolled HTTP/1.1 server on
 //!   `std::net::TcpListener` (the workspace's dependency policy rules out
-//!   async frameworks, as it does serde): a fixed worker pool, keep-alive
-//!   connections with pipelined-request parsing, per-request and idle
-//!   timeouts reusing the `PIPEFAIL_*` budget-knob idiom of the experiment
-//!   runner, graceful shutdown, and an optional risk-map SVG endpoint
-//!   reusing [`pipefail_eval::riskmap`].
+//!   async frameworks, as it does serde): keep-alive connections with
+//!   pipelined-request parsing, per-request and idle timeouts reusing the
+//!   `PIPEFAIL_*` budget-knob idiom of the experiment runner, graceful
+//!   shutdown, and an optional risk-map SVG endpoint reusing
+//!   [`pipefail_eval::riskmap`]. Two interchangeable connection cores
+//!   ([`HttpCore`], `PIPEFAIL_HTTP_CORE`): a hand-rolled epoll event loop
+//!   (`event_loop`, the Linux default — one loop thread multiplexes
+//!   thousands of sockets, the worker pool only scores, admission control
+//!   answers `429` + `Retry-After` under pressure) and the original
+//!   thread-per-connection core; both answer byte-identically.
 //! * [`shards`] — shard-by-region serving: a [`ShardSet`] loads one
 //!   snapshot per region **in parallel on the `TaskPool`** and serves them
 //!   behind one endpoint. Region-tagged queries route to one shard;
@@ -61,6 +66,8 @@
 //! `docs/SERVING.md`; the byte-level snapshot spec in
 //! `docs/SNAPSHOT_FORMAT.md`.
 
+#[cfg(target_os = "linux")]
+pub(crate) mod event_loop;
 pub mod federation;
 pub mod http;
 pub mod metrics;
@@ -68,9 +75,10 @@ pub mod parser;
 pub mod reload;
 pub mod scorer;
 pub mod shards;
+pub(crate) mod sys;
 
 pub use federation::{serve_federated, BackendState, FedConfig, Federation, FederationError};
-pub use http::{serve, ServeContext, ServerConfig, ServerHandle};
+pub use http::{serve, HttpCore, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;
 pub use parser::{ParseError, ParseOutcome, ParsedRequest};
 pub use scorer::{PipeRisk, Query, QueryResult, Scorer};

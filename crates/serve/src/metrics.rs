@@ -14,6 +14,16 @@ use std::time::Duration;
 /// clients and SVG rendering.
 pub const LATENCY_BUCKETS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000];
 
+/// Upper bounds (seconds) of the per-route request-duration histogram
+/// (`pipefail_http_request_duration_seconds`), log-spaced 100µs → 10s
+/// (1-2.5-5 per decade, the Prometheus convention); the last implicit
+/// bucket is `+Inf`. Wide enough to resolve both in-memory scoring (tens
+/// of µs) and federation tail latency under fault injection (seconds).
+pub const DURATION_BUCKETS_S: [f64; 16] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
 /// The served routes, for per-route request counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
@@ -86,11 +96,30 @@ struct ShardCounters {
     unavailable: AtomicU64,
 }
 
+/// One per-route latency histogram in seconds: `DURATION_BUCKETS_S` +
+/// the +Inf overflow bucket, a sum (µs resolution), and a count.
+#[derive(Debug, Default)]
+struct DurationHisto {
+    buckets: [AtomicU64; 17],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
 /// Lock-free request metrics shared by all server workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
     total: AtomicU64,
     by_route: [AtomicU64; 9],
+    /// Per-route request-duration histograms
+    /// (`pipefail_http_request_duration_seconds{route=...}`).
+    durations: [DurationHisto; 9],
+    /// Currently open connections (gauge; both connection cores).
+    connections_open: AtomicU64,
+    /// Idle keep-alive connections closed to admit new ones at the
+    /// connection cap (epoll core admission control).
+    connections_shed: AtomicU64,
+    /// Requests/connections answered `429` by admission control.
+    admission_rejected: AtomicU64,
     /// Status classes 1xx..5xx.
     by_status: [AtomicU64; 5],
     /// `LATENCY_BUCKETS_US` + the +Inf overflow bucket.
@@ -171,6 +200,51 @@ impl Metrics {
             .unwrap_or(LATENCY_BUCKETS_US.len());
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let histo = &self.durations[route.index()];
+        let secs = elapsed.as_secs_f64();
+        let bucket = DURATION_BUCKETS_S
+            .iter()
+            .position(|&ub| secs <= ub)
+            .unwrap_or(DURATION_BUCKETS_S.len());
+        histo.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        histo.sum_us.fetch_add(us, Ordering::Relaxed);
+        histo.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection opened (either core).
+    pub fn conn_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection closed (either core).
+    pub fn conn_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Record one idle keep-alive connection shed at the connection cap.
+    pub fn connection_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idle connections shed so far.
+    pub fn connections_shed_total(&self) -> u64 {
+        self.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Record one `429` answered by admission control (in-flight bound or
+    /// un-sheddable connection cap).
+    pub fn admission_rejected(&self) {
+        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission-control rejections so far.
+    pub fn admission_rejected_total(&self) -> u64 {
+        self.admission_rejected.load(Ordering::Relaxed)
     }
 
     /// Total requests handled so far.
@@ -372,6 +446,45 @@ impl Metrics {
             self.latency_sum_us.load(Ordering::Relaxed)
         ));
         out.push_str(&format!("pipefail_request_latency_us_count {}\n", self.total()));
+        out.push_str("# TYPE pipefail_http_request_duration_seconds histogram\n");
+        for route in Route::ALL {
+            let histo = &self.durations[route.index()];
+            let label = route.label();
+            let mut cumulative = 0u64;
+            for (i, &ub) in DURATION_BUCKETS_S.iter().enumerate() {
+                cumulative += histo.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "pipefail_http_request_duration_seconds_bucket{{route=\"{label}\",le=\"{ub}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += histo.buckets[DURATION_BUCKETS_S.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pipefail_http_request_duration_seconds_bucket{{route=\"{label}\",le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!(
+                "pipefail_http_request_duration_seconds_sum{{route=\"{label}\"}} {}\n",
+                histo.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "pipefail_http_request_duration_seconds_count{{route=\"{label}\"}} {}\n",
+                histo.count.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE pipefail_http_connections_open gauge\n");
+        out.push_str(&format!(
+            "pipefail_http_connections_open {}\n",
+            self.connections_open()
+        ));
+        out.push_str("# TYPE pipefail_http_connections_shed_total counter\n");
+        out.push_str(&format!(
+            "pipefail_http_connections_shed_total {}\n",
+            self.connections_shed_total()
+        ));
+        out.push_str("# TYPE pipefail_http_admission_rejected_total counter\n");
+        out.push_str(&format!(
+            "pipefail_http_admission_rejected_total {}\n",
+            self.admission_rejected_total()
+        ));
         out.push_str("# TYPE pipefail_keepalive_reuses_total counter\n");
         out.push_str(&format!(
             "pipefail_keepalive_reuses_total {}\n",
@@ -567,6 +680,53 @@ mod tests {
         assert!(m.render().contains("pipefail_shard_requests{shard=\"region_b\"} 1"));
         // Non-federated expositions never mention the fed counters.
         assert!(!Metrics::with_shards(vec!["x".into()]).render().contains("pipefail_fed_"));
+    }
+
+    #[test]
+    fn duration_histogram_is_per_route_and_cumulative() {
+        let m = Metrics::new();
+        m.observe(Route::Top, 200, Duration::from_micros(80)); // ≤ 0.0001
+        m.observe(Route::Top, 200, Duration::from_micros(400)); // ≤ 0.0005
+        m.observe(Route::Batch, 200, Duration::from_secs(20)); // +Inf
+        let text = m.render();
+        assert!(text.contains(
+            "pipefail_http_request_duration_seconds_bucket{route=\"top\",le=\"0.0001\"} 1"
+        ));
+        assert!(text.contains(
+            "pipefail_http_request_duration_seconds_bucket{route=\"top\",le=\"0.0005\"} 2"
+        ));
+        assert!(text.contains(
+            "pipefail_http_request_duration_seconds_bucket{route=\"top\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("pipefail_http_request_duration_seconds_count{route=\"top\"} 2"));
+        // The 20s observation overflows every finite bucket of its route.
+        assert!(text.contains(
+            "pipefail_http_request_duration_seconds_bucket{route=\"batch\",le=\"10\"} 0"
+        ));
+        assert!(text.contains(
+            "pipefail_http_request_duration_seconds_bucket{route=\"batch\",le=\"+Inf\"} 1"
+        ));
+        // Untouched routes still render a (zeroed) series.
+        assert!(text.contains("pipefail_http_request_duration_seconds_count{route=\"pipe\"} 0"));
+    }
+
+    #[test]
+    fn connection_gauges_and_admission_counters() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.connection_shed();
+        m.admission_rejected();
+        m.admission_rejected();
+        assert_eq!(m.connections_open(), 2);
+        assert_eq!(m.connections_shed_total(), 1);
+        assert_eq!(m.admission_rejected_total(), 2);
+        let text = m.render();
+        assert!(text.contains("pipefail_http_connections_open 2"));
+        assert!(text.contains("pipefail_http_connections_shed_total 1"));
+        assert!(text.contains("pipefail_http_admission_rejected_total 2"));
     }
 
     #[test]

@@ -1,0 +1,517 @@
+// Raw syscall shims for the serve layer: epoll, poll, and a
+// SO_REUSEADDR-before-bind listener. The workspace's dependency policy
+// rules out libc/nix/mio, but std already links libc on every supported
+// platform, so `extern "C"` declarations of the handful of calls we need
+// resolve at link time with no new dependency.
+//
+// Everything here is `pub(crate)`: the public surface stays the typed
+// serve API; callers never see raw fds.
+
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use std::os::unix::io::RawFd;
+
+// ---------------------------------------------------------------------------
+// libc declarations (unix)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs;
+    // u64 vs u32 only matters for huge fd arrays, which we never pass, but
+    // get the type right anyway.
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = std::os::raw::c_uint;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        pub fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            event: *mut super::EpollEvent,
+        ) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut super::EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll (linux)
+// ---------------------------------------------------------------------------
+
+/// Readiness bits, matching `<sys/epoll.h>`.
+#[cfg(target_os = "linux")]
+pub(crate) mod ep {
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+}
+
+/// `struct epoll_event`. The kernel ABI packs this to 12 bytes on x86-64
+/// (`__attribute__((packed))` in the kernel headers); other architectures
+/// use natural alignment.
+#[cfg(target_os = "linux")]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+const EPOLL_CTL_ADD: i32 = 1;
+#[cfg(target_os = "linux")]
+const EPOLL_CTL_DEL: i32 = 2;
+#[cfg(target_os = "linux")]
+const EPOLL_CTL_MOD: i32 = 3;
+#[cfg(target_os = "linux")]
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// An owned epoll instance. Dropping it closes the fd; registered sockets
+/// deregister themselves when *their* fds close, so teardown order never
+/// matters.
+#[cfg(target_os = "linux")]
+pub(crate) struct Epoll {
+    fd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl Epoll {
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { ffi::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` for level-triggered readiness with an opaque token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister an fd (ignored if the fd was already closed).
+    pub fn del(&self, fd: RawFd) {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: see `ctl`.
+        let _ = unsafe { ffi::epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev) };
+    }
+
+    /// Wait for events, at most `timeout_ms` (-1 = forever). `EINTR`
+    /// returns `Ok(0)` — callers loop and recompute deadlines anyway.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `events` is a valid mutable slice; the kernel writes at
+        // most `len` entries.
+        let rc = unsafe {
+            ffi::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and close it exactly once.
+        unsafe { ffi::close(self.fd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener bind with SO_REUSEADDR
+// ---------------------------------------------------------------------------
+
+/// Bind a TCP listener with `SO_REUSEADDR` set *before* `bind`, so a
+/// restarted server (or a test re-binding a just-closed port) never flakes
+/// on `EADDRINUSE` while the old socket lingers in TIME_WAIT. std's
+/// `TcpListener::bind` does not set the option on Linux, so IPv4 binds go
+/// through a raw `socket`/`setsockopt`/`bind`/`listen` sequence; anything
+/// else falls back to std behaviour.
+pub(crate) fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::SocketAddr;
+        if let Ok(SocketAddr::V4(v4)) = addr.parse::<SocketAddr>() {
+            return bind_reuseaddr_v4(v4);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr_v4(addr: std::net::SocketAddrV4) -> io::Result<TcpListener> {
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    // SAFETY: plain syscall.
+    let fd = unsafe { ffi::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Close the raw fd on any error below.
+    let fail = |fd: RawFd| -> io::Error {
+        let err = io::Error::last_os_error();
+        // SAFETY: fd is ours and not yet wrapped.
+        unsafe { ffi::close(fd) };
+        err
+    };
+
+    let one: c_int = 1;
+    // SAFETY: `one` is a valid 4-byte int for the duration of the call.
+    let rc = unsafe {
+        ffi::setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one as *const c_int as *const c_void,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(fail(fd));
+    }
+
+    let sa = SockaddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: addr.port().to_be(),
+        sin_addr: u32::from(*addr.ip()).to_be(),
+        sin_zero: [0; 8],
+    };
+    // SAFETY: `sa` is a properly laid out sockaddr_in.
+    let rc = unsafe {
+        ffi::bind(
+            fd,
+            &sa as *const SockaddrIn as *const c_void,
+            std::mem::size_of::<SockaddrIn>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(fail(fd));
+    }
+    // SAFETY: plain syscall on our fd.
+    let rc = unsafe { ffi::listen(fd, 1024) };
+    if rc < 0 {
+        return Err(fail(fd));
+    }
+    // SAFETY: fd is a freshly bound+listening TCP socket we own.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+// ---------------------------------------------------------------------------
+// EINTR-safe blocking reads
+// ---------------------------------------------------------------------------
+
+/// `read` that retries on `EINTR`. std's `write_all` already retries
+/// interrupted writes internally, but a bare `read` surfaces `EINTR` to
+/// the caller — which, in a connection loop, used to tear down a healthy
+/// connection when a signal landed mid-read.
+pub(crate) fn read_retry<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    loop {
+        match r.read(buf) {
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-bounded I/O on non-blocking sockets
+// ---------------------------------------------------------------------------
+
+/// Wait until `fd` is readable (`want_read`) or writable, or until
+/// `deadline` — whichever comes first. `EINTR` re-enters the wait with the
+/// remaining budget. Expiry returns `ErrorKind::TimedOut`.
+#[cfg(unix)]
+fn wait_fd(fd: RawFd, want_read: bool, deadline: Instant) -> io::Result<()> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline expired"));
+        }
+        let remaining = deadline - now;
+        // Round up so a sub-millisecond budget still polls once instead of
+        // spinning with timeout 0.
+        let ms = remaining.as_millis().min(i32::MAX as u128) as i32;
+        let ms = if remaining > Duration::from_millis(ms as u64) {
+            ms.saturating_add(1)
+        } else {
+            ms.max(1)
+        };
+        let mut pfd = ffi::PollFd {
+            fd,
+            events: if want_read { ffi::POLLIN } else { ffi::POLLOUT },
+            revents: 0,
+        };
+        // SAFETY: one valid PollFd for the duration of the call.
+        let rc = unsafe { ffi::poll(&mut pfd, 1, ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+        if rc > 0 {
+            // Readable, writable, error, or hangup: in every case the
+            // following read/write will resolve it without blocking.
+            return Ok(());
+        }
+        // rc == 0: poll timed out; loop re-checks the deadline and exits
+        // via the TimedOut branch above.
+    }
+}
+
+/// Read some bytes from a **non-blocking** socket, waiting (via `poll`)
+/// until readable but never past `deadline`. Returns `TimedOut` on
+/// expiry, so a stalled peer can never hold the connection longer than
+/// the caller's request deadline.
+#[cfg(unix)]
+pub(crate) fn read_deadline<S>(stream: &mut S, buf: &mut [u8], deadline: Instant) -> io::Result<usize>
+where
+    S: Read + std::os::unix::io::AsRawFd,
+{
+    loop {
+        match stream.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                wait_fd(stream.as_raw_fd(), true, deadline)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Write all of `bytes` to a **non-blocking** socket, waiting (via `poll`)
+/// for writability but never past `deadline`.
+#[cfg(unix)]
+pub(crate) fn write_all_deadline<S>(stream: &mut S, bytes: &[u8], deadline: Instant) -> io::Result<()>
+where
+    S: Write + std::os::unix::io::AsRawFd,
+{
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket closed mid-write",
+                ));
+            }
+            Ok(n) => written += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                wait_fd(stream.as_raw_fd(), false, deadline)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// Non-unix fallback: no `poll`, so approximate the deadline with socket
+// timeouts on a *blocking* socket. Only compiled on platforms the
+// workspace doesn't target for production serving.
+#[cfg(not(unix))]
+pub(crate) fn read_deadline<S: Read>(
+    stream: &mut S,
+    buf: &mut [u8],
+    _deadline: Instant,
+) -> io::Result<usize> {
+    read_retry(stream, buf)
+}
+
+#[cfg(not(unix))]
+pub(crate) fn write_all_deadline<S: Write>(
+    stream: &mut S,
+    bytes: &[u8],
+    _deadline: Instant,
+) -> io::Result<()> {
+    stream.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpStream, TcpListener};
+
+    #[test]
+    fn bind_reuseaddr_yields_working_listener() {
+        let listener = bind_reuseaddr("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            s.write_all(b"ok").expect("write");
+        });
+        let mut c = TcpStream::connect(addr).expect("connect");
+        let mut buf = Vec::new();
+        c.read_to_end(&mut buf).expect("read");
+        assert_eq!(buf, b"ok");
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn bind_reuseaddr_allows_immediate_rebind() {
+        // Bind, connect (so the listener socket sees traffic), drop, and
+        // immediately re-bind the same port. Without SO_REUSEADDR this
+        // flakes on EADDRINUSE while TIME_WAIT lingers.
+        let listener = bind_reuseaddr("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let c = TcpStream::connect(addr).expect("connect");
+        let (s, _) = listener.accept().expect("accept");
+        drop(s);
+        drop(c);
+        drop(listener);
+        let again = bind_reuseaddr(&addr.to_string()).expect("rebind");
+        assert_eq!(again.local_addr().expect("addr").port(), addr.port());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn deadline_read_times_out_on_stalled_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (_held, _) = listener.accept().expect("accept");
+        let mut client = client;
+        let mut buf = [0u8; 16];
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(80);
+        let err = read_deadline(&mut client, &mut buf, deadline).expect_err("must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let waited = started.elapsed();
+        assert!(waited >= Duration::from_millis(70), "returned early: {waited:?}");
+        assert!(waited < Duration::from_secs(2), "overslept: {waited:?}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn deadline_read_returns_data_when_available() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (mut server, _) = listener.accept().expect("accept");
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            server.write_all(b"late").expect("write");
+        });
+        let mut client = client;
+        let mut buf = [0u8; 16];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let n = read_deadline(&mut client, &mut buf, deadline).expect("read");
+        assert_eq!(&buf[..n], b"late");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_reports_readable_socket() {
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(server.as_raw_fd(), ep::EPOLLIN, 42)
+            .expect("add");
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing readable yet.
+        let n = epoll.wait(&mut events, 0).expect("wait");
+        assert_eq!(n, 0);
+
+        client.write_all(b"x").expect("write");
+        let n = epoll.wait(&mut events, 2000).expect("wait");
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!({ ev.data }, 42);
+        assert_ne!({ ev.events } & ep::EPOLLIN, 0);
+    }
+}

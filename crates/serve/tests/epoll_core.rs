@@ -1,0 +1,270 @@
+//! Epoll-core battery: the event-driven connection core must be
+//! *observably indistinguishable* from the thread-per-connection core.
+//!
+//! The proptest drives one client connection against two live servers —
+//! identical scorers, one per [`HttpCore`] — writing the same pipelined
+//! request stream under arbitrary partial-write schedules (chunk sizes
+//! down to one byte, with pauses) and reading the response stream back
+//! under arbitrary partial-read schedules. The two byte streams must be
+//! **identical to the last byte**: same status lines, same headers, same
+//! framing, same close behaviour. Deterministic companions pin the
+//! admission-control protocol: at the connection cap the longest-idle
+//! keep-alive connection is shed first (quiet close, counted), and only
+//! when nothing is sheddable does a new client get `429` +
+//! `Retry-After` + close.
+#![cfg(target_os = "linux")]
+
+mod common;
+
+use common::Conn;
+use pipefail_core::model::{RiskRanking, RiskScore};
+use pipefail_core::snapshot::Snapshot;
+use pipefail_network::ids::PipeId;
+use pipefail_serve::{serve, HttpCore, Scorer, ServeContext, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::thread::sleep;
+use std::time::Duration;
+
+/// 1000 pipes with strictly decreasing scores — big enough that
+/// `/top?k=1000` yields a multi-kilobyte body (so server-side writes can
+/// go partial), small and deterministic so both servers agree exactly.
+fn scorer() -> Scorer {
+    let n = 1000u32;
+    let ranking = RiskRanking::new(
+        (0..n)
+            .map(|i| RiskScore { pipe: PipeId(i), score: 1.0 - f64::from(i) / f64::from(n) })
+            .collect(),
+    );
+    Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+}
+
+fn start(core: HttpCore, max_connections: usize) -> ServerHandle {
+    serve(
+        Arc::new(ServeContext::new(scorer())),
+        &ServerConfig { core, max_connections, ..ServerConfig::default() },
+    )
+    .expect("server start")
+}
+
+/// The request repertoire the identity proptest samples from. `/metrics`
+/// is deliberately absent: its body is the one thing the two servers
+/// legitimately disagree on (each carries its own counters).
+const REQUESTS: &[(&str, &str, &str)] = &[
+    ("GET", "/health", ""),
+    ("GET", "/top?k=3", ""),
+    ("GET", "/top?k=1000", ""),
+    ("GET", "/top?k=0", ""),
+    ("GET", "/pipe?id=5", ""),
+    ("GET", "/pipe?id=4294967295", ""),
+    ("GET", "/model", ""),
+    ("GET", "/healthz", ""),
+    ("GET", "/no/such/route", ""),
+    ("DELETE", "/top", ""),
+    ("POST", "/batch", "top 3\npipe 7\npipe 999"),
+    ("POST", "/batch", "frobnicate 7"),
+];
+
+fn render_request(idx: usize, keep_alive: bool) -> String {
+    let (method, path, body) = REQUESTS[idx];
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    if body.is_empty() {
+        format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: {conn}\r\n\r\n")
+    } else {
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+}
+
+/// The whole pipelined stream: every request keep-alive except the last,
+/// which says `Connection: close` so the server terminates the stream
+/// and the client can read to EOF.
+fn render_stream(indices: &[usize]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, &r) in indices.iter().enumerate() {
+        out.extend_from_slice(render_request(r, i + 1 < indices.len()).as_bytes());
+    }
+    out
+}
+
+/// Write `stream` in the given chunk schedule (cycled, with short pauses
+/// so the server really sees fragmented reads), then drain the response
+/// stream to EOF in the read-chunk schedule.
+fn exchange(addr: SocketAddr, stream: &[u8], write_chunks: &[usize], read_chunks: &[usize]) -> Vec<u8> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut sent = 0;
+    for (i, &chunk) in write_chunks.iter().cycle().enumerate() {
+        if sent >= stream.len() {
+            break;
+        }
+        let end = (sent + chunk).min(stream.len());
+        conn.write_all(&stream[sent..end]).expect("send chunk");
+        sent = end;
+        // Pause every few chunks so fragments hit the server as separate
+        // reads instead of coalescing in the loopback buffer.
+        if i % 4 == 3 {
+            sleep(Duration::from_micros(300));
+        }
+    }
+    let mut out = Vec::new();
+    let mut buf = vec![0u8; *read_chunks.iter().max().unwrap_or(&1)];
+    for &chunk in read_chunks.iter().cycle() {
+        match conn.read(&mut buf[..chunk]) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("read response stream: {e}"),
+        }
+    }
+    out
+}
+
+/// One epoll server and one threaded server shared by every proptest
+/// case (leaked for the test binary's lifetime — starting 2 servers per
+/// case would dominate the property's runtime).
+static CORE_ADDRS: OnceLock<(SocketAddr, SocketAddr)> = OnceLock::new();
+
+fn core_addrs() -> (SocketAddr, SocketAddr) {
+    *CORE_ADDRS.get_or_init(|| {
+        let epoll = start(HttpCore::Epoll, 0);
+        let threaded = start(HttpCore::Threads, 0);
+        let pair = (epoll.addr(), threaded.addr());
+        std::mem::forget(epoll);
+        std::mem::forget(threaded);
+        pair
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: for any request sequence and any
+    /// client-side fragmentation schedule, the epoll core and the
+    /// threaded core answer with **identical byte streams**.
+    #[test]
+    fn cores_answer_byte_identically_under_arbitrary_schedules(
+        indices in proptest::collection::vec(0usize..REQUESTS.len(), 1..6),
+        write_chunks in proptest::collection::vec(1usize..98, 1..24),
+        read_chunks in proptest::collection::vec(1usize..1025, 1..8),
+    ) {
+        let (ea, ta) = core_addrs();
+        let stream = render_stream(&indices);
+        let from_epoll = exchange(ea, &stream, &write_chunks, &read_chunks);
+        let from_threads = exchange(ta, &stream, &write_chunks, &read_chunks);
+        prop_assert_eq!(
+            String::from_utf8_lossy(&from_epoll),
+            String::from_utf8_lossy(&from_threads)
+        );
+    }
+}
+
+/// A malformed request must draw the same typed error + close from both
+/// cores — the error path is part of the byte-identity contract.
+#[test]
+fn cores_answer_parse_errors_identically() {
+    let epoll = start(HttpCore::Epoll, 0);
+    let threaded = start(HttpCore::Threads, 0);
+    let garbage = b"GET /health HTTP/9.9\r\nHost: t\r\n\r\n";
+    let a = exchange(epoll.addr(), garbage, &[1], &[7]);
+    let b = exchange(threaded.addr(), garbage, &[1], &[7]);
+    assert_eq!(String::from_utf8_lossy(&a), String::from_utf8_lossy(&b));
+    assert!(!a.is_empty(), "expected a typed error response, got silence");
+    epoll.shutdown();
+    threaded.shutdown();
+}
+
+/// Byte-at-a-time writes against the epoll core: the slowest possible
+/// client still gets exactly framed pipelined responses (deterministic
+/// companion to the proptest, easier to debug when it fails).
+#[test]
+fn epoll_core_serves_byte_at_a_time_writes() {
+    let server = start(HttpCore::Epoll, 0);
+    let stream = render_stream(&[0, 1, 4, 6]);
+    let out = exchange(server.addr(), &stream, &[1], &[1]);
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 4, "{text}");
+    assert!(text.ends_with('}'), "stream should end exactly at the last body: {text:?}");
+    server.shutdown();
+}
+
+/// At the connection cap the longest-idle keep-alive connection is shed
+/// (quiet close, `connections_shed_total` counted) so the newcomer gets
+/// service — idle clients lose a socket they weren't using, live clients
+/// lose nothing.
+#[test]
+fn cap_sheds_longest_idle_connection_for_newcomer() {
+    let server = start(HttpCore::Epoll, 2);
+    let addr = server.addr();
+
+    let mut first = Conn::connect(addr);
+    assert_eq!(first.get("/health").status, 200);
+    sleep(Duration::from_millis(30)); // make first strictly the longest-idle
+    let mut second = Conn::connect(addr);
+    assert_eq!(second.get("/health").status, 200);
+
+    // Third connection: over the cap of 2, sheds `first` (longest idle).
+    let mut third = Conn::connect(addr);
+    assert_eq!(third.get("/top?k=1").status, 200);
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.connections_shed_total(), 1);
+    assert_eq!(metrics.admission_rejected_total(), 0);
+
+    // The shed connection sees a quiet close: EOF, not an error response.
+    first.assert_eof();
+
+    // The surviving keep-alive connection still serves.
+    assert_eq!(second.get("/health").status, 200);
+    server.shutdown();
+}
+
+/// When every connection is mid-request (nothing sheddable), admission
+/// control answers the newcomer with `429` + `Retry-After` + close
+/// instead of silently starving the accept queue.
+#[test]
+fn cap_answers_429_when_nothing_is_sheddable() {
+    let server = start(HttpCore::Epoll, 1);
+    let addr = server.addr();
+
+    // Occupy the only slot with a connection stuck *mid-request*: it has
+    // sent half a request line, so it is not sheddable.
+    let mut busy = TcpStream::connect(addr).expect("connect");
+    busy.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    busy.write_all(b"GET /top").expect("partial request");
+    // Let the event loop read the fragment and start the request clock.
+    sleep(Duration::from_millis(100));
+
+    let mut rejected = Conn::connect(addr);
+    rejected.send(&common::get_request("/health", true));
+    let response = rejected.read_response();
+    assert_eq!(response.status, 429);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    response.assert_connection("close");
+    rejected.assert_eof();
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.admission_rejected_total(), 1);
+    assert_eq!(metrics.connections_shed_total(), 0);
+    server.shutdown();
+}
+
+/// The `core` knob really selects the threaded core: a keep-alive
+/// roundtrip pair works and the connection gauge tracks open sockets on
+/// both cores the same way.
+#[test]
+fn threads_core_still_selectable_and_counts_connections() {
+    let server = start(HttpCore::Threads, 0);
+    let mut conn = Conn::connect(server.addr());
+    assert_eq!(conn.get("/health").status, 200);
+    assert_eq!(conn.get("/top?k=2").status, 200);
+    let metrics = server.metrics();
+    assert_eq!(metrics.connections_open(), 1);
+    assert_eq!(metrics.total(), 2);
+    drop(conn);
+    server.shutdown();
+}

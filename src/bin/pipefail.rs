@@ -76,7 +76,12 @@ USAGE:
       PIPEFAIL_HTTP_IDLE_SECS, PIPEFAIL_HTTP_KEEPALIVE_REQS, and
       PIPEFAIL_HTTP_RELOAD_SECS (N > 0 polls every watched snapshot file
       every N seconds and hot-swaps shards independently); see
-      docs/SERVING.md.
+      docs/SERVING.md. Connection-core knobs: PIPEFAIL_HTTP_CORE
+      (epoll|threads; the epoll event loop is the Linux default),
+      PIPEFAIL_HTTP_MAX_CONNS (open-connection cap, idle keep-alive
+      connections are shed first, 0 = unlimited) and
+      PIPEFAIL_HTTP_INFLIGHT (in-flight request cap answering 429 +
+      Retry-After, 0 = unbounded).
       Repeated --backend flags start a *federation front-end* instead: no
       snapshots are loaded; region-tagged queries relay to the named
       backend serve processes over keep-alive TCP with health checks,
