@@ -26,6 +26,16 @@
 //! should strip most of the stragglers' contribution from the total,
 //! the unhedged run eats every delay.
 //!
+//! The `serve/aggregate/*` entries price the declarative `POST /aggregate`
+//! pipeline (group by material × decade; count, summed length, average
+//! risk) across the three topologies on the same 100k attribute-tagged
+//! pipes: `monolithic` runs the whole pipeline in one pass, `sharded`
+//! executes per-shard partials on the task pool and merges in-process,
+//! `federated` scatters the spec to 8 backend processes over TCP and
+//! merges their wire partials at the front-end. All three answer
+//! byte-identical bodies (pinned by the e2e battery); the deltas are pure
+//! fan-out and wire cost.
+//!
 //! The `scorer/risk_of_100k` entry times in-process `/pipe` point lookups
 //! against the 100k-pipe table — the binary-searched id→rank index built
 //! at snapshot load.
@@ -41,7 +51,7 @@
 
 use criterion::{black_box, criterion_group, Criterion};
 use pipefail_core::model::{RiskRanking, RiskScore};
-use pipefail_core::snapshot::Snapshot;
+use pipefail_core::snapshot::{attributes_section, Snapshot};
 use pipefail_network::ids::PipeId;
 use pipefail_serve::{
     serve, serve_federated, FedConfig, Federation, Scorer, ServeContext, ServerConfig, ShardSet,
@@ -57,6 +67,16 @@ const QUERIES: usize = 100;
 const TOTAL_PIPES: u32 = 100_000;
 const SHARDS: u32 = 8;
 
+/// Synthetic per-pipe attributes in score order — all 9 materials and 12
+/// decades — so every bench snapshot can also answer `/aggregate`.
+fn push_attributes(snap: &mut Snapshot, n: u32) {
+    snap.push_section(attributes_section(
+        (0..n).map(|i| 50.0 + f64::from(i % 200)).collect(),
+        (0..n).map(|i| f64::from(i % 9)).collect(),
+        (0..n).map(|i| f64::from(1900 + (i % 12) * 10)).collect(),
+    ));
+}
+
 fn scorer(n: u32) -> Scorer {
     let ranking = RiskRanking::new(
         (0..n)
@@ -66,7 +86,9 @@ fn scorer(n: u32) -> Scorer {
             })
             .collect(),
     );
-    Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+    let mut snap = Snapshot::new("DPMHBP", "Region A", 7, &ranking);
+    push_attributes(&mut snap, n);
+    Scorer::new(snap)
 }
 
 /// One regional shard holding `n` of the `TOTAL_PIPES` scores: shard `s`
@@ -81,7 +103,9 @@ fn shard_scorer(s: u32, n: u32) -> Scorer {
             })
             .collect(),
     );
-    Scorer::new(Snapshot::new("DPMHBP", format!("Shard {s}"), 7, &ranking))
+    let mut snap = Snapshot::new("DPMHBP", format!("Shard {s}"), 7, &ranking);
+    push_attributes(&mut snap, n);
+    Scorer::new(snap)
 }
 
 /// Read exactly one `Content-Length`-framed response off the stream.
@@ -134,6 +158,42 @@ fn keepalive_round(addr: SocketAddr, path: &str) -> usize {
         bytes += get_path(&mut stream, &mut buf, path, true);
     }
     bytes
+}
+
+/// One keep-alive connection, `QUERIES` POSTs of `body` to `path`.
+fn post_round(addr: SocketAddr, path: &str, body: &str) -> usize {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut buf = Vec::new();
+    let mut bytes = 0usize;
+    for _ in 0..QUERIES {
+        stream.write_all(request.as_bytes()).expect("send");
+        bytes += read_response(&mut stream, &mut buf);
+    }
+    bytes
+}
+
+/// One-shot probe asserting a server answers `POST /aggregate` with 200 —
+/// a silent 4xx/5xx would turn the aggregate entries into error-path
+/// measurements.
+fn assert_aggregate_ok(addr: SocketAddr, body: &str) {
+    let request = format!(
+        "POST /aggregate HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.write_all(request.as_bytes()).expect("send");
+    let raw = read_framed_raw(&mut stream).expect("aggregate probe response");
+    assert!(
+        raw.starts_with(b"HTTP/1.1 200"),
+        "aggregate probe failed: {}",
+        String::from_utf8_lossy(&raw[..raw.len().min(200)])
+    );
 }
 
 fn bench_serving(c: &mut Criterion) {
@@ -393,6 +453,77 @@ fn bench_federated(c: &mut Criterion) {
     }
 }
 
+/// The declarative aggregation pipeline across the three topologies on
+/// the same 100k attribute-tagged pipes (see the module docs): identical
+/// bodies, different execution plans.
+fn bench_aggregate(c: &mut Criterion) {
+    const SPEC: &str = "{\"group_by\":[\"material\",\"decade\"],\"aggregates\":[{\"op\":\"count\"},{\"op\":\"sum\",\"field\":\"length_m\"},{\"op\":\"avg\",\"field\":\"risk\"}]}";
+    let config = ServerConfig {
+        keepalive_requests: 0,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let per_shard = TOTAL_PIPES / SHARDS;
+
+    let mono = serve(Arc::new(ServeContext::new(scorer(TOTAL_PIPES))), &config)
+        .expect("monolithic server starts");
+    let shard_set =
+        ShardSet::from_scorers((0..SHARDS).map(|s| shard_scorer(s, per_shard)).collect())
+            .expect("distinct regions");
+    let sharded = serve(Arc::new(ServeContext::sharded(shard_set)), &config)
+        .expect("sharded server starts");
+    let backends: Vec<_> = (0..SHARDS)
+        .map(|s| {
+            serve(
+                Arc::new(ServeContext::new(shard_scorer(s, per_shard))),
+                &config,
+            )
+            .expect("backend starts")
+        })
+        .collect();
+    let targets: Vec<(String, String)> = backends
+        .iter()
+        .enumerate()
+        .map(|(s, h)| (format!("Shard {s}"), h.addr().to_string()))
+        .collect();
+    let fed = Arc::new(
+        Federation::new(
+            targets,
+            FedConfig {
+                retries: 0,
+                hedge_ms: Some(0),
+                ..FedConfig::default()
+            },
+        )
+        .expect("federation"),
+    );
+    let front = serve_federated(fed, &config).expect("front-end starts");
+
+    for handle in [&mono, &sharded, &front] {
+        assert_aggregate_ok(handle.addr(), SPEC);
+    }
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function(format!("aggregate/monolithic/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(post_round(mono.addr(), "/aggregate", SPEC)))
+    });
+    g.bench_function(format!("aggregate/sharded/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(post_round(sharded.addr(), "/aggregate", SPEC)))
+    });
+    g.bench_function(format!("aggregate/federated/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(post_round(front.addr(), "/aggregate", SPEC)))
+    });
+    g.finish();
+
+    front.shutdown();
+    mono.shutdown();
+    sharded.shutdown();
+    for h in backends {
+        h.shutdown();
+    }
+}
+
 /// In-process `/pipe` point lookups against the 100k-pipe table: the
 /// binary-searched id→rank index (`Scorer::risk_of`), no HTTP in the loop.
 fn bench_scorer_lookup(c: &mut Criterion) {
@@ -414,7 +545,14 @@ fn bench_scorer_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_serving, bench_sharded, bench_federated, bench_scorer_lookup);
+criterion_group!(
+    benches,
+    bench_serving,
+    bench_sharded,
+    bench_federated,
+    bench_aggregate,
+    bench_scorer_lookup
+);
 
 /// Open-loop load generation: Poisson arrivals at a fixed offered rate,
 /// swept across connection counts, against both connection cores.

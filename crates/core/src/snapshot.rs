@@ -55,6 +55,41 @@ use std::path::Path;
 /// The six leading bytes of every snapshot file.
 pub const MAGIC: [u8; 6] = *b"PFSNAP";
 
+/// Name of the well-known summary section carrying per-pipe asset
+/// attributes for aggregation queries (`POST /aggregate`). Its three
+/// fields — [`ATTR_LENGTH_M`], [`ATTR_MATERIAL`], [`ATTR_LAID_YEAR`] —
+/// are vectors **aligned with the snapshot's score order** (entry `i`
+/// describes the pipe at rank `i`). The section is optional: snapshots
+/// without it still serve top-K and point lookups, but aggregation
+/// queries that need pipe length, material, or age cohorts are refused
+/// with a typed error.
+pub const ATTRIBUTES_SECTION: &str = "pipe_attributes";
+
+/// Per-pipe length in metres (finite, non-negative).
+pub const ATTR_LENGTH_M: &str = "length_m";
+
+/// Per-pipe material, stored as the f64 of its index into the material
+/// catalogue (`pipefail_network::attributes::Material::ALL`).
+pub const ATTR_MATERIAL: &str = "material";
+
+/// Per-pipe construction year, stored as the f64 of the year.
+pub const ATTR_LAID_YEAR: &str = "laid_year";
+
+/// Build the [`ATTRIBUTES_SECTION`] from three equally-long vectors
+/// aligned with the snapshot's score order. The caller is responsible for
+/// the alignment; serving-side validation rejects misaligned sections at
+/// load instead of serving garbage aggregates.
+pub fn attributes_section(
+    length_m: Vec<f64>,
+    material: Vec<f64>,
+    laid_year: Vec<f64>,
+) -> SummarySection {
+    SummarySection::new(ATTRIBUTES_SECTION)
+        .with_field(ATTR_LENGTH_M, length_m)
+        .with_field(ATTR_MATERIAL, material)
+        .with_field(ATTR_LAID_YEAR, laid_year)
+}
+
 /// Current snapshot format version (header bytes 6..8, little-endian).
 pub const SNAPSHOT_VERSION: u16 = 1;
 
@@ -604,6 +639,24 @@ mod tests {
             Snapshot::from_bytes(&bytes),
             Err(SnapshotError::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn attributes_section_round_trips_with_well_known_names() {
+        let mut snap = sample();
+        snap.push_section(attributes_section(
+            vec![12.5, 80.0, 3.25, 200.0],
+            vec![0.0, 4.0, 8.0, 1.0],
+            vec![1923.0, 1950.0, 1987.0, 2004.0],
+        ));
+        let back = Snapshot::from_bytes(&snap.to_bytes()).expect("valid snapshot");
+        let section = back.section(ATTRIBUTES_SECTION).expect("attributes section");
+        assert_eq!(section.field(ATTR_LENGTH_M), Some(&[12.5, 80.0, 3.25, 200.0][..]));
+        assert_eq!(section.field(ATTR_MATERIAL), Some(&[0.0, 4.0, 8.0, 1.0][..]));
+        assert_eq!(
+            section.field(ATTR_LAID_YEAR),
+            Some(&[1923.0, 1950.0, 1987.0, 2004.0][..])
+        );
     }
 
     #[test]

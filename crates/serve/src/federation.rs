@@ -10,7 +10,14 @@
 //! scatter-gathers every backend's top-K and merges with the same bounded
 //! k-way merge ([`crate::shards::merge_top_k`]) and the same serializer as
 //! the in-process sharded server, so federated bodies are byte-identical
-//! to monolithic ones (pinned by proptest in the e2e battery).
+//! to monolithic ones (pinned by proptest in the e2e battery). Declarative
+//! `POST /aggregate` pipelines federate the same way: the spec is
+//! forwarded verbatim to every backend's `/aggregate?partial=1`, the
+//! merge-ready partial states come back over the wire (every f64 as
+//! shortest-round-trip text, so re-parsing recovers exact bits), and the
+//! front-end merges them fold-left in sorted-key order — the same
+//! canonical computation as the crate-internal `merge_partials` in
+//! process, hence byte-identical bodies again.
 //!
 //! ## Robustness model
 //!
@@ -23,9 +30,11 @@
 //!   a `Down` backend the moment it answers again.
 //! * **Timeout + retry** — every attempt runs under one per-request
 //!   deadline (connect, write, read all draw from the same budget).
-//!   Idempotent GETs retry with capped exponential backoff and full
-//!   jitter; retries never apply to anything but GETs (the front-end
-//!   refuses `/batch` rather than re-POST blindly).
+//!   Idempotent requests retry with capped exponential backoff and full
+//!   jitter. "Idempotent" means read-only here: every GET, plus
+//!   `POST /aggregate` — a pure query whose body is a pipeline spec, so
+//!   re-sending it is as safe as re-sending a GET. The front-end still
+//!   refuses `/batch` rather than re-POST blindly.
 //! * **Hedging** — after a delay derived from the backend's observed p99
 //!   latency (or a fixed `PIPEFAIL_FED_HEDGE_MS`), a duplicate request is
 //!   fired on a second connection and the first well-formed answer wins —
@@ -40,6 +49,7 @@
 //! hung connection (the fault-injection e2e battery drives drops, delays,
 //! truncations, resets, and garbage through all of these paths).
 
+use crate::aggregate::{self, AggregateSpec};
 use crate::http::{
     self, query_param, render_global_top_k_keys, serve_handler, unknown_region_body_keys,
     RequestHandler, Response, ServerConfig, ServerHandle,
@@ -492,13 +502,18 @@ impl Federation {
 
     // ---- wire client -----------------------------------------------------
 
-    /// One GET against one backend with health gating, hedging, retries,
-    /// and backoff. The only public-facing failure is a typed
-    /// [`FederationError`].
+    /// One request against one backend with health gating, hedging,
+    /// retries, and backoff. The only public-facing failure is a typed
+    /// [`FederationError`]. Callers must only route *read-only* requests
+    /// here (GETs, plus the pure-query `POST /aggregate`): retries and
+    /// hedges re-send the request verbatim, which is only safe when
+    /// re-execution is free of side effects.
     fn fetch(
         &self,
         backend: &Arc<Backend>,
+        method: &'static str,
         path_query: &str,
+        body: &str,
         metrics: &Metrics,
     ) -> Result<BackendReply, FederationError> {
         if backend.state() == BackendState::Down {
@@ -518,7 +533,7 @@ impl Federation {
                 backoff_ms = (backoff_ms.saturating_mul(2)).min(self.config.backoff_cap_ms);
             }
             let started = Instant::now();
-            match self.hedged_attempt(backend, path_query, metrics) {
+            match self.hedged_attempt(backend, method, path_query, body, metrics) {
                 Ok(reply) => {
                     backend.mark_success();
                     backend.record_latency(started.elapsed());
@@ -543,13 +558,23 @@ impl Federation {
     fn hedged_attempt(
         &self,
         backend: &Arc<Backend>,
+        method: &'static str,
         path_query: &str,
+        body: &str,
         metrics: &Metrics,
     ) -> Result<BackendReply, FederationError> {
         let timeout = Duration::from_secs_f64(self.config.request_timeout_secs);
         let deadline = Instant::now() + timeout;
         let (tx, rx) = mpsc::channel::<(u8, Result<BackendReply, FederationError>)>();
-        spawn_attempt(Arc::clone(backend), path_query.to_string(), timeout, tx.clone(), 0);
+        spawn_attempt(
+            Arc::clone(backend),
+            method,
+            path_query.to_string(),
+            body.to_string(),
+            timeout,
+            tx.clone(),
+            0,
+        );
 
         let hedge_delay = match self.config.hedge_ms {
             Some(0) => None,
@@ -573,7 +598,9 @@ impl Federation {
                     hedged = true;
                     spawn_attempt(
                         Arc::clone(backend),
+                        method,
                         path_query.to_string(),
+                        body.to_string(),
                         deadline.saturating_duration_since(Instant::now()),
                         tx.clone(),
                         1,
@@ -669,13 +696,15 @@ impl Federation {
 /// connection still returns to the pool).
 fn spawn_attempt(
     backend: Arc<Backend>,
+    method: &'static str,
     path_query: String,
+    body: String,
     timeout: Duration,
     tx: mpsc::Sender<(u8, Result<BackendReply, FederationError>)>,
     tag: u8,
 ) {
     std::thread::spawn(move || {
-        let result = attempt_once(&backend, &path_query, timeout);
+        let result = attempt_once(&backend, method, &path_query, &body, timeout);
         let _ = tx.send((tag, result));
     });
 }
@@ -686,19 +715,21 @@ fn spawn_attempt(
 /// between requests) and is retried once on a fresh dial, uncounted.
 fn attempt_once(
     backend: &Backend,
+    method: &'static str,
     path_query: &str,
+    body: &str,
     timeout: Duration,
 ) -> Result<BackendReply, FederationError> {
     let deadline = Instant::now() + timeout;
     if let Some(conn) = backend.checkout() {
-        match exchange(backend, conn, path_query, deadline, true) {
+        match exchange(backend, conn, method, path_query, body, deadline, true) {
             Ok(reply) => return Ok(reply),
             Err((e, read_any)) if read_any => return Err(e),
             Err(_) => {} // stale pooled conn: fall through to a fresh dial
         }
     }
     let conn = dial(backend, deadline)?;
-    exchange(backend, conn, path_query, deadline, true).map_err(|(e, _)| e)
+    exchange(backend, conn, method, path_query, body, deadline, true).map_err(|(e, _)| e)
 }
 
 /// One health-probe exchange on a dedicated one-shot connection
@@ -711,7 +742,7 @@ fn probe_once(
 ) -> Result<BackendReply, FederationError> {
     let deadline = Instant::now() + timeout;
     let conn = dial(backend, deadline)?;
-    exchange(backend, conn, path_query, deadline, false).map_err(|(e, _)| e)
+    exchange(backend, conn, "GET", path_query, "", deadline, false).map_err(|(e, _)| e)
 }
 
 /// Fresh TCP dial under the remaining deadline budget.
@@ -744,14 +775,16 @@ fn dial(backend: &Backend, deadline: Instant) -> Result<TcpStream, FederationErr
     Ok(conn)
 }
 
-/// Write one GET and read one exact-framed response. The error carries
-/// whether any response bytes had arrived — the caller uses it to tell a
-/// stale pooled connection (retry fresh) from a mid-response failure
-/// (surface it).
+/// Write one request (a body gains a `Content-Length` header) and read one
+/// exact-framed response. The error carries whether any response bytes had
+/// arrived — the caller uses it to tell a stale pooled connection (retry
+/// fresh) from a mid-response failure (surface it).
 fn exchange(
     backend: &Backend,
     mut conn: TcpStream,
+    method: &str,
     path_query: &str,
+    body: &str,
     deadline: Instant,
     reuse: bool,
 ) -> Result<BackendReply, (FederationError, bool)> {
@@ -771,10 +804,15 @@ fn exchange(
     if left(Instant::now()).is_zero() {
         return Err((FederationError::Timeout { backend: key() }, false));
     }
-    let request = format!(
-        "GET {path_query} HTTP/1.1\r\nHost: backend\r\nConnection: {}\r\n\r\n",
-        if reuse { "keep-alive" } else { "close" }
-    );
+    let keep = if reuse { "keep-alive" } else { "close" };
+    let request = if body.is_empty() {
+        format!("{method} {path_query} HTTP/1.1\r\nHost: backend\r\nConnection: {keep}\r\n\r\n")
+    } else {
+        format!(
+            "{method} {path_query} HTTP/1.1\r\nHost: backend\r\nContent-Length: {}\r\nConnection: {keep}\r\n\r\n{body}",
+            body.len()
+        )
+    };
     // Non-blocking deadline I/O (poll()-bounded, EINTR-safe): expiry maps
     // to TimedOut, which `io_err` turns into FederationError::Timeout.
     crate::sys::write_all_deadline(&mut conn, request.as_bytes(), deadline)
@@ -980,7 +1018,7 @@ impl FederationRouter {
         };
         let backend = &self.fed.backends[idx];
         let path_query = format!("{}?{}", req.path, req.query);
-        match self.fed.fetch(backend, &path_query, metrics) {
+        match self.fed.fetch(backend, "GET", &path_query, "", metrics) {
             Ok(reply) => {
                 metrics.shard_request(idx);
                 let response = Response::json(reply.status, reply.body);
@@ -1034,7 +1072,7 @@ impl FederationRouter {
                 .iter()
                 .map(|backend| {
                     s.spawn(move || {
-                        let reply = fed.fetch(backend, &format!("/top?k={k}"), metrics)?;
+                        let reply = fed.fetch(backend, "GET", &format!("/top?k={k}"), "", metrics)?;
                         if reply.status != 200 {
                             return Err(FederationError::BadResponse {
                                 backend: backend.key.clone(),
@@ -1097,6 +1135,111 @@ impl FederationRouter {
         let merged: Vec<GlobalRisk> = merge_top_k(&table_refs, k);
         let body = render_global_top_k_keys(&keys_escaped, &merged, k);
         let response = Response::json(200, body);
+        if missing.is_empty() {
+            response
+        } else {
+            response.with_header("X-Pipefail-Partial", missing.join(","))
+        }
+    }
+
+    /// Federated `POST /aggregate`: validate the pipeline spec locally
+    /// (a malformed spec 400s without touching the wire), then forward the
+    /// client body *verbatim* to every backend's `/aggregate?partial=1`
+    /// and merge the returned partial states fold-left in sorted-key
+    /// order — the exact computation [`aggregate::merge_partials`] runs
+    /// over in-process shard partials, so a healthy fleet answers
+    /// byte-identically to a monolithic or sharded server over the same
+    /// snapshots. Degraded backends (down, failing, or answering anything
+    /// but a parseable 200 partial — including a backend 400 for snapshots
+    /// without attributes, an asymmetry with the in-process server where
+    /// missing attributes are a client-visible 400) contribute nothing:
+    /// the body covers the live fleet and `X-Pipefail-Partial` names the
+    /// missing regions. A fully dark fleet is a 503 with `Retry-After`.
+    fn aggregate(&self, req: &ParsedRequest, metrics: &Metrics) -> Response {
+        let spec = match AggregateSpec::parse(&req.body) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":{}}}", http::json_str(&e.to_string())),
+                );
+            }
+        };
+        let fed = &self.fed;
+        let results: Vec<Result<aggregate::AggregatePartial, FederationError>> =
+            std::thread::scope(|s| {
+                let spec = &spec;
+                let body = req.body.as_str();
+                let handles: Vec<_> = fed
+                    .backends
+                    .iter()
+                    .map(|backend| {
+                        s.spawn(move || {
+                            let reply = fed.fetch(
+                                backend,
+                                "POST",
+                                "/aggregate?partial=1",
+                                body,
+                                metrics,
+                            )?;
+                            if reply.status != 200 {
+                                return Err(FederationError::BadResponse {
+                                    backend: backend.key.clone(),
+                                    detail: format!("status {} from /aggregate", reply.status),
+                                });
+                            }
+                            aggregate::parse_partial(spec, &reply.body).map_err(|e| {
+                                FederationError::BadResponse {
+                                    backend: backend.key.clone(),
+                                    detail: format!("unparseable aggregate partial: {e}"),
+                                }
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(FederationError::Io {
+                                backend: fed.backends[i].key.clone(),
+                                detail: "scatter worker panicked".into(),
+                            })
+                        })
+                    })
+                    .collect()
+            });
+
+        // Backends are pre-sorted by key, so collecting the live partials
+        // in fleet order IS sorted-key order — the canonical merge order.
+        let mut partials: Vec<aggregate::AggregatePartial> = Vec::new();
+        let mut missing: Vec<String> = Vec::new();
+        for (idx, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(partial) => {
+                    partials.push(partial);
+                    metrics.shard_request(idx);
+                }
+                Err(_) => {
+                    missing.push(fed.backends[idx].key.clone());
+                    metrics.shard_unavailable(idx);
+                }
+            }
+        }
+        if partials.is_empty() {
+            let keys: Vec<String> = missing.iter().map(|k| http::json_str(k)).collect();
+            return Response::json(
+                503,
+                format!(
+                    "{{\"error\":\"aggregate unavailable: all backends degraded\",\"shards\":[{}]}}",
+                    keys.join(",")
+                ),
+            )
+            .with_header("Retry-After", fed.retry_after_secs().to_string());
+        }
+        let (groups, budget) = aggregate::merge_partials(&spec, &partials);
+        let response = Response::json(200, aggregate::render_aggregate(&spec, groups, budget));
         if missing.is_empty() {
             response
         } else {
@@ -1189,6 +1332,7 @@ impl RequestHandler for FederationRouter {
                     "{\"error\":\"batch is not federated; send it to a backend\"}",
                 ),
             ),
+            ("POST", "/aggregate") => (Route::Aggregate, self.aggregate(req, metrics)),
             ("GET", "/riskmap.svg") => (
                 Route::Riskmap,
                 Response::json(404, "{\"error\":\"risk maps are not federated\"}"),
@@ -1198,7 +1342,7 @@ impl RequestHandler for FederationRouter {
             {
                 (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
             }
-            (m, "/batch") if m != "POST" => {
+            (m, "/batch" | "/aggregate") if m != "POST" => {
                 (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
             }
             _ => (Route::Other, Response::json(404, "{\"error\":\"no such route\"}")),

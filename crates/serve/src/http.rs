@@ -28,9 +28,11 @@
 //! | `GET /pipe?region=R&id=N` | one pipe's score and rank (`region` required when serving more than one shard) |
 //! | `GET /model` | snapshot identity + posterior-summary inventory (sharded: the full shard inventory) |
 //! | `POST /batch` | one query per line (`[region=R ]top K` / `region=R pipe ID`), fanned over the task pool |
+//! | `POST /aggregate` | declarative group-by/aggregate pipeline (body = JSON spec, see `docs/AGGREGATE.md`) computed per-shard on the task pool and merged deterministically; `?partial=1` answers the merge-ready partial state (the federation scatter leg) |
 //! | `GET /riskmap.svg` | Fig 18.9 risk map (single-snapshot mode with a dataset only) |
 //! | `GET /metrics` | Prometheus text exposition (sharded: per-shard `shard="R"` series) |
 
+use crate::aggregate::{self, AggregateSpec};
 use crate::metrics::{Metrics, Route};
 use crate::parser::{self, ParseOutcome, ParsedRequest};
 use crate::reload;
@@ -801,6 +803,7 @@ fn route_request(
         ("GET", "/pipe") => (Route::Pipe, pipe_response(req, ctx, metrics)),
         ("GET", "/model") => (Route::Model, model_response(ctx)),
         ("POST", "/batch") => (Route::Batch, batch_response(req, ctx, metrics)),
+        ("POST", "/aggregate") => (Route::Aggregate, aggregate_response(req, ctx, metrics)),
         ("GET", "/metrics") => (
             Route::Metrics,
             Response::text(200, "text/plain; version=0.0.4", metrics.render()),
@@ -811,7 +814,7 @@ fn route_request(
         {
             (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
         }
-        (m, "/batch") if m != "POST" => {
+        (m, "/batch" | "/aggregate") if m != "POST" => {
             (Route::Other, Response::json(405, "{\"error\":\"method not allowed\"}"))
         }
         _ => (Route::Other, Response::json(404, "{\"error\":\"no such route\"}")),
@@ -1129,6 +1132,79 @@ fn batch_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) ->
         }
     });
     Response::json(200, format!("{{\"results\":[{}]}}", rendered.join(",")))
+}
+
+/// `POST /aggregate`: parse the declarative pipeline spec, compute one
+/// partial aggregate state per shard on the task pool, and merge the
+/// partials fold-left in routing-key order — the canonical computation
+/// every topology shares, so monolithic, in-process sharded, and
+/// federated servers answer byte-identically (`docs/AGGREGATE.md`).
+/// `?partial=1` returns the merge-ready partial state instead of the
+/// final body: the scatter leg a federation front-end drives.
+fn aggregate_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
+    let spec = match AggregateSpec::parse(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Response::json(400, format!("{{\"error\":{}}}", json_str(&e.to_string())));
+        }
+    };
+    let shards = ctx.shards();
+    // Aggregation needs every region (a roll-up over a partial fleet would
+    // be silently wrong): refuse with the degraded list, like the global
+    // top-K. The central 503 hook appends Retry-After.
+    let mut views: Vec<Arc<Scorer>> = Vec::with_capacity(shards.len());
+    let mut degraded: Vec<&str> = Vec::new();
+    for (idx, shard) in shards.shards().iter().enumerate() {
+        match shard.serving() {
+            Ok(scorer) => views.push(scorer),
+            Err(_) => {
+                metrics.shard_unavailable(idx);
+                degraded.push(shard.key());
+            }
+        }
+    }
+    if !degraded.is_empty() {
+        let keys: Vec<String> = degraded.iter().map(|k| json_str(k)).collect();
+        return Response::json(
+            503,
+            format!(
+                "{{\"error\":\"aggregate unavailable: degraded shards\",\"shards\":[{}]}}",
+                keys.join(",")
+            ),
+        );
+    }
+    // Length/material/decade queries need the snapshot attribute section;
+    // refuse typed (naming the bare shards) instead of aggregating zeros.
+    if spec.needs_attributes() {
+        let missing: Vec<String> = views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.attributes().is_none())
+            .map(|(i, _)| json_str(shards.shards()[i].key()))
+            .collect();
+        if !missing.is_empty() {
+            return Response::json(
+                400,
+                format!(
+                    "{{\"error\":{},\"shards\":[{}]}}",
+                    json_str(&aggregate::AggregateError::NoAttributes.to_string()),
+                    missing.join(",")
+                ),
+            );
+        }
+    }
+    for idx in 0..views.len() {
+        metrics.shard_request(idx);
+    }
+    let partials = ctx.pool.run(views.len(), |i| {
+        aggregate::shard_partial(&spec, &views[i]).expect("attributes checked above")
+    });
+    if query_param(&req.query, "partial") == Some("1") {
+        let merged = aggregate::merge_to_partial(&spec, &partials);
+        return Response::json(200, aggregate::render_partial(&merged));
+    }
+    let (groups, budget) = aggregate::merge_partials(&spec, &partials);
+    Response::json(200, aggregate::render_aggregate(&spec, groups, budget))
 }
 
 fn riskmap_response(ctx: &ServeContext) -> Response {
@@ -1624,6 +1700,114 @@ mod tests {
         req.body = "region=region_b top 1\n".into();
         let (_, resp) = route_request(&req, &ctx, &metrics, 1);
         assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    fn post(path: &str, body: &str) -> ParsedRequest {
+        let mut req = get(path);
+        req.method = "POST".into();
+        req.body = body.into();
+        req
+    }
+
+    fn attr_scorer(region: &str, scores: &[(u32, f64)]) -> Scorer {
+        use pipefail_core::snapshot::attributes_section;
+        let ranking = RiskRanking::new(
+            scores
+                .iter()
+                .map(|&(pipe, score)| RiskScore { pipe: PipeId(pipe), score })
+                .collect(),
+        );
+        let mut snap = Snapshot::new("DPMHBP", region, 7, &ranking);
+        let n = scores.len();
+        snap.push_section(attributes_section(
+            (0..n).map(|i| 100.0 + i as f64).collect(),
+            (0..n).map(|i| (i % 9) as f64).collect(),
+            (0..n).map(|i| (1940 + (i % 4) * 10) as f64).collect(),
+        ));
+        Scorer::new(snap)
+    }
+
+    #[test]
+    fn aggregate_routes_with_405_and_typed_400() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        // Wrong method.
+        let (route, resp) = route_request(&get("/aggregate"), &ctx, &metrics, 1);
+        assert_eq!(route, Route::Other);
+        assert_eq!(resp.status, 405);
+        // Malformed spec: typed 400 naming the problem.
+        let (route, resp) =
+            route_request(&post("/aggregate", "{\"group_by\":[]}"), &ctx, &metrics, 1);
+        assert_eq!(route, Route::Aggregate);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("group_by"), "{}", resp.body);
+        // Attribute query against attribute-less snapshots: typed 400
+        // naming the bare shards, not zeros.
+        let spec = r#"{"group_by":["material"],"aggregates":[{"op":"count"}]}"#;
+        let (_, resp) = route_request(&post("/aggregate", spec), &ctx, &metrics, 1);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("pipe_attributes"), "{}", resp.body);
+        assert!(resp.body.contains("\"shards\":[\"region_a\",\"region_b\"]"), "{}", resp.body);
+    }
+
+    #[test]
+    fn aggregate_groups_across_shards_and_degrade_503s_with_retry_after() {
+        let ctx = sharded_ctx();
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let spec = r#"{"group_by":["region"],"aggregates":[{"op":"count"},{"op":"max","field":"risk"}]}"#;
+        let (route, resp) = route_request(&post("/aggregate", spec), &ctx, &metrics, 2);
+        assert_eq!(route, Route::Aggregate);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            resp.body,
+            "{\"groups\":[\
+             {\"key\":{\"region\":\"region_a\"},\"count\":2,\"max_risk\":0.9},\
+             {\"key\":{\"region\":\"region_b\"},\"count\":2,\"max_risk\":0.7}]}"
+        );
+        assert_eq!(metrics.shard_requests(0), 1);
+        assert_eq!(metrics.shard_requests(1), 1);
+        // A degraded shard refuses the whole aggregate, with Retry-After.
+        ctx.shards().get("region_b").unwrap().degrade("bad bytes".into());
+        let (_, resp) = route_request(&post("/aggregate", spec), &ctx, &metrics, 2);
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("\"shards\":[\"region_b\"]"), "{}", resp.body);
+        assert_eq!(resp.header("Retry-After"), Some("2"));
+        assert_eq!(metrics.shard_unavailable_total(1), 1);
+    }
+
+    #[test]
+    fn aggregate_partial_mode_round_trips_to_the_same_final_body() {
+        use crate::aggregate;
+        let ctx = ServeContext::sharded(
+            ShardSet::from_scorers(vec![
+                attr_scorer("Region A", &[(1, 0.9), (2, 0.4), (3, 0.3)]),
+                attr_scorer("Region B", &[(1, 0.7), (9, 0.5)]),
+            ])
+            .expect("distinct regions"),
+        );
+        let metrics = Metrics::with_shards(vec!["region_a".into(), "region_b".into()]);
+        let spec_body = r#"{"group_by":["material","decade"],"aggregates":[{"op":"count"},{"op":"sum","field":"length_m"},{"op":"avg","field":"risk"}]}"#;
+        let (_, full) = route_request(&post("/aggregate", spec_body), &ctx, &metrics, 1);
+        assert_eq!(full.status, 200, "{}", full.body);
+        // The ?partial=1 answer re-parses and re-merges to the same body —
+        // what a federation front end does with backend replies.
+        let (_, partial) = route_request(&post("/aggregate?partial=1", spec_body), &ctx, &metrics, 1);
+        assert_eq!(partial.status, 200, "{}", partial.body);
+        let spec = AggregateSpec::parse(spec_body).unwrap();
+        let wire = aggregate::parse_partial(&spec, &partial.body).expect("valid partial");
+        let (groups, budget) = aggregate::merge_partials(&spec, &[wire]);
+        assert_eq!(full.body, aggregate::render_aggregate(&spec, groups, budget));
+        // Budget mode over the wire too.
+        let budget_body = r#"{"group_by":["region"],"aggregates":[{"op":"count"},{"op":"sum","field":"length_m"}],"budget":{"length_m":250}}"#;
+        let (_, full) = route_request(&post("/aggregate", budget_body), &ctx, &metrics, 1);
+        assert_eq!(full.status, 200, "{}", full.body);
+        assert!(full.body.contains("\"budget\":{\"length_m\":250,"), "{}", full.body);
+        let (_, partial) =
+            route_request(&post("/aggregate?partial=1", budget_body), &ctx, &metrics, 1);
+        let spec = AggregateSpec::parse(budget_body).unwrap();
+        let wire = aggregate::parse_partial(&spec, &partial.body).expect("valid partial");
+        let (groups, b) = aggregate::merge_partials(&spec, &[wire]);
+        assert_eq!(full.body, aggregate::render_aggregate(&spec, groups, b));
     }
 
     #[test]

@@ -48,6 +48,13 @@
 //!   loader; in single-snapshot mode the old model keeps serving, in
 //!   sharded mode only that shard degrades to a typed 503 until a valid
 //!   snapshot heals it.
+//! * [`aggregate`] — the declarative `POST /aggregate` analytics engine:
+//!   a typed JSON pipeline spec (group by `region`/`material`/`decade`;
+//!   `count`/`sum`/`avg`/`min`/`max` over risk and pipe length; optional
+//!   `top_groups` limit and a greedy length-`budget` selection) executed
+//!   per-shard with partial states merged deterministically, so every
+//!   topology — monolithic, sharded, federated — answers byte-identically.
+//!   The query reference and quickstart live in `docs/AGGREGATE.md`.
 //! * [`metrics`] — lock-free request counters (including keep-alive reuse
 //!   and reload outcomes) and a latency histogram, exposed at `/metrics`
 //!   in Prometheus text exposition format.
@@ -66,6 +73,7 @@
 //! `docs/SERVING.md`; the byte-level snapshot spec in
 //! `docs/SNAPSHOT_FORMAT.md`.
 
+pub mod aggregate;
 #[cfg(target_os = "linux")]
 pub(crate) mod event_loop;
 pub mod federation;
@@ -77,6 +85,7 @@ pub mod scorer;
 pub mod shards;
 pub(crate) mod sys;
 
+pub use aggregate::{AggField, AggOp, Aggregate, AggregateError, AggregateSpec, GroupKey};
 pub use federation::{serve_federated, BackendState, FedConfig, Federation, FederationError};
 pub use http::{serve, HttpCore, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;

@@ -43,6 +43,8 @@ pub enum Route {
     Model,
     /// `POST /batch`
     Batch,
+    /// `POST /aggregate`
+    Aggregate,
     /// `GET /riskmap.svg`
     Riskmap,
     /// `GET /metrics`
@@ -52,13 +54,14 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 9] = [
+    const ALL: [Route; 10] = [
         Route::Health,
         Route::Healthz,
         Route::Top,
         Route::Pipe,
         Route::Model,
         Route::Batch,
+        Route::Aggregate,
         Route::Riskmap,
         Route::Metrics,
         Route::Other,
@@ -73,6 +76,7 @@ impl Route {
             Route::Pipe => "pipe",
             Route::Model => "model",
             Route::Batch => "batch",
+            Route::Aggregate => "aggregate",
             Route::Riskmap => "riskmap",
             Route::Metrics => "metrics",
             Route::Other => "other",
@@ -109,10 +113,10 @@ struct DurationHisto {
 #[derive(Debug, Default)]
 pub struct Metrics {
     total: AtomicU64,
-    by_route: [AtomicU64; 9],
+    by_route: [AtomicU64; 10],
     /// Per-route request-duration histograms
     /// (`pipefail_http_request_duration_seconds{route=...}`).
-    durations: [DurationHisto; 9],
+    durations: [DurationHisto; 10],
     /// Currently open connections (gauge; both connection cores).
     connections_open: AtomicU64,
     /// Idle keep-alive connections closed to admit new ones at the

@@ -8,7 +8,11 @@
 //! results come back in query order at any thread count.
 
 use pipefail_core::model::RiskRanking;
-use pipefail_core::snapshot::{Snapshot, SnapshotError, SummarySection};
+use pipefail_core::snapshot::{
+    Snapshot, SnapshotError, SummarySection, ATTRIBUTES_SECTION, ATTR_LAID_YEAR, ATTR_LENGTH_M,
+    ATTR_MATERIAL,
+};
+use pipefail_network::attributes::Material;
 use pipefail_network::ids::PipeId;
 use pipefail_par::TaskPool;
 use std::path::Path;
@@ -44,6 +48,60 @@ pub enum QueryResult {
     Pipe(Option<PipeRisk>),
 }
 
+/// Per-pipe asset attributes decoded from the snapshot's well-known
+/// `pipe_attributes` section, aligned with the descending score order
+/// (entry `i` describes the pipe at rank `i`). Present only when the
+/// snapshot carries the section *and* it validates: every field the same
+/// length as the ranking, lengths finite and non-negative, material
+/// indices inside the catalogue. A malformed section is dropped rather
+/// than served — top-K and point lookups keep working, aggregation
+/// queries that need attributes get a typed refusal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeAttributes {
+    /// Pipe length in metres, by rank.
+    pub length_m: Vec<f64>,
+    /// Pipe material, by rank.
+    pub material: Vec<Material>,
+    /// Construction year, by rank.
+    pub laid_year: Vec<i32>,
+}
+
+impl PipeAttributes {
+    /// Decode and validate the attributes section against a ranking of
+    /// `n` pipes. `None` when the section is absent or malformed.
+    fn decode(sections: &[SummarySection], n: usize) -> Option<Self> {
+        let section = sections.iter().find(|s| s.name == ATTRIBUTES_SECTION)?;
+        let length_m = section.field(ATTR_LENGTH_M)?;
+        let material = section.field(ATTR_MATERIAL)?;
+        let laid_year = section.field(ATTR_LAID_YEAR)?;
+        if length_m.len() != n || material.len() != n || laid_year.len() != n {
+            return None;
+        }
+        if !length_m.iter().all(|l| l.is_finite() && *l >= 0.0) {
+            return None;
+        }
+        let material: Option<Vec<Material>> = material
+            .iter()
+            .map(|&m| {
+                (m.fract() == 0.0 && m >= 0.0 && (m as usize) < Material::ALL.len())
+                    .then(|| Material::ALL[m as usize])
+            })
+            .collect();
+        let laid_year: Option<Vec<i32>> = laid_year
+            .iter()
+            .map(|&y| {
+                (y.is_finite() && y.fract() == 0.0 && y >= f64::from(i32::MIN) && y <= f64::from(i32::MAX))
+                    .then_some(y as i32)
+            })
+            .collect();
+        Some(Self {
+            length_m: length_m.to_vec(),
+            material: material?,
+            laid_year: laid_year?,
+        })
+    }
+}
+
 /// In-memory scoring engine over one loaded snapshot.
 #[derive(Debug, Clone)]
 pub struct Scorer {
@@ -59,6 +117,8 @@ pub struct Scorer {
     /// and the probe sequence is cache-friendly instead of a random walk.
     index: Vec<(PipeId, u32)>,
     sections: Vec<SummarySection>,
+    /// Decoded `pipe_attributes` section, when present and valid.
+    attributes: Option<PipeAttributes>,
 }
 
 impl Scorer {
@@ -76,6 +136,7 @@ impl Scorer {
             .map(|e| (e.pipe, e.rank as u32))
             .collect();
         index.sort_unstable_by_key(|&(pipe, _)| pipe);
+        let attributes = PipeAttributes::decode(&snapshot.sections, entries.len());
         Self {
             model: snapshot.model,
             region: snapshot.region,
@@ -83,6 +144,7 @@ impl Scorer {
             entries,
             index,
             sections: snapshot.sections,
+            attributes,
         }
     }
 
@@ -119,6 +181,13 @@ impl Scorer {
     /// Posterior summary sections carried by the snapshot.
     pub fn sections(&self) -> &[SummarySection] {
         &self.sections
+    }
+
+    /// Per-pipe asset attributes (length / material / construction year),
+    /// when the snapshot carries a valid `pipe_attributes` section. Rank
+    /// `i` of the ranking owns index `i` of every attribute vector.
+    pub fn attributes(&self) -> Option<&PipeAttributes> {
+        self.attributes.as_ref()
     }
 
     /// One-line identity used in logs ("which model is this process
@@ -242,6 +311,48 @@ mod tests {
         assert!(matches!(&serial[1], QueryResult::Pipe(Some(r)) if r.pipe == PipeId(42)));
         assert!(matches!(&serial[2], QueryResult::Pipe(None)));
         assert!(matches!(&serial[3], QueryResult::TopK(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn attributes_decode_only_when_aligned_and_valid() {
+        use pipefail_core::snapshot::attributes_section;
+
+        let ranking = RiskRanking::new(
+            (0..4u32)
+                .map(|i| RiskScore { pipe: PipeId(i), score: 1.0 - f64::from(i) / 10.0 })
+                .collect(),
+        );
+        let attach = |length: Vec<f64>, material: Vec<f64>, year: Vec<f64>| {
+            let mut snap = Snapshot::new("DPMHBP", "Region A", 7, &ranking);
+            snap.push_section(attributes_section(length, material, year));
+            Scorer::new(snap)
+        };
+
+        // Valid: aligned, finite, catalogued materials.
+        let s = attach(
+            vec![10.0, 20.0, 30.0, 40.0],
+            vec![0.0, 8.0, 1.0, 1.0],
+            vec![1920.0, 1950.0, 1980.0, 2010.0],
+        );
+        let attrs = s.attributes().expect("valid attributes decode");
+        assert_eq!(attrs.length_m, vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(attrs.material[0], Material::ALL[0]);
+        assert_eq!(attrs.material[1], Material::ALL[8]);
+        assert_eq!(attrs.laid_year, vec![1920, 1950, 1980, 2010]);
+
+        // No section at all: attributes absent, scorer still works.
+        assert!(scorer().attributes().is_none());
+
+        // Misaligned, negative length, out-of-catalogue material, and
+        // fractional year are each dropped whole.
+        for (length, material, year) in [
+            (vec![10.0; 3], vec![0.0; 4], vec![1950.0; 4]),
+            (vec![10.0, -1.0, 10.0, 10.0], vec![0.0; 4], vec![1950.0; 4]),
+            (vec![10.0; 4], vec![0.0, 99.0, 0.0, 0.0], vec![1950.0; 4]),
+            (vec![10.0; 4], vec![0.0; 4], vec![1950.5, 1950.0, 1950.0, 1950.0]),
+        ] {
+            assert!(attach(length, material, year).attributes().is_none());
+        }
     }
 
     #[test]

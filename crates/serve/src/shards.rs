@@ -345,6 +345,26 @@ impl ShardSet {
 /// tables' concatenation — without ever materialising or re-sorting that
 /// union. Cost is O(tables · k) comparisons; each table only ever
 /// contributes its own first `k` entries.
+///
+/// # Examples
+///
+/// Two shards' descending rankings merge into one global top-3; the tie
+/// at `0.5` breaks to the lower table index:
+///
+/// ```
+/// use pipefail_network::ids::PipeId;
+/// use pipefail_serve::{merge_top_k, PipeRisk};
+///
+/// let a = [
+///     PipeRisk { pipe: PipeId(0), score: 0.9, rank: 0 },
+///     PipeRisk { pipe: PipeId(1), score: 0.5, rank: 1 },
+/// ];
+/// let b = [PipeRisk { pipe: PipeId(7), score: 0.5, rank: 0 }];
+/// let merged = merge_top_k(&[&a, &b], 3);
+/// let order: Vec<(usize, u32)> =
+///     merged.iter().map(|g| (g.shard, g.risk.pipe.0)).collect();
+/// assert_eq!(order, vec![(0, 0), (0, 1), (1, 7)]);
+/// ```
 pub fn merge_top_k(tables: &[&[PipeRisk]], k: usize) -> Vec<GlobalRisk> {
     let total: usize = tables.iter().map(|t| t.len()).sum();
     let mut heads = vec![0usize; tables.len()];

@@ -15,14 +15,18 @@
 //!   restarts anywhere;
 //! * a `Down` backend short-circuits (fast typed 503, no timeout burn);
 //! * a hedged duplicate beats a stalled primary without inflating errors;
-//! * backend `/healthz` probe traffic stays out of the request metrics.
+//! * backend `/healthz` probe traffic stays out of the request metrics;
+//! * federated `POST /aggregate` answers byte-identically to an
+//!   in-process sharded server, degrades per-region behind
+//!   `X-Pipefail-Partial`, and a fully dark fleet is a typed 503 with
+//!   `Retry-After` — driven through the same fault proxy.
 
 mod common;
 
 use common::faultproxy::{Fault, FaultProxy};
 use common::{get_once, post_once, Conn};
 use pipefail_core::model::{RiskRanking, RiskScore};
-use pipefail_core::snapshot::Snapshot;
+use pipefail_core::snapshot::{attributes_section, Snapshot};
 use pipefail_network::ids::PipeId;
 use pipefail_serve::{
     serve, serve_federated, BackendState, FedConfig, Federation, Scorer, ServeContext,
@@ -49,6 +53,27 @@ fn snapshot(region: &str, n: u32, base: f64) -> Snapshot {
 
 fn scorer(region: &str, n: u32, base: f64) -> Scorer {
     Scorer::new(snapshot(region, n, base))
+}
+
+/// The same regional snapshot with a deterministic attributes section in
+/// score order, so the region can answer `/aggregate` pipelines.
+fn attr_scorer(region: &str, n: u32, base: f64) -> Scorer {
+    let mut snap = snapshot(region, n, base);
+    snap.push_section(attributes_section(
+        (0..n).map(|i| 100.0 + f64::from(i)).collect(),
+        (0..n).map(|i| f64::from(i % 9)).collect(),
+        (0..n).map(|i| f64::from(1940 + (i % 4) * 10)).collect(),
+    ));
+    Scorer::new(snap)
+}
+
+/// One attribute-tagged backend serve process.
+fn attr_backend(region: &str, n: u32, base: f64) -> ServerHandle {
+    serve(
+        Arc::new(ServeContext::new(attr_scorer(region, n, base))),
+        &server_config(),
+    )
+    .expect("backend starts")
 }
 
 /// Server tuning for every process in these tests: enough workers that
@@ -507,6 +532,142 @@ fn hedged_duplicate_beats_a_stalled_primary() {
 
     fed_handle.shutdown();
     a.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Federated aggregation: byte-identity, per-region degradation, and the
+// zero-healthy-backends 503.
+// ---------------------------------------------------------------------------
+
+const AGG_SPEC: &str = "{\"group_by\":[\"material\",\"decade\"],\"aggregates\":[{\"op\":\"count\"},{\"op\":\"sum\",\"field\":\"length_m\"},{\"op\":\"avg\",\"field\":\"risk\"}]}";
+
+#[test]
+fn federated_aggregate_is_byte_identical_and_degrades_per_region() {
+    let a = attr_backend("Region A", 30, 1.0);
+    let b = attr_backend("Region B", 20, 2.0);
+    let c = attr_backend("Region C", 25, 1.5);
+    let proxy = FaultProxy::start(c.addr());
+    let (fed_handle, fed) = federate(
+        vec![
+            ("Region A", a.addr()),
+            ("Region B", b.addr()),
+            ("Region C", proxy.addr()),
+        ],
+        fed_test_config(),
+    );
+    let oracle_abc = oracle(vec![
+        attr_scorer("Region A", 30, 1.0),
+        attr_scorer("Region B", 20, 2.0),
+        attr_scorer("Region C", 25, 1.5),
+    ]);
+    let oracle_ab = oracle(vec![
+        attr_scorer("Region A", 30, 1.0),
+        attr_scorer("Region B", 20, 2.0),
+    ]);
+    let give_up = Duration::from_secs(30);
+
+    // Healthy fleet: the scatter-gathered merge of wire partials is
+    // byte-identical to ONE in-process sharded server — for plain
+    // grouping, top_groups, and the greedy budget operator alike.
+    let budget_spec = "{\"group_by\":[\"region\"],\"aggregates\":[{\"op\":\"count\"},{\"op\":\"sum\",\"field\":\"length_m\"}],\"budget\":{\"length_m\":500}}";
+    let top_spec = "{\"group_by\":[\"material\"],\"aggregates\":[{\"op\":\"max\",\"field\":\"risk\"}],\"top_groups\":3}";
+    for spec in [AGG_SPEC, budget_spec, top_spec] {
+        let via_fed = post_once(fed_handle.addr(), "/aggregate", spec);
+        let in_process = post_once(oracle_abc.addr(), "/aggregate", spec);
+        assert_eq!(via_fed.status, 200, "{spec}: {}", via_fed.body);
+        assert_eq!(via_fed.body, in_process.body, "{spec} drifted from in-process");
+        assert!(
+            via_fed.header("x-pipefail-partial").is_none(),
+            "healthy fleet must not mark the aggregate partial"
+        );
+    }
+
+    // A malformed spec 400s locally — no backend traffic, same body shape
+    // as a backend would answer.
+    let bad = post_once(fed_handle.addr(), "/aggregate", "{\"group_by\":[\"altitude\"]}");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.starts_with("{\"error\":"), "{}", bad.body);
+
+    // Kill region_c: the aggregate keeps answering over the live fleet,
+    // naming the lost region — byte-identical to an in-process server
+    // over exactly the live regions.
+    proxy.set_fault(Fault::Blackhole);
+    wait_for("blackhole to mark region_c down", give_up, || {
+        fed.state_of("region_c") == Some(BackendState::Down)
+    });
+    let partial = post_once(fed_handle.addr(), "/aggregate", AGG_SPEC);
+    assert_eq!(partial.status, 200, "{}", partial.body);
+    assert_eq!(partial.header("x-pipefail-partial"), Some("region_c"));
+    assert_eq!(
+        partial.body,
+        post_once(oracle_ab.addr(), "/aggregate", AGG_SPEC).body,
+        "partial aggregate drifted from the live-fleet oracle"
+    );
+
+    // Heal and the full merge returns, unmarked.
+    proxy.set_fault(Fault::None);
+    wait_for("probe to heal region_c", give_up, || {
+        fed.state_of("region_c") == Some(BackendState::Healthy)
+    });
+    let whole = post_once(fed_handle.addr(), "/aggregate", AGG_SPEC);
+    assert_eq!(whole.status, 200, "{}", whole.body);
+    assert!(whole.header("x-pipefail-partial").is_none());
+    assert_eq!(whole.body, post_once(oracle_abc.addr(), "/aggregate", AGG_SPEC).body);
+
+    fed_handle.shutdown();
+    oracle_ab.shutdown();
+    oracle_abc.shutdown();
+    a.shutdown();
+    b.shutdown();
+    c.shutdown();
+}
+
+#[test]
+fn aggregate_with_zero_healthy_backends_answers_503_with_retry_after() {
+    let a = attr_backend("Region A", 10, 1.0);
+    let b = attr_backend("Region B", 10, 1.0);
+    let proxy_a = FaultProxy::start(a.addr());
+    let proxy_b = FaultProxy::start(b.addr());
+    let (fed_handle, fed) = federate(
+        vec![("Region A", proxy_a.addr()), ("Region B", proxy_b.addr())],
+        fed_test_config(),
+    );
+
+    // Sanity: the healthy pair answers.
+    let ok = post_once(fed_handle.addr(), "/aggregate", AGG_SPEC);
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    // Black-hole the whole fleet: a roll-up with zero live regions would
+    // be silently wrong, so the front-end refuses with a typed 503 and
+    // tells the client when to retry.
+    proxy_a.set_fault(Fault::Blackhole);
+    proxy_b.set_fault(Fault::Blackhole);
+    wait_for("both backends down", Duration::from_secs(30), || {
+        fed.state_of("region_a") == Some(BackendState::Down)
+            && fed.state_of("region_b") == Some(BackendState::Down)
+    });
+    let dark = post_once(fed_handle.addr(), "/aggregate", AGG_SPEC);
+    assert_eq!(dark.status, 503, "{}", dark.body);
+    assert_eq!(dark.header("retry-after"), Some("1"));
+    assert!(
+        dark.body.contains("all backends degraded"),
+        "{}",
+        dark.body
+    );
+    assert!(dark.body.contains("region_a") && dark.body.contains("region_b"), "{}", dark.body);
+
+    // Healing either backend restores service (partial, flagged).
+    proxy_b.set_fault(Fault::None);
+    wait_for("region_b heals", Duration::from_secs(30), || {
+        fed.state_of("region_b") == Some(BackendState::Healthy)
+    });
+    let back = post_once(fed_handle.addr(), "/aggregate", AGG_SPEC);
+    assert_eq!(back.status, 200, "{}", back.body);
+    assert_eq!(back.header("x-pipefail-partial"), Some("region_a"));
+
+    fed_handle.shutdown();
+    a.shutdown();
+    b.shutdown();
 }
 
 #[test]

@@ -63,12 +63,15 @@ USAGE:
   pipefail snapshot --data DIR --out FILE [--model NAME] [--seed N] [--full]
       Fit a model and freeze its posterior summary plus the full risk
       ranking into a versioned snapshot file (see docs/SNAPSHOT_FORMAT.md).
+      Per-pipe attributes (length, material, laid year) are embedded so the
+      server can answer POST /aggregate pipelines (see docs/AGGREGATE.md).
   pipefail serve (--snapshot FILE [--snapshot FILE ...] | --snapshot-dir DIR
                   | --backend KEY=HOST:PORT [--backend KEY=HOST:PORT ...])
                  [--addr HOST:PORT] [--data DIR] [--max-requests N]
       Serve snapshots over HTTP with keep-alive connections: /health /top
-      /pipe /model /batch /metrics (and /riskmap.svg when --data is given
-      with a single snapshot). One --snapshot is the classic single-region
+      /pipe /model /batch /aggregate /metrics (and /riskmap.svg when --data
+      is given with a single snapshot). POST /aggregate runs a declarative
+      group-by/aggregate pipeline over the fleet (docs/AGGREGATE.md). One --snapshot is the classic single-region
       server; repeated --snapshot flags or --snapshot-dir (every *.pfsnap
       in DIR) serve one shard per region behind one endpoint: /top?region=R
       routes to one shard, region-less /top scatter-gathers the global
@@ -85,8 +88,8 @@ USAGE:
       Repeated --backend flags start a *federation front-end* instead: no
       snapshots are loaded; region-tagged queries relay to the named
       backend serve processes over keep-alive TCP with health checks,
-      timeouts, retries, and hedged requests, and region-less /top
-      scatter-gathers the global top-K across the live fleet. Honors the
+      timeouts, retries, and hedged requests; region-less /top and
+      POST /aggregate scatter-gather across the live fleet. Honors the
       PIPEFAIL_FED_* knobs (TIMEOUT_SECS, RETRIES, BACKOFF_MS,
       BACKOFF_CAP_MS, HEDGE_MS, PROBE_SECS, FAIL_THRESHOLD); see the
       Federation section of docs/SERVING.md.
@@ -230,7 +233,27 @@ fn cmd_snapshot(options: &Options) -> Result<(), String> {
     let ranking = model
         .fit_rank(&ds, &split, seed)
         .map_err(|e| e.to_string())?;
-    let snap = Snapshot::from_fit(model.as_ref(), ds.name(), seed, &ranking);
+    let mut snap = Snapshot::from_fit(model.as_ref(), ds.name(), seed, &ranking);
+    // Per-pipe attributes ride along in score order so the serving layer
+    // can answer declarative POST /aggregate pipelines (docs/AGGREGATE.md).
+    let scores = ranking.scores();
+    snap.push_section(pipefail::core::snapshot::attributes_section(
+        scores.iter().map(|s| ds.pipe_length_m(s.pipe)).collect(),
+        scores
+            .iter()
+            .map(|s| {
+                let material = ds.pipe(s.pipe).material;
+                Material::ALL
+                    .iter()
+                    .position(|m| *m == material)
+                    .unwrap_or(0) as f64
+            })
+            .collect(),
+        scores
+            .iter()
+            .map(|s| f64::from(ds.pipe(s.pipe).laid_year))
+            .collect(),
+    ));
     let path = PathBuf::from(out);
     snap.save(&path).map_err(|e| e.to_string())?;
     println!(

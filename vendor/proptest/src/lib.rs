@@ -3,8 +3,8 @@
 //! The build environment has no crates.io access, so this crate provides a
 //! deterministic random-sampling property harness with the same spelling
 //! as upstream proptest: the [`proptest!`] macro, `prop_assert!` /
-//! `prop_assert_eq!`, range/tuple strategies, `collection::vec` and
-//! `sample::select`.
+//! `prop_assert_eq!`, range/tuple strategies, `collection::vec`,
+//! `sample::select` and `option::of`.
 //!
 //! Differences from upstream, by design: no shrinking (a failing case
 //! reports its case index and the harness seed is fixed per test name, so
@@ -186,6 +186,35 @@ pub mod sample {
         fn sample(&self, rng: &mut TestRng) -> T {
             let i = rng.next_below(self.items.len() as u64) as usize;
             self.items[i].clone()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` (see [`of`]).
+    pub struct OptionStrategy<S: Strategy> {
+        inner: S,
+    }
+
+    /// `Some` of a value from `inner` or `None`, each with probability
+    /// one half (upstream weights 3:1 toward `Some`; an even split keeps
+    /// the stub simple and exercises both arms just as well).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
         }
     }
 }
