@@ -40,6 +40,11 @@
 //! against the 100k-pipe table — the binary-searched id→rank index built
 //! at snapshot load.
 //!
+//! The `serve/mmap/{cold_start,reload}/*` and `serve/heap/cold_start/*`
+//! entries come from the snapshot-loading harness (see [`mmap_load`]):
+//! the zero-copy v2 mmap loader vs the v1 heap parse across a size sweep,
+//! plus the watcher-shaped load-and-swap reload.
+//!
 //! The `serve/{epoll,threaded}/open_loop/*` entries come from the
 //! open-loop Poisson load generator (see [`open_loop`]): a concurrency
 //! sweep comparing the epoll event-loop core against the
@@ -77,7 +82,10 @@ fn push_attributes(snap: &mut Snapshot, n: u32) {
     ));
 }
 
-fn scorer(n: u32) -> Scorer {
+/// The bench snapshot: `n` pipes with strictly descending scores and full
+/// per-pipe attributes (shared by the serving benches and the mmap
+/// cold-start/reload harness).
+fn bench_snapshot(n: u32) -> Snapshot {
     let ranking = RiskRanking::new(
         (0..n)
             .map(|i| RiskScore {
@@ -88,7 +96,11 @@ fn scorer(n: u32) -> Scorer {
     );
     let mut snap = Snapshot::new("DPMHBP", "Region A", 7, &ranking);
     push_attributes(&mut snap, n);
-    Scorer::new(snap)
+    snap
+}
+
+fn scorer(n: u32) -> Scorer {
+    Scorer::new(bench_snapshot(n))
 }
 
 /// One regional shard holding `n` of the `TOTAL_PIPES` scores: shard `s`
@@ -860,12 +872,119 @@ mod open_loop {
     }
 }
 
+/// Snapshot-loading harness: v2 **mmap** cold start vs the v1 **heap**
+/// parse, plus mmap hot-reload (load the replacement + swap the served
+/// `Arc`, exactly the watcher's work), across a size sweep.
+///
+/// Both loaders run the same strict one-pass integrity validation; the
+/// mmap path's win is everything *besides* the scan — no file copy into a
+/// Vec, no per-entry parse, no entry/index allocation, no section decode —
+/// so the delta grows with snapshot size and the bench pins it.
+///
+/// Each size yields `serve/mmap/{cold_start,reload}/<n>_pipes` and
+/// `serve/heap/cold_start/<n>_pipes` trajectory entries plus one greppable
+/// `MMAPLOAD pipes=… v2_cold_ns=… v1_heap_ns=… v2_reload_ns=…` stdout
+/// line (the CI gate asserts `v2_cold_ns <= v1_heap_ns` at the largest
+/// size).
+mod mmap_load {
+    use criterion::{black_box, BenchRecord};
+    use pipefail_core::snapshot::SnapshotFormat;
+    use pipefail_serve::Scorer;
+    use std::path::PathBuf;
+    use std::sync::{Arc, RwLock};
+    use std::time::Instant;
+
+    /// Median of `reps` timed runs of `f`, in nanoseconds.
+    fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+        let mut samples: Vec<u64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+
+    pub fn run() -> Vec<BenchRecord> {
+        let smoke = criterion::smoke_mode();
+        let sizes: &[u32] = if smoke {
+            &[10_000, 100_000]
+        } else {
+            &[10_000, 100_000, 1_000_000]
+        };
+        let reps = if smoke { 5 } else { 9 };
+        let dir = std::env::temp_dir().join(format!("pipefail_mmap_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+
+        let mut records = Vec::new();
+        for &n in sizes {
+            let snap = super::bench_snapshot(n);
+            let v2: PathBuf = dir.join(format!("cold_{n}.v2.pfsnap"));
+            let v1: PathBuf = dir.join(format!("cold_{n}.v1.pfsnap"));
+            snap.save_as(&v2, SnapshotFormat::V2).expect("write v2");
+            snap.save_as(&v1, SnapshotFormat::V1).expect("write v1");
+            drop(snap);
+
+            // Cold start: file → answering scorer, including the strict
+            // validation pass both loaders share.
+            let v2_cold_ns = median_ns(reps, || {
+                let s = Scorer::load(&v2).expect("v2 mmap load");
+                assert!(s.mapped() || !cfg!(target_endian = "little"));
+                black_box(s.len());
+            });
+            let v1_heap_ns = median_ns(reps, || {
+                let s = Scorer::load(&v1).expect("v1 heap load");
+                black_box(s.len());
+            });
+
+            // Reload: the watcher's work — strict-load the replacement and
+            // swap the served Arc; the old mapping dies with the last
+            // reader's Arc, off the serving path.
+            let served = RwLock::new(Arc::new(Scorer::load(&v2).expect("initial load")));
+            let v2_reload_ns = median_ns(reps, || {
+                let fresh = Arc::new(Scorer::load(&v2).expect("reload"));
+                let old = std::mem::replace(
+                    &mut *served.write().expect("swap lock"),
+                    fresh,
+                );
+                black_box(&old);
+            });
+
+            println!(
+                "MMAPLOAD pipes={n} v2_cold_ns={v2_cold_ns} v1_heap_ns={v1_heap_ns} \
+                 v2_reload_ns={v2_reload_ns}"
+            );
+            records.push(BenchRecord {
+                id: format!("serve/mmap/cold_start/{n}_pipes"),
+                ns_per_iter: v2_cold_ns as f64,
+                iters: reps as u64,
+            });
+            records.push(BenchRecord {
+                id: format!("serve/heap/cold_start/{n}_pipes"),
+                ns_per_iter: v1_heap_ns as f64,
+                iters: reps as u64,
+            });
+            records.push(BenchRecord {
+                id: format!("serve/mmap/reload/{n}_pipes"),
+                ns_per_iter: v2_reload_ns as f64,
+                iters: reps as u64,
+            });
+            std::fs::remove_file(&v2).ok();
+            std::fs::remove_file(&v1).ok();
+        }
+        records
+    }
+}
+
 fn main() {
     let loadtest_only = std::env::var("PIPEFAIL_LOADTEST_ONLY").is_ok_and(|v| v == "1");
     if !loadtest_only {
         benches();
     }
     let mut records = criterion::take_records();
+    records.extend(mmap_load::run());
     records.extend(open_loop::run());
     let snap = pipefail_bench::perf::snapshot("serve_bench", records);
     match pipefail_bench::perf::append_to_trajectory(&snap) {

@@ -90,12 +90,63 @@ pub fn attributes_section(
         .with_field(ATTR_LAID_YEAR, laid_year)
 }
 
-/// Current snapshot format version (header bytes 6..8, little-endian).
+/// The original (version-1) heap-parsed format (header bytes 6..8,
+/// little-endian).
 pub const SNAPSHOT_VERSION: u16 = 1;
 
+/// The version-2 mmap-friendly columnar format: fixed-width, 8-byte-aligned
+/// sections laid out for zero-copy serving. See the [`v2`] module and
+/// `docs/SNAPSHOT_FORMAT.md`.
+pub const SNAPSHOT_VERSION_V2: u16 = 2;
+
 /// Fixed header size in bytes: magic (6) + version (2) + checksum (8) +
-/// payload length (8).
+/// payload length (8). Shared by both format versions.
 pub const HEADER_LEN: usize = 24;
+
+/// Which on-disk encoding to write. Both decode through
+/// [`Snapshot::from_bytes`], which negotiates on the header version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Version 1: variable-width, heap-parsed.
+    V1,
+    /// Version 2: aligned columnar, mmap-servable. The default for new
+    /// snapshots.
+    V2,
+}
+
+impl SnapshotFormat {
+    /// Short human label (`"v1"` / `"v2"`), as printed by the CLI and the
+    /// `/model` endpoint.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotFormat::V1 => "v1",
+            SnapshotFormat::V2 => "v2",
+        }
+    }
+
+    /// Parse a CLI-style label (`"v1"` / `"v2"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "v1" | "1" => Some(SnapshotFormat::V1),
+            "v2" | "2" => Some(SnapshotFormat::V2),
+            _ => None,
+        }
+    }
+
+    /// The header version this format writes.
+    pub fn version(self) -> u16 {
+        match self {
+            SnapshotFormat::V1 => SNAPSHOT_VERSION,
+            SnapshotFormat::V2 => SNAPSHOT_VERSION_V2,
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A named vector of posterior-summary values (e.g. `"beta"` for Cox
 /// coefficients, `"mean"` for per-pipe posterior means).
@@ -190,6 +241,23 @@ pub enum SnapshotError {
         /// Index of the first out-of-order entry.
         at: usize,
     },
+    /// A v2 structure violates the format's 8-byte alignment rules (payload
+    /// length or a section offset).
+    Misaligned(&'static str),
+    /// The v2 section table is malformed: unknown or duplicate kind,
+    /// reserved bits set, out-of-bounds, overlapping or gapped sections,
+    /// mismatched lengths, or a missing required section.
+    BadSectionTable(&'static str),
+    /// The v2 binary-search index is not sorted ascending by
+    /// `(pipe id, rank)` — point lookups over mapped bytes would be wrong.
+    UnsortedIndex {
+        /// Index of the first out-of-order entry.
+        at: usize,
+    },
+    /// A v2 attribute column holds a value the serving-side decoder would
+    /// reject (negative length, out-of-catalogue material, fractional
+    /// year). The writer never emits these, so they always mean corruption.
+    BadAttributes(&'static str),
     /// Reading the file itself failed.
     Io(String),
 }
@@ -202,7 +270,10 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (supported: {SNAPSHOT_VERSION}, {SNAPSHOT_VERSION_V2})"
+                )
             }
             SnapshotError::LengthMismatch { declared, actual } => write!(
                 f,
@@ -219,6 +290,16 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::UnsortedScores { at } => {
                 write!(f, "scores not in descending order at index {at}")
+            }
+            SnapshotError::Misaligned(what) => write!(f, "misaligned {what}"),
+            SnapshotError::BadSectionTable(what) => {
+                write!(f, "bad section table: {what}")
+            }
+            SnapshotError::UnsortedIndex { at } => {
+                write!(f, "index not sorted by (pipe id, rank) at entry {at}")
+            }
+            SnapshotError::BadAttributes(what) => {
+                write!(f, "invalid attribute column {what}")
             }
             SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
         }
@@ -318,18 +399,7 @@ impl Snapshot {
             put_u32(&mut payload, pipe.0);
             payload.extend_from_slice(&score.to_bits().to_le_bytes());
         }
-        put_u32(&mut payload, self.sections.len() as u32);
-        for section in &self.sections {
-            put_str(&mut payload, &section.name);
-            put_u32(&mut payload, section.fields.len() as u32);
-            for field in &section.fields {
-                put_str(&mut payload, &field.name);
-                put_u32(&mut payload, field.values.len() as u32);
-                for v in &field.values {
-                    payload.extend_from_slice(&v.to_bits().to_le_bytes());
-                }
-            }
-        }
+        put_sections(&mut payload, &self.sections);
 
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&MAGIC);
@@ -338,6 +408,19 @@ impl Snapshot {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&payload);
         bytes
+    }
+
+    /// Serialize to the version-2 aligned columnar format (see [`v2`]).
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        v2::encode(self)
+    }
+
+    /// Serialize in the requested format.
+    pub fn to_bytes_as(&self, format: SnapshotFormat) -> Vec<u8> {
+        match format {
+            SnapshotFormat::V1 => self.to_bytes(),
+            SnapshotFormat::V2 => self.to_bytes_v2(),
+        }
     }
 
     /// Parse and fully validate the byte format. Strict: any malformation
@@ -354,8 +437,10 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[6], bytes[7]]);
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
+        match version {
+            SNAPSHOT_VERSION => {}
+            SNAPSHOT_VERSION_V2 => return v2::decode(bytes),
+            v => return Err(SnapshotError::UnsupportedVersion(v)),
         }
         let declared_sum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
         let declared_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
@@ -393,23 +478,7 @@ impl Snapshot {
             }
             scores.push((PipeId(pipe), score));
         }
-        let n_sections = cur.count("section count", 8)?;
-        let mut sections = Vec::with_capacity(n_sections);
-        for _ in 0..n_sections {
-            let name = cur.str("section name")?;
-            let n_fields = cur.count("field count", 8)?;
-            let mut fields = Vec::with_capacity(n_fields);
-            for _ in 0..n_fields {
-                let fname = cur.str("field name")?;
-                let n_values = cur.count("value count", 8)?;
-                let mut values = Vec::with_capacity(n_values);
-                for _ in 0..n_values {
-                    values.push(f64::from_bits(cur.u64("field value")?));
-                }
-                fields.push(SummaryField { name: fname, values });
-            }
-            sections.push(SummarySection { name, fields });
-        }
+        let sections = read_sections(&mut cur)?;
         if cur.pos != payload.len() {
             return Err(SnapshotError::Truncated("trailing bytes after payload"));
         }
@@ -425,6 +494,11 @@ impl Snapshot {
     /// Write atomically to `path` (via [`checkpoint::atomic_write`]).
     pub fn save(&self, path: &Path) -> Result<()> {
         checkpoint::atomic_write(path, &self.to_bytes())
+    }
+
+    /// Write atomically in the requested format.
+    pub fn save_as(&self, path: &Path, format: SnapshotFormat) -> Result<()> {
+        checkpoint::atomic_write(path, &self.to_bytes_as(format))
     }
 
     /// Load and validate a snapshot file.
@@ -448,6 +522,45 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a section list (count + sections) in the v1 wire shape. Used for
+/// the v1 payload tail and for the v2 `SUMMARY` blob.
+fn put_sections(buf: &mut Vec<u8>, sections: &[SummarySection]) {
+    put_u32(buf, sections.len() as u32);
+    for section in sections {
+        put_str(buf, &section.name);
+        put_u32(buf, section.fields.len() as u32);
+        for field in &section.fields {
+            put_str(buf, &field.name);
+            put_u32(buf, field.values.len() as u32);
+            for v in &field.values {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decode a section list written by [`put_sections`].
+fn read_sections(cur: &mut Cursor<'_>) -> std::result::Result<Vec<SummarySection>, SnapshotError> {
+    let n_sections = cur.count("section count", 8)?;
+    let mut sections = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let name = cur.str("section name")?;
+        let n_fields = cur.count("field count", 8)?;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let fname = cur.str("field name")?;
+            let n_values = cur.count("value count", 8)?;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(f64::from_bits(cur.u64("field value")?));
+            }
+            fields.push(SummaryField { name: fname, values });
+        }
+        sections.push(SummarySection { name, fields });
+    }
+    Ok(sections)
 }
 
 /// Bounds-checked little-endian reader over the payload.
@@ -503,6 +616,743 @@ impl Cursor<'_> {
     }
 }
 
+pub mod v2 {
+    //! The version-2 mmap-friendly snapshot layout.
+    //!
+    //! The payload (everything after the shared 24-byte header) is built
+    //! from fixed-width, 8-byte-aligned pieces so a serving process can map
+    //! the file and binary-search / scan it in place:
+    //!
+    //! * a 32-byte **preamble**: `seed u64`, `n_pipes u64`, `n_sections
+    //!   u64`, `attr_pos u64` (original index of the extracted attribute
+    //!   section among the snapshot's summary sections, or
+    //!   [`NO_ATTRIBUTES`]);
+    //! * a **section table** of `n_sections` 32-byte entries: `kind u32`,
+    //!   `reserved u32` (zero), `offset u64` (payload-relative, 8-aligned),
+    //!   `count u64` (elements), `byte_len u64`;
+    //! * the section **data blobs**, contiguous in table order, each padded
+    //!   with zero bytes to the next 8-byte boundary.
+    //!
+    //! Sections `MODEL..=INDEX_RANKS` are mandatory; the three attribute
+    //! columns are all-or-none; `SUMMARY` (the remaining posterior sections
+    //! in the v1 wire shape) is optional. The checksum is FNV-1a folded
+    //! over little-endian 8-byte words ([`fnv1a_words`]) — the payload
+    //! length is a multiple of 8 by construction — so the one-pass
+    //! integrity check stays cheap enough to run on every map.
+    //!
+    //! [`validate`] is the single strict validator: both the heap decoder
+    //! ([`decode`], reached through [`Snapshot::from_bytes`]) and the
+    //! serving-side mmap loader run it over the raw bytes, so the two
+    //! loaders accept exactly the same set of files.
+
+    use super::*;
+    use pipefail_network::attributes::Material;
+    use std::ops::Range;
+
+    /// Preamble length in bytes (seed, n_pipes, n_sections, attr_pos).
+    pub const PREAMBLE_LEN: usize = 32;
+
+    /// Section-table entry length in bytes (kind, reserved, offset, count,
+    /// byte_len).
+    pub const SECTION_ENTRY_LEN: usize = 32;
+
+    /// `attr_pos` sentinel: the snapshot has no extracted attribute columns.
+    pub const NO_ATTRIBUTES: u64 = u64::MAX;
+
+    /// Model name, UTF-8 bytes.
+    pub const KIND_MODEL: u32 = 1;
+    /// Region name, UTF-8 bytes.
+    pub const KIND_REGION: u32 = 2;
+    /// Pipe ids in rank order, `u32` little-endian.
+    pub const KIND_PIPE_IDS: u32 = 3;
+    /// Risk scores in descending order, `f64` bits little-endian.
+    pub const KIND_SCORES: u32 = 4;
+    /// Binary-search index: pipe ids sorted ascending by `(id, rank)`.
+    pub const KIND_INDEX_IDS: u32 = 5;
+    /// Binary-search index: rank of the pipe at the same position of
+    /// [`KIND_INDEX_IDS`].
+    pub const KIND_INDEX_RANKS: u32 = 6;
+    /// Per-pipe length in metres, rank order, `f64`.
+    pub const KIND_ATTR_LENGTH_M: u32 = 7;
+    /// Per-pipe material catalogue index, rank order, `f64`.
+    pub const KIND_ATTR_MATERIAL: u32 = 8;
+    /// Per-pipe construction year, rank order, `f64`.
+    pub const KIND_ATTR_LAID_YEAR: u32 = 9;
+    /// Remaining posterior summary sections, v1 wire shape.
+    pub const KIND_SUMMARY: u32 = 10;
+
+    const KIND_MAX: u32 = KIND_SUMMARY;
+
+    /// Element width in bytes for a section kind.
+    fn elem_len(kind: u32) -> usize {
+        match kind {
+            KIND_MODEL | KIND_REGION | KIND_SUMMARY => 1,
+            KIND_PIPE_IDS | KIND_INDEX_IDS | KIND_INDEX_RANKS => 4,
+            _ => 8,
+        }
+    }
+
+    /// FNV-1a folded over little-endian 8-byte words, four interleaved
+    /// lanes. `bytes.len()` must be a multiple of 8 (the v2 payload always
+    /// is). Lane `i` folds words `i, i+4, i+8, …`; trailing words (when
+    /// the word count is not a multiple of 4) feed the lanes in order.
+    ///
+    /// Why lanes: the plain FNV chain is one serial xor→multiply
+    /// dependency per word, which caps the scan far below memory
+    /// bandwidth; four independent chains let the multiplies overlap, and
+    /// cold-start validation of a large mapped snapshot is dominated by
+    /// exactly this scan. Integrity is unchanged: each lane's step is
+    /// bijective on `u64` (xor, then multiply by the odd FNV prime), and
+    /// the final combine — xor of lane digests, each first multiplied
+    /// once more — is a bijection of each lane holding the others fixed.
+    /// So any single-bit flip changes exactly one lane's digest and
+    /// therefore the result (exhaustively asserted in the bit-flip tests).
+    pub fn fnv1a_words(bytes: &[u8]) -> u64 {
+        debug_assert_eq!(bytes.len() % 8, 0);
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        const LANES: usize = 4;
+        // Distinct per-lane bases (BASIS·PRIMEⁱ) so a word contributes
+        // differently by position even across lane-sized swaps.
+        let mut lanes = [0u64; LANES];
+        let mut basis = BASIS;
+        for lane in &mut lanes {
+            *lane = basis;
+            basis = basis.wrapping_mul(PRIME);
+        }
+        let mut chunks = bytes.chunks_exact(8 * LANES);
+        for block in &mut chunks {
+            for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+                *lane ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+                *lane = lane.wrapping_mul(PRIME);
+            }
+        }
+        for (lane, word) in lanes.iter_mut().zip(chunks.remainder().chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+            *lane = lane.wrapping_mul(PRIME);
+        }
+        lanes
+            .into_iter()
+            .fold(0u64, |acc, lane| acc ^ lane.wrapping_mul(PRIME))
+    }
+
+    /// Round `n` up to the next multiple of 8.
+    pub fn align8(n: usize) -> usize {
+        n.div_ceil(8) * 8
+    }
+
+    /// Byte ranges (into the full file buffer) of the three attribute
+    /// columns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct AttrColumns {
+        /// [`KIND_ATTR_LENGTH_M`] data.
+        pub length_m: Range<usize>,
+        /// [`KIND_ATTR_MATERIAL`] data.
+        pub material: Range<usize>,
+        /// [`KIND_ATTR_LAID_YEAR`] data.
+        pub laid_year: Range<usize>,
+    }
+
+    /// The validated shape of a v2 snapshot: byte ranges into the full file
+    /// buffer for every zero-copy column, plus the (small) decoded summary
+    /// sections. Produced by [`validate`]; consumed by the heap decoder and
+    /// the serving-side mmap scorer.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Layout {
+        /// Master seed of the fit.
+        pub seed: u64,
+        /// Number of ranked pipes.
+        pub n_pipes: usize,
+        /// Model name bytes (validated UTF-8).
+        pub model: Range<usize>,
+        /// Region name bytes (validated UTF-8).
+        pub region: Range<usize>,
+        /// Pipe-id column, rank order.
+        pub pipe_ids: Range<usize>,
+        /// Score column, descending.
+        pub scores: Range<usize>,
+        /// Index id column, ascending by `(id, rank)`.
+        pub index_ids: Range<usize>,
+        /// Index rank column, parallel to `index_ids`.
+        pub index_ranks: Range<usize>,
+        /// Attribute columns, when the writer extracted them.
+        pub attrs: Option<AttrColumns>,
+        /// Where the attribute section sat among the original summary
+        /// sections (an insertion position into `summary`).
+        pub attr_pos: Option<usize>,
+        /// The non-extracted posterior summary sections, decoded.
+        pub summary: Vec<SummarySection>,
+    }
+
+    /// Read the little-endian `u32` at element position `i` of a column.
+    pub fn u32_at(col: &[u8], i: usize) -> u32 {
+        u32::from_le_bytes(col[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Read the little-endian `f64` at element position `i` of a column.
+    pub fn f64_at(col: &[u8], i: usize) -> f64 {
+        f64::from_bits(u64::from_le_bytes(
+            col[i * 8..i * 8 + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// True when the three attribute vectors satisfy every rule the
+    /// serving-side decoder enforces: finite non-negative lengths, integral
+    /// in-catalogue material indices, integral years in `i32` range. The
+    /// writer only extracts columns that pass; the validator rejects
+    /// columns that don't.
+    pub fn attr_values_valid(length_m: &[f64], material: &[f64], laid_year: &[f64]) -> bool {
+        length_m.iter().all(|&v| valid_length_m(v))
+            && material.iter().all(|&v| valid_material(v))
+            && laid_year.iter().all(|&v| valid_laid_year(v))
+    }
+
+    // The three attribute predicates below are shared by the writer-side
+    // column extraction and the validator's full-column scans, so both
+    // accept exactly the same set of values. They are phrased for the
+    // scan's inner loop: `v <= f64::MAX` stands in for `is_finite` once
+    // negatives are excluded, and a cast round-trip (`v as i32 as f64 ==
+    // v`) stands in for `is_finite && fract() == 0 && in i32 range` —
+    // the saturating cast collapses NaN, infinities, non-integral, and
+    // out-of-range values to something that fails the round-trip. The
+    // equivalences are asserted exhaustively over the edge cases in the
+    // tests below; `fract()` itself was measurably the single hottest
+    // call in cold-start validation of a million-pipe snapshot.
+
+    /// Finite and non-negative.
+    pub(crate) fn valid_length_m(v: f64) -> bool {
+        (0.0..=f64::MAX).contains(&v)
+    }
+
+    /// Integral index into the material catalogue.
+    pub(crate) fn valid_material(v: f64) -> bool {
+        let i = v as i32;
+        i as f64 == v && i >= 0 && (i as usize) < Material::ALL.len()
+    }
+
+    /// Integral year representable as `i32`.
+    pub(crate) fn valid_laid_year(v: f64) -> bool {
+        v as i32 as f64 == v
+    }
+
+    /// Payload size at or above which [`validate`] fans its checksum and
+    /// column scans out over scoped threads. Below it the spawns cost more
+    /// than they save and everything runs serially.
+    const PARALLEL_VALIDATE_MIN_BYTES: usize = 4 << 20;
+
+    /// One strict pass over a full v2 file: header, checksum, preamble,
+    /// section table (alignment, bounds, contiguity, uniqueness), column
+    /// invariants (UTF-8, finiteness, descending scores, sorted consistent
+    /// index, attribute value rules), and the summary blob. Any
+    /// malformation is a typed [`SnapshotError`]; nothing proportional to
+    /// the pipe count is allocated.
+    ///
+    /// On payloads of `PARALLEL_VALIDATE_MIN_BYTES` (4 MiB) or more, the
+    /// full-payload checksum and the independent column scans run on
+    /// scoped threads so a large mapped snapshot validates in roughly the
+    /// wall time of its slowest single scan. The reported error is
+    /// identical either way: a checksum mismatch always wins, and scan
+    /// errors surface in the serial order (scores, index, attributes).
+    pub fn validate(bytes: &[u8]) -> std::result::Result<Layout, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::TooShort {
+                need: HEADER_LEN,
+                got: bytes.len(),
+            });
+        }
+        if bytes[..6] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[6], bytes[7]]);
+        if version != SNAPSHOT_VERSION_V2 {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let declared_sum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let declared_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if declared_len != payload.len() as u64 {
+            return Err(SnapshotError::LengthMismatch {
+                declared: declared_len,
+                actual: payload.len() as u64,
+            });
+        }
+        if !payload.len().is_multiple_of(8) {
+            return Err(SnapshotError::Misaligned("payload length"));
+        }
+        if payload.len() < PARALLEL_VALIDATE_MIN_BYTES {
+            let actual_sum = fnv1a_words(payload);
+            if actual_sum != declared_sum {
+                return Err(SnapshotError::ChecksumMismatch {
+                    declared: declared_sum,
+                    actual: actual_sum,
+                });
+            }
+            validate_structure(bytes, false)
+        } else {
+            std::thread::scope(|s| {
+                let sum = s.spawn(|| fnv1a_words(payload));
+                let structure = validate_structure(bytes, true);
+                let actual_sum = sum.join().expect("checksum thread");
+                if actual_sum != declared_sum {
+                    return Err(SnapshotError::ChecksumMismatch {
+                        declared: declared_sum,
+                        actual: actual_sum,
+                    });
+                }
+                structure
+            })
+        }
+    }
+
+    /// Everything [`validate`] checks after the header and checksum:
+    /// preamble, section table, column invariants, summary blob. With
+    /// `parallel` the three independent column scans run on scoped
+    /// threads; results are collected in the serial scan order so the
+    /// reported error is the same either way.
+    fn validate_structure(
+        bytes: &[u8],
+        parallel: bool,
+    ) -> std::result::Result<Layout, SnapshotError> {
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() < PREAMBLE_LEN {
+            return Err(SnapshotError::Truncated("v2 preamble"));
+        }
+        let word = |i: usize| u64::from_le_bytes(payload[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let seed = word(0);
+        let n_pipes_raw = word(1);
+        let n_sections = word(2);
+        let attr_pos_raw = word(3);
+        if n_pipes_raw > u32::MAX as u64 {
+            return Err(SnapshotError::BadSectionTable("pipe count exceeds u32"));
+        }
+        let n_pipes = n_pipes_raw as usize;
+        let table_end = (n_sections as usize)
+            .checked_mul(SECTION_ENTRY_LEN)
+            .and_then(|t| t.checked_add(PREAMBLE_LEN))
+            .filter(|&e| e <= payload.len())
+            .ok_or(SnapshotError::Truncated("section table"))?;
+
+        // Walk the table: every section strictly contiguous (offset equals
+        // the aligned end of its predecessor), aligned, in bounds, unique.
+        let mut ranges: [Option<(Range<usize>, usize)>; KIND_MAX as usize + 1] =
+            Default::default();
+        let mut cursor = table_end;
+        for s in 0..n_sections as usize {
+            let base = PREAMBLE_LEN + s * SECTION_ENTRY_LEN;
+            let entry = &payload[base..base + SECTION_ENTRY_LEN];
+            let kind = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let reserved = u32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+            let count = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+            let byte_len = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+            if reserved != 0 {
+                return Err(SnapshotError::BadSectionTable("reserved bits set"));
+            }
+            if kind == 0 || kind > KIND_MAX {
+                return Err(SnapshotError::BadSectionTable("unknown section kind"));
+            }
+            if ranges[kind as usize].is_some() {
+                return Err(SnapshotError::BadSectionTable("duplicate section kind"));
+            }
+            if offset % 8 != 0 {
+                return Err(SnapshotError::Misaligned("section offset"));
+            }
+            let offset = usize::try_from(offset)
+                .map_err(|_| SnapshotError::Truncated("section data"))?;
+            if offset != cursor {
+                return Err(SnapshotError::BadSectionTable(
+                    "sections overlap or leave a gap",
+                ));
+            }
+            let byte_len = usize::try_from(byte_len)
+                .map_err(|_| SnapshotError::Truncated("section data"))?;
+            let end = offset
+                .checked_add(byte_len)
+                .filter(|&e| e <= payload.len())
+                .ok_or(SnapshotError::Truncated("section data"))?;
+            if count
+                .checked_mul(elem_len(kind) as u64)
+                .is_none_or(|b| b != byte_len as u64)
+            {
+                return Err(SnapshotError::BadSectionTable("section byte length mismatch"));
+            }
+            ranges[kind as usize] =
+                Some((HEADER_LEN + offset..HEADER_LEN + end, count as usize));
+            cursor = align8(end);
+        }
+        if cursor != payload.len() {
+            return Err(SnapshotError::BadSectionTable("trailing bytes after sections"));
+        }
+
+        let required = |kind: u32| {
+            ranges[kind as usize]
+                .clone()
+                .ok_or(SnapshotError::BadSectionTable("missing required section"))
+        };
+        let (model, _) = required(KIND_MODEL)?;
+        let (region, _) = required(KIND_REGION)?;
+        let column = |kind: u32| -> std::result::Result<Range<usize>, SnapshotError> {
+            let (range, count) = required(kind)?;
+            if count != n_pipes {
+                return Err(SnapshotError::BadSectionTable("column length mismatch"));
+            }
+            Ok(range)
+        };
+        let pipe_ids = column(KIND_PIPE_IDS)?;
+        let scores = column(KIND_SCORES)?;
+        let index_ids = column(KIND_INDEX_IDS)?;
+        let index_ranks = column(KIND_INDEX_RANKS)?;
+
+        let attr_kinds = [KIND_ATTR_LENGTH_M, KIND_ATTR_MATERIAL, KIND_ATTR_LAID_YEAR];
+        let present = attr_kinds
+            .iter()
+            .filter(|&&k| ranges[k as usize].is_some())
+            .count();
+        let attrs = match present {
+            0 => None,
+            3 => Some(AttrColumns {
+                length_m: column(KIND_ATTR_LENGTH_M)?,
+                material: column(KIND_ATTR_MATERIAL)?,
+                laid_year: column(KIND_ATTR_LAID_YEAR)?,
+            }),
+            _ => return Err(SnapshotError::BadSectionTable("partial attribute columns")),
+        };
+
+        std::str::from_utf8(&bytes[model.clone()])
+            .map_err(|_| SnapshotError::BadUtf8("model name"))?;
+        std::str::from_utf8(&bytes[region.clone()])
+            .map_err(|_| SnapshotError::BadUtf8("region name"))?;
+
+        // Column scans: each is independent of the others, so on large
+        // snapshots they can run concurrently. Results are collected in
+        // the serial order (scores, index, attributes) so which error is
+        // reported does not depend on thread timing.
+        let score_col = &bytes[scores.clone()];
+        let id_col = &bytes[pipe_ids.clone()];
+        let ix_id_col = &bytes[index_ids.clone()];
+        let ix_rank_col = &bytes[index_ranks.clone()];
+        let attr_cols = attrs.as_ref().map(|c| {
+            (
+                &bytes[c.length_m.clone()],
+                &bytes[c.material.clone()],
+                &bytes[c.laid_year.clone()],
+            )
+        });
+        if parallel {
+            std::thread::scope(|s| {
+                let sc = s.spawn(|| scan_scores(score_col, id_col, n_pipes));
+                let ix = s.spawn(|| scan_index(ix_id_col, ix_rank_col, id_col, n_pipes));
+                let at = scan_attrs(attr_cols, n_pipes);
+                sc.join().expect("score scan thread")?;
+                ix.join().expect("index scan thread")?;
+                at
+            })?;
+        } else {
+            scan_scores(score_col, id_col, n_pipes)?;
+            scan_index(ix_id_col, ix_rank_col, id_col, n_pipes)?;
+            scan_attrs(attr_cols, n_pipes)?;
+        }
+
+        // Summary blob: decode eagerly (posterior summaries are small) and
+        // insist it is self-delimiting.
+        let summary = match &ranges[KIND_SUMMARY as usize] {
+            Some((range, _)) => {
+                let mut cur = Cursor { buf: &bytes[range.clone()], pos: 0 };
+                let sections = read_sections(&mut cur)?;
+                if cur.pos != range.len() {
+                    return Err(SnapshotError::Truncated("trailing bytes after summary"));
+                }
+                sections
+            }
+            None => Vec::new(),
+        };
+
+        let attr_pos = if attrs.is_some() {
+            let pos = usize::try_from(attr_pos_raw)
+                .ok()
+                .filter(|&p| p <= summary.len())
+                .ok_or(SnapshotError::BadSectionTable("attribute position out of range"))?;
+            Some(pos)
+        } else {
+            if attr_pos_raw != NO_ATTRIBUTES {
+                return Err(SnapshotError::BadSectionTable("stray attribute position"));
+            }
+            None
+        };
+
+        Ok(Layout {
+            seed,
+            n_pipes,
+            model,
+            region,
+            pipe_ids,
+            scores,
+            index_ids,
+            index_ranks,
+            attrs,
+            attr_pos,
+            summary,
+        })
+    }
+
+    // The column scans iterate `chunks_exact` rather than indexing
+    // element-at-a-time: on a million-pipe mapped snapshot these scans
+    // (not the table walk) are the cold-start cost, and per-element
+    // bounds checks measurably slow them down.
+
+    /// Score column: finite, descending (ties allowed).
+    fn scan_scores(
+        score_col: &[u8],
+        id_col: &[u8],
+        n_pipes: usize,
+    ) -> std::result::Result<(), SnapshotError> {
+        let mut prev = f64::INFINITY;
+        for (i, word) in score_col.chunks_exact(8).take(n_pipes).enumerate() {
+            let score = f64::from_le_bytes(word.try_into().expect("8 bytes"));
+            if !score.is_finite() {
+                return Err(SnapshotError::NonFiniteScore(u32_at(id_col, i)));
+            }
+            if score > prev {
+                return Err(SnapshotError::UnsortedScores { at: i });
+            }
+            prev = score;
+        }
+        Ok(())
+    }
+
+    /// Index columns: strictly ascending by (id, rank), every rank in
+    /// range, and consistent with the id column — together with the
+    /// matched lengths this makes the index a permutation of the ranks.
+    fn scan_index(
+        ix_id_col: &[u8],
+        ix_rank_col: &[u8],
+        id_col: &[u8],
+        n_pipes: usize,
+    ) -> std::result::Result<(), SnapshotError> {
+        let mut prev_pair = None;
+        for (i, (id_word, rank_word)) in ix_id_col
+            .chunks_exact(4)
+            .zip(ix_rank_col.chunks_exact(4))
+            .take(n_pipes)
+            .enumerate()
+        {
+            let id = u32::from_le_bytes(id_word.try_into().expect("4 bytes"));
+            let rank = u32::from_le_bytes(rank_word.try_into().expect("4 bytes"));
+            if (rank as usize) >= n_pipes {
+                return Err(SnapshotError::BadSectionTable("index rank out of range"));
+            }
+            if prev_pair.is_some_and(|p| (id, rank) <= p) {
+                return Err(SnapshotError::UnsortedIndex { at: i });
+            }
+            prev_pair = Some((id, rank));
+            if u32_at(id_col, rank as usize) != id {
+                return Err(SnapshotError::BadSectionTable("index does not match pipe ids"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Attribute columns: enforce the serving-side decoder's value rules
+    /// (the same predicates the writer's column extraction uses). Generic
+    /// over the predicate so each column's check inlines into its own
+    /// tight loop (a shared `fn(f64) -> bool` pointer costs an indirect
+    /// call per element — millions on a large snapshot).
+    fn scan_attrs(
+        cols: Option<(&[u8], &[u8], &[u8])>,
+        n_pipes: usize,
+    ) -> std::result::Result<(), SnapshotError> {
+        fn check_col<F: Fn(f64) -> bool>(
+            col: &[u8],
+            n: usize,
+            what: &'static str,
+            ok: F,
+        ) -> std::result::Result<(), SnapshotError> {
+            for word in col.chunks_exact(8).take(n) {
+                if !ok(f64::from_le_bytes(word.try_into().expect("8 bytes"))) {
+                    return Err(SnapshotError::BadAttributes(what));
+                }
+            }
+            Ok(())
+        }
+        let Some((length_m, material, laid_year)) = cols else {
+            return Ok(());
+        };
+        check_col(length_m, n_pipes, ATTR_LENGTH_M, valid_length_m)?;
+        check_col(material, n_pipes, ATTR_MATERIAL, valid_material)?;
+        check_col(laid_year, n_pipes, ATTR_LAID_YEAR, valid_laid_year)?;
+        Ok(())
+    }
+
+    /// The attribute section's canonical shape: exactly the three
+    /// well-known fields in [`attributes_section`] order, each aligned with
+    /// the ranking, with values the decoder accepts. Only such sections are
+    /// extracted into columns; anything else rides along verbatim in the
+    /// summary blob so both loaders agree on what the snapshot contains.
+    fn extractable_attrs(snap: &Snapshot) -> Option<usize> {
+        let n = snap.scores.len();
+        let (pos, section) = snap
+            .sections
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == ATTRIBUTES_SECTION)?;
+        let names: Vec<&str> = section.fields.iter().map(|f| f.name.as_str()).collect();
+        if names != [ATTR_LENGTH_M, ATTR_MATERIAL, ATTR_LAID_YEAR] {
+            return None;
+        }
+        if section.fields.iter().any(|f| f.values.len() != n) {
+            return None;
+        }
+        if !attr_values_valid(
+            &section.fields[0].values,
+            &section.fields[1].values,
+            &section.fields[2].values,
+        ) {
+            return None;
+        }
+        Some(pos)
+    }
+
+    /// Serialize a snapshot into the v2 byte format.
+    pub fn encode(snap: &Snapshot) -> Vec<u8> {
+        let n = snap.scores.len();
+        assert!(n <= u32::MAX as usize, "snapshot exceeds u32 pipe count");
+        let attr_pos = extractable_attrs(snap);
+
+        let mut index: Vec<(u32, u32)> = snap
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(rank, &(pipe, _))| (pipe.0, rank as u32))
+            .collect();
+        index.sort_unstable();
+
+        let mut blobs: Vec<(u32, u64, Vec<u8>)> = Vec::new();
+        let mut push = |kind: u32, count: usize, data: Vec<u8>| {
+            blobs.push((kind, count as u64, data));
+        };
+        push(KIND_MODEL, snap.model.len(), snap.model.as_bytes().to_vec());
+        push(KIND_REGION, snap.region.len(), snap.region.as_bytes().to_vec());
+        let mut ids = Vec::with_capacity(n * 4);
+        let mut scores = Vec::with_capacity(n * 8);
+        for &(pipe, score) in &snap.scores {
+            ids.extend_from_slice(&pipe.0.to_le_bytes());
+            scores.extend_from_slice(&score.to_bits().to_le_bytes());
+        }
+        push(KIND_PIPE_IDS, n, ids);
+        push(KIND_SCORES, n, scores);
+        let mut ix_ids = Vec::with_capacity(n * 4);
+        let mut ix_ranks = Vec::with_capacity(n * 4);
+        for &(id, rank) in &index {
+            ix_ids.extend_from_slice(&id.to_le_bytes());
+            ix_ranks.extend_from_slice(&rank.to_le_bytes());
+        }
+        push(KIND_INDEX_IDS, n, ix_ids);
+        push(KIND_INDEX_RANKS, n, ix_ranks);
+        if let Some(pos) = attr_pos {
+            let section = &snap.sections[pos];
+            for (kind, field) in [
+                (KIND_ATTR_LENGTH_M, &section.fields[0]),
+                (KIND_ATTR_MATERIAL, &section.fields[1]),
+                (KIND_ATTR_LAID_YEAR, &section.fields[2]),
+            ] {
+                let mut col = Vec::with_capacity(n * 8);
+                for v in &field.values {
+                    col.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                push(kind, n, col);
+            }
+        }
+        let summary: Vec<&SummarySection> = snap
+            .sections
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != attr_pos)
+            .map(|(_, s)| s)
+            .collect();
+        if !summary.is_empty() {
+            let owned: Vec<SummarySection> = summary.iter().map(|s| (*s).clone()).collect();
+            let mut blob = Vec::new();
+            put_sections(&mut blob, &owned);
+            let len = blob.len();
+            push(KIND_SUMMARY, len, blob);
+        }
+
+        let table_end = PREAMBLE_LEN + blobs.len() * SECTION_ENTRY_LEN;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&snap.seed.to_le_bytes());
+        payload.extend_from_slice(&(n as u64).to_le_bytes());
+        payload.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+        // attr_pos is the section's index among the *summary* sections it
+        // would be re-inserted into (its original index, since everything
+        // before it stays in the summary blob).
+        payload.extend_from_slice(
+            &attr_pos.map_or(NO_ATTRIBUTES, |p| p as u64).to_le_bytes(),
+        );
+        let mut offset = table_end;
+        for (kind, count, data) in &blobs {
+            payload.extend_from_slice(&kind.to_le_bytes());
+            payload.extend_from_slice(&0u32.to_le_bytes());
+            payload.extend_from_slice(&(offset as u64).to_le_bytes());
+            payload.extend_from_slice(&count.to_le_bytes());
+            payload.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            offset = align8(offset + data.len());
+        }
+        for (_, _, data) in &blobs {
+            payload.extend_from_slice(data);
+            payload.resize(align8(payload.len()), 0);
+        }
+        debug_assert_eq!(payload.len(), offset);
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_V2.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a_words(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Validate and heap-decode a v2 file into a [`Snapshot`], the exact
+    /// inverse of [`encode`].
+    pub fn decode(bytes: &[u8]) -> std::result::Result<Snapshot, SnapshotError> {
+        let layout = validate(bytes)?;
+        let n = layout.n_pipes;
+        let model = std::str::from_utf8(&bytes[layout.model.clone()])
+            .expect("validated utf8")
+            .to_string();
+        let region = std::str::from_utf8(&bytes[layout.region.clone()])
+            .expect("validated utf8")
+            .to_string();
+        let id_col = &bytes[layout.pipe_ids.clone()];
+        let score_col = &bytes[layout.scores.clone()];
+        let scores: Vec<(PipeId, f64)> = (0..n)
+            .map(|i| (PipeId(u32_at(id_col, i)), f64_at(score_col, i)))
+            .collect();
+        let mut sections = layout.summary;
+        if let (Some(cols), Some(pos)) = (&layout.attrs, layout.attr_pos) {
+            let col_vec = |range: &Range<usize>| -> Vec<f64> {
+                let col = &bytes[range.clone()];
+                (0..n).map(|i| f64_at(col, i)).collect()
+            };
+            sections.insert(
+                pos,
+                attributes_section(
+                    col_vec(&cols.length_m),
+                    col_vec(&cols.material),
+                    col_vec(&cols.laid_year),
+                ),
+            );
+        }
+        Ok(Snapshot {
+            model,
+            region,
+            seed: layout.seed,
+            scores,
+            sections,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +1372,71 @@ mod tests {
         );
         snap.push_section(SummarySection::new("empty"));
         snap
+    }
+
+    #[test]
+    fn fast_attribute_predicates_match_the_definitional_forms() {
+        // The scan predicates are phrased for speed (compare-only
+        // finiteness, cast round-trips); this pins them to the slow,
+        // definitional forms across every edge-case family: NaN,
+        // infinities, signed zero, subnormals, non-integral values,
+        // integral values inside and outside the accepted ranges, and the
+        // exact range boundaries with their f64 neighbours.
+        let edges = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            -f64::MIN_POSITIVE,
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.0,
+            -1.0,
+            8.0,
+            8.5,
+            9.0,
+            1900.0,
+            1900.25,
+            -4000.0,
+            1e15 + 0.5,
+            1e300,
+            -1e300,
+            i32::MIN as f64,
+            (i32::MIN as f64) - 1.0,
+            i32::MAX as f64,
+            (i32::MAX as f64) + 1.0,
+            (1u64 << 53) as f64,
+            (1u64 << 63) as f64,
+            u64::MAX as f64,
+        ];
+        for v in edges.into_iter().flat_map(|v| [v, v.next_up(), v.next_down()]) {
+            assert_eq!(
+                v2::valid_length_m(v),
+                v.is_finite() && v >= 0.0,
+                "length_m predicate diverges at {v:?}"
+            );
+            assert_eq!(
+                v2::valid_material(v),
+                v.is_finite()
+                    && v.fract() == 0.0
+                    && v >= 0.0
+                    && (v as usize) < pipefail_network::attributes::Material::ALL.len(),
+                "material predicate diverges at {v:?}"
+            );
+            assert_eq!(
+                v2::valid_laid_year(v),
+                v.is_finite()
+                    && v.fract() == 0.0
+                    && v >= i32::MIN as f64
+                    && v <= i32::MAX as f64,
+                "laid_year predicate diverges at {v:?}"
+            );
+        }
     }
 
     #[test]
@@ -657,6 +1572,215 @@ mod tests {
             section.field(ATTR_LAID_YEAR),
             Some(&[1923.0, 1950.0, 1987.0, 2004.0][..])
         );
+    }
+
+    fn sample_with_attrs() -> Snapshot {
+        let mut snap = sample();
+        snap.push_section(attributes_section(
+            vec![12.5, 80.0, 3.25, 200.0],
+            vec![0.0, 4.0, 8.0, 1.0],
+            vec![1923.0, 1950.0, 1987.0, 2004.0],
+        ));
+        snap.push_section(SummarySection::new("tail").with_scalar("z", -0.25));
+        snap
+    }
+
+    fn restamp_v2(bytes: &mut [u8]) {
+        let sum = v2::fnv1a_words(&bytes[HEADER_LEN..]);
+        bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn v2_bytes_round_trip_exactly() {
+        for snap in [sample(), sample_with_attrs()] {
+            let bytes = snap.to_bytes_v2();
+            assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), SNAPSHOT_VERSION_V2);
+            let back = Snapshot::from_bytes(&bytes).expect("valid v2 snapshot");
+            assert_eq!(back, snap);
+            for ((pa, sa), (pb, sb)) in snap.scores.iter().zip(&back.scores) {
+                assert_eq!(pa, pb);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn v2_payload_is_word_aligned_and_sections_are_contiguous() {
+        let bytes = sample_with_attrs().to_bytes_v2();
+        assert_eq!((bytes.len() - HEADER_LEN) % 8, 0);
+        let layout = v2::validate(&bytes).expect("valid layout");
+        for range in [
+            &layout.pipe_ids,
+            &layout.scores,
+            &layout.index_ids,
+            &layout.index_ranks,
+        ] {
+            assert_eq!((range.start - HEADER_LEN) % 8, 0, "column start must be 8-aligned");
+        }
+        assert!(layout.attrs.is_some());
+        assert_eq!(layout.attr_pos, Some(2));
+        assert_eq!(layout.summary.len(), 3);
+    }
+
+    #[test]
+    fn v2_noncanonical_attribute_sections_stay_in_summary() {
+        // A shuffled-field attribute section is not extractable; it must
+        // round-trip verbatim through the summary blob instead.
+        let mut snap = sample();
+        snap.push_section(
+            SummarySection::new(ATTRIBUTES_SECTION)
+                .with_field(ATTR_MATERIAL, vec![0.0; 4])
+                .with_field(ATTR_LENGTH_M, vec![1.0; 4])
+                .with_field(ATTR_LAID_YEAR, vec![1950.0; 4]),
+        );
+        let bytes = snap.to_bytes_v2();
+        let layout = v2::validate(&bytes).expect("valid layout");
+        assert!(layout.attrs.is_none());
+        assert_eq!(Snapshot::from_bytes(&bytes).expect("valid"), snap);
+    }
+
+    #[test]
+    fn v2_every_truncation_is_rejected() {
+        let bytes = sample_with_attrs().to_bytes_v2();
+        for len in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_every_single_bit_flip_is_rejected() {
+        let good = sample_with_attrs().to_bytes_v2();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Snapshot::from_bytes(&bad).is_err(),
+                    "bit flip at byte {byte} bit {bit} must not parse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_structural_corruptions_are_typed() {
+        let snap = sample_with_attrs();
+        let good = snap.to_bytes_v2();
+
+        // Misaligned section offset: the first table entry's offset field.
+        let entry0 = HEADER_LEN + v2::PREAMBLE_LEN;
+        let mut bad = good.clone();
+        let off = u64::from_le_bytes(bad[entry0 + 8..entry0 + 16].try_into().unwrap());
+        bad[entry0 + 8..entry0 + 16].copy_from_slice(&(off + 4).to_le_bytes());
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::Misaligned("section offset"))
+        );
+
+        // Overlapping sections: pull the second section's offset backwards.
+        let entry1 = entry0 + v2::SECTION_ENTRY_LEN;
+        let mut bad = good.clone();
+        let off = u64::from_le_bytes(bad[entry1 + 8..entry1 + 16].try_into().unwrap());
+        bad[entry1 + 8..entry1 + 16].copy_from_slice(&(off - 8).to_le_bytes());
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadSectionTable("sections overlap or leave a gap"))
+        );
+
+        // Unknown section kind.
+        let mut bad = good.clone();
+        bad[entry0..entry0 + 4].copy_from_slice(&99u32.to_le_bytes());
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadSectionTable("unknown section kind"))
+        );
+
+        // Reserved bits set.
+        let mut bad = good.clone();
+        bad[entry0 + 4] = 1;
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadSectionTable("reserved bits set"))
+        );
+    }
+
+    #[test]
+    fn v2_column_corruptions_are_typed() {
+        let snap = sample_with_attrs();
+        let good = snap.to_bytes_v2();
+        let layout = v2::validate(&good).expect("valid layout");
+
+        // Swap the first two scores: descending order breaks at index 1.
+        let mut bad = good.clone();
+        let s = layout.scores.start;
+        for i in 0..8 {
+            bad.swap(s + i, s + 8 + i);
+        }
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::UnsortedScores { at: 1 })
+        );
+
+        // NaN score carries the pipe id from the id column.
+        let mut bad = good.clone();
+        bad[s..s + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::NonFiniteScore(5))
+        );
+
+        // Swap the first two index entries (ids and ranks together): the
+        // (id, rank) order breaks at entry 1.
+        let mut bad = good.clone();
+        let (ii, ir) = (layout.index_ids.start, layout.index_ranks.start);
+        for i in 0..4 {
+            bad.swap(ii + i, ii + 4 + i);
+            bad.swap(ir + i, ir + 4 + i);
+        }
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::UnsortedIndex { at: 1 })
+        );
+
+        // A negative pipe length in the attribute column.
+        let attrs = layout.attrs.as_ref().expect("attrs present");
+        let mut bad = good.clone();
+        let a = attrs.length_m.start;
+        bad[a..a + 8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        restamp_v2(&mut bad);
+        assert_eq!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadAttributes(ATTR_LENGTH_M))
+        );
+    }
+
+    #[test]
+    fn format_labels_parse_and_negotiate() {
+        assert_eq!(SnapshotFormat::parse("v1"), Some(SnapshotFormat::V1));
+        assert_eq!(SnapshotFormat::parse("v2"), Some(SnapshotFormat::V2));
+        assert_eq!(SnapshotFormat::parse("v3"), None);
+        assert_eq!(SnapshotFormat::V2.label(), "v2");
+        assert_eq!(SnapshotFormat::V1.version(), SNAPSHOT_VERSION);
+        assert_eq!(SnapshotFormat::V2.version(), SNAPSHOT_VERSION_V2);
+
+        let snap = sample();
+        let dir = std::env::temp_dir().join("pipefail_snapshot_test_formats");
+        for format in [SnapshotFormat::V1, SnapshotFormat::V2] {
+            let path = dir.join(format!("m_{format}.pfsnap"));
+            snap.save_as(&path, format).expect("save");
+            assert_eq!(Snapshot::load(&path).expect("load"), snap);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -888,15 +888,12 @@ pub(crate) fn shard_partial(
         let mut candidates = Vec::new();
         let mut cumulative = 0.0f64;
         for (i, entry) in entries.iter().enumerate() {
-            let length_m = attrs.length_m[i];
+            let length_m = attrs.length_m(i);
             let candidate = Candidate {
                 score: entry.score,
                 length_m,
-                material: Material::ALL
-                    .iter()
-                    .position(|m| *m == attrs.material[i])
-                    .unwrap_or(0) as u8,
-                laid_year: attrs.laid_year[i],
+                material: attrs.material_index(i) as u8,
+                laid_year: attrs.laid_year(i),
                 region: region.clone(),
             };
             if cumulative + length_m <= budget {
@@ -921,17 +918,17 @@ pub(crate) fn shard_partial(
             .iter()
             .map(|k| match k {
                 GroupKey::Region => region.clone(),
-                GroupKey::Material => {
-                    attrs.expect("needs_attributes covers material").material[i]
-                        .code()
-                        .to_string()
-                }
+                GroupKey::Material => attrs
+                    .expect("needs_attributes covers material")
+                    .material(i)
+                    .code()
+                    .to_string(),
                 GroupKey::Decade => {
-                    decade_of(attrs.expect("needs_attributes covers decade").laid_year[i])
+                    decade_of(attrs.expect("needs_attributes covers decade").laid_year(i))
                 }
             })
             .collect();
-        let length_m = attrs.map_or(0.0, |a| a.length_m[i]);
+        let length_m = attrs.map_or(0.0, |a| a.length_m(i));
         match index.get(&key) {
             Some(&at) => groups[at].1.add(entry.score, length_m),
             None => {
@@ -1589,10 +1586,10 @@ mod tests {
             let attrs = s.attributes().expect("attrs");
             for (i, e) in s.top_k(usize::MAX).iter().enumerate() {
                 let key = vec![
-                    attrs.material[i].code().to_string(),
-                    decade_of(attrs.laid_year[i]),
+                    attrs.material(i).code().to_string(),
+                    decade_of(attrs.laid_year(i)),
                 ];
-                let len = attrs.length_m[i];
+                let len = attrs.length_m(i);
                 match reference.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, st)) => {
                         st[0] += 1.0;

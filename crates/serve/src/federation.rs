@@ -1131,7 +1131,8 @@ impl FederationRouter {
             .with_header("Retry-After", fed.retry_after_secs().to_string());
         }
         metrics.global_topk();
-        let table_refs: Vec<&[PipeRisk]> = tables.iter().map(Vec::as_slice).collect();
+        let table_refs: Vec<crate::scorer::RiskSlice<'_>> =
+            tables.iter().map(|t| t.as_slice().into()).collect();
         let merged: Vec<GlobalRisk> = merge_top_k(&table_refs, k);
         let body = render_global_top_k_keys(&keys_escaped, &merged, k);
         let response = Response::json(200, body);

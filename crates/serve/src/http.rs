@@ -36,7 +36,7 @@ use crate::aggregate::{self, AggregateSpec};
 use crate::metrics::{Metrics, Route};
 use crate::parser::{self, ParseOutcome, ParsedRequest};
 use crate::reload;
-use crate::scorer::{PipeRisk, Query, QueryResult, Scorer};
+use crate::scorer::{PipeRisk, Query, QueryResult, RiskSlice, Scorer};
 use crate::shards::{GlobalRisk, ShardSet};
 use crate::ServeError;
 use pipefail_network::dataset::Dataset;
@@ -1113,7 +1113,7 @@ fn batch_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) ->
             render_query_result(&scorer.answer(*query))
         }
         BatchOp::GlobalTop(k) => {
-            let tables: Vec<&[PipeRisk]> = views
+            let tables: Vec<RiskSlice<'_>> = views
                 .iter()
                 .map(|v| v.as_ref().expect("resolved above").top_k(*k))
                 .collect();
@@ -1274,13 +1274,13 @@ pub fn render_top_k(scorer: &Scorer, k: usize) -> String {
 /// exact body served by `GET /model`.
 pub fn render_model(scorer: &Scorer) -> String {
     let sections: Vec<String> = scorer
-        .sections()
+        .sections_info()
         .iter()
         .map(|s| {
             let fields: Vec<String> = s
                 .fields
                 .iter()
-                .map(|f| format!("{{\"name\":{},\"len\":{}}}", json_str(&f.name), f.values.len()))
+                .map(|(name, len)| format!("{{\"name\":{},\"len\":{len}}}", json_str(name)))
                 .collect();
             format!(
                 "{{\"name\":{},\"fields\":[{}]}}",
@@ -1290,11 +1290,13 @@ pub fn render_model(scorer: &Scorer) -> String {
         })
         .collect();
     format!(
-        "{{\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"sections\":[{}]}}",
+        "{{\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"format\":\"{}\",\"loader\":\"{}\",\"sections\":[{}]}}",
         json_str(scorer.model()),
         json_str(scorer.region()),
         scorer.seed(),
         scorer.len(),
+        scorer.format(),
+        scorer.loader(),
         sections.join(",")
     )
 }
@@ -1367,12 +1369,14 @@ pub fn render_shard_inventory(shards: &ShardSet) -> String {
                 Some(reason) => format!("\"degraded\",\"fault\":{}", json_str(&reason)),
             };
             format!(
-                "{{\"shard\":{},\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"status\":{}}}",
+                "{{\"shard\":{},\"model\":{},\"region\":{},\"seed\":{},\"pipes\":{},\"format\":\"{}\",\"loader\":\"{}\",\"status\":{}}}",
                 json_str(shard.key()),
                 json_str(scorer.model()),
                 json_str(scorer.region()),
                 scorer.seed(),
                 scorer.len(),
+                scorer.format(),
+                scorer.loader(),
                 status
             )
         })

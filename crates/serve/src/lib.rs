@@ -90,7 +90,10 @@ pub use federation::{serve_federated, BackendState, FedConfig, Federation, Feder
 pub use http::{serve, HttpCore, ServeContext, ServerConfig, ServerHandle};
 pub use metrics::Metrics;
 pub use parser::{ParseError, ParseOutcome, ParsedRequest};
-pub use scorer::{PipeRisk, Query, QueryResult, Scorer};
+pub use scorer::{
+    AttributesView, PipeAttributes, PipeRisk, Query, QueryResult, RiskSlice, RiskSliceIter,
+    SectionInfo, Scorer,
+};
 pub use shards::{merge_top_k, region_key, GlobalRisk, ReloadPolicy, Shard, ShardSet};
 
 use pipefail_core::snapshot::SnapshotError;

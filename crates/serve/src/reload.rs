@@ -39,6 +39,15 @@
 //! *delayed* (rejected, retried on the next stamp change) rather than
 //! wrong — but rename makes it exact.
 //!
+//! The rename protocol is also what makes **memory-mapped** (v2) snapshot
+//! reloads safe without any extra coordination here: the watcher calls the
+//! same [`Scorer::load`], which maps the *new* inode; the old scorer's
+//! mapping belongs to the old inode, whose pages stay valid until the last
+//! in-flight request drops its `Arc<Scorer>` — at which point the mapping
+//! is unmapped. Nothing ever rewrites a mapped file in place, so a served
+//! request can never observe a torn snapshot (or fault on a truncated
+//! one).
+//!
 //! [`ServerConfig::reload_poll_secs`]: crate::http::ServerConfig
 //! [`ReloadPolicy`]: crate::shards::ReloadPolicy
 //! [`ReloadPolicy::KeepLastGood`]: crate::shards::ReloadPolicy::KeepLastGood

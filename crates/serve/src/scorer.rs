@@ -1,21 +1,44 @@
 //! The scoring engine: snapshot in, microsecond risk queries out.
 //!
 //! A [`Scorer`] is an immutable, shareable (`Sync`) view of one model
-//! snapshot. Loading does all the work once — the ranking is validated and
-//! indexed — so every query is a slice or a binary search over a sorted
-//! id→rank array, with no allocation on the top-K path. Batches of queries fan out over a
-//! [`pipefail_par::TaskPool`] with the pool's usual determinism contract:
-//! results come back in query order at any thread count.
+//! snapshot, behind one of two backings:
+//!
+//! * **Heap** — the v1 path: the snapshot is parsed into owned vectors.
+//!   Loading costs O(file size); queries are slices and binary searches.
+//! * **Mapped** — the v2 path: the file is `mmap`ed read-only
+//!   (`sys`'s raw-syscall mapping) and validated in one pass
+//!   ([`pipefail_core::snapshot::v2::validate`]); the ranking, the
+//!   id→rank index, and the attribute columns are then served **directly
+//!   from the mapped bytes** — loading is O(ms) regardless of snapshot
+//!   size, and the page cache is shared across processes serving the same
+//!   file. The mapping lives inside an `Arc`, so a hot-reload swap keeps
+//!   the old pages valid until the last in-flight request drops its clone.
+//!
+//! [`Scorer::load`] negotiates on the header version: v1 files take the
+//! heap path, v2 files the mapped path (falling back to a heap parse on
+//! big-endian hosts, where the zero-copy column casts would read garbage).
+//! Both backings answer every query identically — the `mmap_identity`
+//! battery proves it on arbitrary generated snapshots.
+//!
+//! Queries return view types ([`RiskSlice`], [`AttributesView`]) instead
+//! of slices of owned structs, so the zero-copy property survives the API
+//! boundary. Batches of queries fan out over a [`pipefail_par::TaskPool`]
+//! with the pool's usual determinism contract: results come back in query
+//! order at any thread count.
 
+use crate::sys;
 use pipefail_core::model::RiskRanking;
 use pipefail_core::snapshot::{
-    Snapshot, SnapshotError, SummarySection, ATTRIBUTES_SECTION, ATTR_LAID_YEAR, ATTR_LENGTH_M,
-    ATTR_MATERIAL,
+    v2, Snapshot, SnapshotError, SnapshotFormat, SummarySection, ATTRIBUTES_SECTION,
+    ATTR_LAID_YEAR, ATTR_LENGTH_M, ATTR_MATERIAL, HEADER_LEN, MAGIC, SNAPSHOT_VERSION_V2,
 };
 use pipefail_network::attributes::Material;
 use pipefail_network::ids::PipeId;
 use pipefail_par::TaskPool;
+use std::io::Read;
+use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One pipe's served risk: its score and its position in the ranking
 /// (rank 0 = riskiest).
@@ -102,29 +125,266 @@ impl PipeAttributes {
     }
 }
 
-/// In-memory scoring engine over one loaded snapshot.
+/// A borrowed run of ranking entries starting at rank 0 — what
+/// [`Scorer::top_k`] returns. Over a heap backing this wraps a slice of
+/// [`PipeRisk`]; over a mapped backing it wraps the raw id and score
+/// columns and materializes each `PipeRisk` on the fly, so rendering a
+/// top-K response never copies the table.
+#[derive(Debug, Clone, Copy)]
+pub struct RiskSlice<'a> {
+    inner: SliceInner<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SliceInner<'a> {
+    Heap(&'a [PipeRisk]),
+    Cols { ids: &'a [u32], scores: &'a [f64] },
+}
+
+impl<'a> RiskSlice<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self.inner {
+            SliceInner::Heap(s) => s.len(),
+            SliceInner::Cols { ids, .. } => ids.len(),
+        }
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry at position `i` (which is also its rank), if in range.
+    pub fn get(&self, i: usize) -> Option<PipeRisk> {
+        match self.inner {
+            SliceInner::Heap(s) => s.get(i).copied(),
+            SliceInner::Cols { ids, scores } => Some(PipeRisk {
+                pipe: PipeId(*ids.get(i)?),
+                score: *scores.get(i)?,
+                rank: i,
+            }),
+        }
+    }
+
+    /// The entry at position `i`; panics when out of range.
+    pub fn at(&self, i: usize) -> PipeRisk {
+        self.get(i).expect("RiskSlice index out of range")
+    }
+
+    /// Iterate the entries in rank order.
+    pub fn iter(&self) -> RiskSliceIter<'a> {
+        RiskSliceIter { slice: *self, pos: 0 }
+    }
+
+    /// Copy the entries into an owned vector.
+    pub fn to_vec(&self) -> Vec<PipeRisk> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> From<&'a [PipeRisk]> for RiskSlice<'a> {
+    fn from(s: &'a [PipeRisk]) -> Self {
+        RiskSlice { inner: SliceInner::Heap(s) }
+    }
+}
+
+/// Iterator over a [`RiskSlice`], yielding [`PipeRisk`] by value.
+#[derive(Debug, Clone)]
+pub struct RiskSliceIter<'a> {
+    slice: RiskSlice<'a>,
+    pos: usize,
+}
+
+impl Iterator for RiskSliceIter<'_> {
+    type Item = PipeRisk;
+
+    fn next(&mut self) -> Option<PipeRisk> {
+        let out = self.slice.get(self.pos)?;
+        self.pos += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.slice.len().saturating_sub(self.pos);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RiskSliceIter<'_> {}
+
+impl<'a> IntoIterator for RiskSlice<'a> {
+    type Item = PipeRisk;
+    type IntoIter = RiskSliceIter<'a>;
+
+    fn into_iter(self) -> RiskSliceIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &RiskSlice<'a> {
+    type Item = PipeRisk;
+    type IntoIter = RiskSliceIter<'a>;
+
+    fn into_iter(self) -> RiskSliceIter<'a> {
+        self.iter()
+    }
+}
+
+/// A borrowed view of the per-pipe asset attributes, aligned with the
+/// ranking (index `i` describes the pipe at rank `i`). Over a heap backing
+/// this reads the decoded [`PipeAttributes`]; over a mapped backing it
+/// reads the raw f64 columns in place (values were validated at load, so
+/// the conversions here cannot fail).
+#[derive(Debug, Clone, Copy)]
+pub struct AttributesView<'a> {
+    inner: AttrInner<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AttrInner<'a> {
+    Heap(&'a PipeAttributes),
+    Cols {
+        length_m: &'a [f64],
+        material: &'a [f64],
+        laid_year: &'a [f64],
+    },
+}
+
+impl AttributesView<'_> {
+    /// Number of described pipes (always the ranking length).
+    pub fn len(&self) -> usize {
+        match self.inner {
+            AttrInner::Heap(a) => a.length_m.len(),
+            AttrInner::Cols { length_m, .. } => length_m.len(),
+        }
+    }
+
+    /// True when no pipes are described.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length in metres of the pipe at rank `i`.
+    pub fn length_m(&self, i: usize) -> f64 {
+        match self.inner {
+            AttrInner::Heap(a) => a.length_m[i],
+            AttrInner::Cols { length_m, .. } => length_m[i],
+        }
+    }
+
+    /// Material of the pipe at rank `i`.
+    pub fn material(&self, i: usize) -> Material {
+        Material::ALL[self.material_index(i)]
+    }
+
+    /// Index into `Material::ALL` of the pipe at rank `i`'s material.
+    pub fn material_index(&self, i: usize) -> usize {
+        match self.inner {
+            AttrInner::Heap(a) => Material::ALL
+                .iter()
+                .position(|m| *m == a.material[i])
+                .expect("decoded material is catalogued"),
+            AttrInner::Cols { material, .. } => material[i] as usize,
+        }
+    }
+
+    /// Construction year of the pipe at rank `i`.
+    pub fn laid_year(&self, i: usize) -> i32 {
+        match self.inner {
+            AttrInner::Heap(a) => a.laid_year[i],
+            AttrInner::Cols { laid_year, .. } => laid_year[i] as i32,
+        }
+    }
+}
+
+/// Shape of one posterior summary section as reported by
+/// [`Scorer::sections_info`]: the section name and each field's name and
+/// value count. Values themselves stay in the snapshot (or the mapping) —
+/// the `/model` endpoint only reports shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name.
+    pub name: String,
+    /// `(field name, value count)` in export order.
+    pub fields: Vec<(String, usize)>,
+}
+
+/// The mapped backing: the raw mapping plus the validated layout. Held in
+/// an `Arc` by every clone of the scorer, so the `munmap` happens exactly
+/// when the last holder (shard table or in-flight request) lets go.
+#[derive(Debug)]
+struct MappedBacking {
+    map: sys::Mapping,
+    layout: v2::Layout,
+    /// Attributes decoded from the summary blob when the writer did *not*
+    /// extract columns (non-canonical section shape). Keeps the two
+    /// loaders agreeing on whether attributes exist.
+    heap_attrs: Option<PipeAttributes>,
+}
+
+impl MappedBacking {
+    /// Reinterpret a validated column range as a `u32` slice.
+    fn u32s(&self, range: &Range<usize>) -> &[u32] {
+        let bytes = &self.map.bytes()[range.clone()];
+        // SAFETY: the validator proved the range 8-byte-aligned within the
+        // file and the mapping base is at least 8-aligned (page-aligned on
+        // unix, u64-backed on the fallback), so the pointer is aligned for
+        // u32; the length is a multiple of 4 by the section-table element
+        // check. Only constructed on little-endian hosts (see
+        // `Scorer::load`), where `u32` memory layout equals the on-disk
+        // little-endian encoding.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+    }
+
+    /// Reinterpret a validated column range as an `f64` slice.
+    fn f64s(&self, range: &Range<usize>) -> &[f64] {
+        let bytes = &self.map.bytes()[range.clone()];
+        // SAFETY: as `u32s`, with 8-byte elements.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, bytes.len() / 8) }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Heap {
+        /// Descending by score; `rank` equals the index.
+        entries: Vec<PipeRisk>,
+        /// `(pipe id, rank)` sorted ascending — point lookups are a binary
+        /// search over one contiguous 8-byte-per-pipe array. This beats a
+        /// `HashMap` here twice over: no SipHash per probe (the ids are
+        /// attacker-neutral — they come from the snapshot, not the
+        /// client), and the probe sequence is cache-friendly instead of a
+        /// random walk. Sorted by the full `(id, rank)` pair so lookups
+        /// resolve duplicates identically to the v2 on-disk index.
+        index: Vec<(PipeId, u32)>,
+        sections: Vec<SummarySection>,
+        /// Decoded `pipe_attributes` section, when present and valid.
+        attributes: Option<PipeAttributes>,
+    },
+    Mapped(Arc<MappedBacking>),
+}
+
+/// In-memory scoring engine over one loaded snapshot (heap-parsed or
+/// memory-mapped; see the module docs).
 #[derive(Debug, Clone)]
 pub struct Scorer {
     model: String,
     region: String,
     seed: u64,
-    /// Descending by score; `rank` equals the index.
-    entries: Vec<PipeRisk>,
-    /// `(pipe id, rank)` sorted by pipe id — point lookups are a binary
-    /// search over one contiguous 8-byte-per-pipe array. This beats a
-    /// `HashMap` here twice over: no SipHash per probe (the ids are
-    /// attacker-neutral — they come from the snapshot, not the client),
-    /// and the probe sequence is cache-friendly instead of a random walk.
-    index: Vec<(PipeId, u32)>,
-    sections: Vec<SummarySection>,
-    /// Decoded `pipe_attributes` section, when present and valid.
-    attributes: Option<PipeAttributes>,
+    format: SnapshotFormat,
+    backing: Backing,
 }
 
 impl Scorer {
     /// Build from a validated snapshot (scores arrive pre-sorted — the
-    /// format guarantees descending order).
+    /// format guarantees descending order). Heap-backed; the format tag is
+    /// [`SnapshotFormat::V1`], matching what `to_bytes` would write.
     pub fn new(snapshot: Snapshot) -> Self {
+        Self::new_with_format(snapshot, SnapshotFormat::V1)
+    }
+
+    fn new_with_format(snapshot: Snapshot, format: SnapshotFormat) -> Self {
         let entries: Vec<PipeRisk> = snapshot
             .scores
             .iter()
@@ -135,22 +395,72 @@ impl Scorer {
             .iter()
             .map(|e| (e.pipe, e.rank as u32))
             .collect();
-        index.sort_unstable_by_key(|&(pipe, _)| pipe);
+        index.sort_unstable();
         let attributes = PipeAttributes::decode(&snapshot.sections, entries.len());
         Self {
             model: snapshot.model,
             region: snapshot.region,
             seed: snapshot.seed,
-            entries,
-            index,
-            sections: snapshot.sections,
-            attributes,
+            format,
+            backing: Backing::Heap {
+                entries,
+                index,
+                sections: snapshot.sections,
+                attributes,
+            },
         }
     }
 
-    /// Load a snapshot file and build the engine.
+    /// Load a snapshot file and build the engine, negotiating the backing
+    /// on the header version: v1 heap-parses, v2 memory-maps (one strict
+    /// validation pass over the mapped bytes, then zero-copy serving).
+    /// Big-endian hosts heap-parse v2 too — correct, just not zero-copy.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
-        Ok(Self::new(Snapshot::load(path)?))
+        let version = peek_version(path)?;
+        if version == SNAPSHOT_VERSION_V2 && cfg!(target_endian = "little") {
+            Self::open_mapped(path)
+        } else {
+            Self::load_heap(path)
+        }
+    }
+
+    /// Load a snapshot file onto the heap regardless of its version — the
+    /// reference loader the mmap identity battery and the cold-start bench
+    /// compare against.
+    pub fn load_heap(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let format = if bytes.len() >= 8
+            && u16::from_le_bytes([bytes[6], bytes[7]]) == SNAPSHOT_VERSION_V2
+        {
+            SnapshotFormat::V2
+        } else {
+            SnapshotFormat::V1
+        };
+        Ok(Self::new_with_format(Snapshot::from_bytes(&bytes)?, format))
+    }
+
+    /// Map a v2 file and validate it in place.
+    fn open_mapped(path: &Path) -> Result<Self, SnapshotError> {
+        let map = sys::Mapping::map_path(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let layout = v2::validate(map.bytes())?;
+        let model = std::str::from_utf8(&map.bytes()[layout.model.clone()])
+            .expect("validated utf8")
+            .to_string();
+        let region = std::str::from_utf8(&map.bytes()[layout.region.clone()])
+            .expect("validated utf8")
+            .to_string();
+        let heap_attrs = if layout.attrs.is_none() {
+            PipeAttributes::decode(&layout.summary, layout.n_pipes)
+        } else {
+            None
+        };
+        Ok(Self {
+            model,
+            region,
+            seed: layout.seed,
+            format: SnapshotFormat::V2,
+            backing: Backing::Mapped(Arc::new(MappedBacking { map, layout, heap_attrs })),
+        })
     }
 
     /// Display name of the frozen model.
@@ -168,26 +478,105 @@ impl Scorer {
         self.seed
     }
 
+    /// On-disk format this scorer was built from (`v1`/`v2`). In-memory
+    /// scorers report v1, the format `Snapshot::to_bytes` writes.
+    pub fn format(&self) -> SnapshotFormat {
+        self.format
+    }
+
+    /// True when the scorer serves directly from a memory-mapped file.
+    pub fn mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// How the snapshot is held: `"mmap"` (zero-copy mapping) or `"heap"`
+    /// (owned vectors). Reported by `/model`.
+    pub fn loader(&self) -> &'static str {
+        if self.mapped() {
+            "mmap"
+        } else {
+            "heap"
+        }
+    }
+
     /// Number of ranked pipes.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.backing {
+            Backing::Heap { entries, .. } => entries.len(),
+            Backing::Mapped(b) => b.layout.n_pipes,
+        }
     }
 
     /// True when the snapshot ranked no pipes.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Posterior summary sections carried by the snapshot.
-    pub fn sections(&self) -> &[SummarySection] {
-        &self.sections
+    /// Shape of the posterior summary sections carried by the snapshot
+    /// (names and field value counts, as reported by `/model`). Identical
+    /// between the two backings: a mapped scorer synthesizes the entry for
+    /// extracted attribute columns at its original position.
+    pub fn sections_info(&self) -> Vec<SectionInfo> {
+        let of_sections = |sections: &[SummarySection]| {
+            sections
+                .iter()
+                .map(|s| SectionInfo {
+                    name: s.name.clone(),
+                    fields: s
+                        .fields
+                        .iter()
+                        .map(|f| (f.name.clone(), f.values.len()))
+                        .collect(),
+                })
+                .collect::<Vec<_>>()
+        };
+        match &self.backing {
+            Backing::Heap { sections, .. } => of_sections(sections),
+            Backing::Mapped(b) => {
+                let mut infos = of_sections(&b.layout.summary);
+                if let (Some(_), Some(pos)) = (&b.layout.attrs, b.layout.attr_pos) {
+                    let n = b.layout.n_pipes;
+                    infos.insert(
+                        pos,
+                        SectionInfo {
+                            name: ATTRIBUTES_SECTION.to_string(),
+                            fields: vec![
+                                (ATTR_LENGTH_M.to_string(), n),
+                                (ATTR_MATERIAL.to_string(), n),
+                                (ATTR_LAID_YEAR.to_string(), n),
+                            ],
+                        },
+                    );
+                }
+                infos
+            }
+        }
     }
 
     /// Per-pipe asset attributes (length / material / construction year),
     /// when the snapshot carries a valid `pipe_attributes` section. Rank
-    /// `i` of the ranking owns index `i` of every attribute vector.
-    pub fn attributes(&self) -> Option<&PipeAttributes> {
-        self.attributes.as_ref()
+    /// `i` of the ranking owns index `i` of the view.
+    pub fn attributes(&self) -> Option<AttributesView<'_>> {
+        match &self.backing {
+            Backing::Heap { attributes, .. } => attributes
+                .as_ref()
+                .map(|a| AttributesView { inner: AttrInner::Heap(a) }),
+            Backing::Mapped(b) => {
+                if let Some(cols) = &b.layout.attrs {
+                    Some(AttributesView {
+                        inner: AttrInner::Cols {
+                            length_m: b.f64s(&cols.length_m),
+                            material: b.f64s(&cols.material),
+                            laid_year: b.f64s(&cols.laid_year),
+                        },
+                    })
+                } else {
+                    b.heap_attrs
+                        .as_ref()
+                        .map(|a| AttributesView { inner: AttrInner::Heap(a) })
+                }
+            }
+        }
     }
 
     /// One-line identity used in logs ("which model is this process
@@ -198,25 +587,53 @@ impl Scorer {
             "{} / {} ({} pipes, seed {})",
             self.model,
             self.region,
-            self.entries.len(),
+            self.len(),
             self.seed
         )
     }
 
     /// The `k` riskiest pipes (all of them when `k > len`), descending.
-    /// Zero-copy: a slice of the pre-sorted table.
-    pub fn top_k(&self, k: usize) -> &[PipeRisk] {
-        &self.entries[..k.min(self.entries.len())]
+    /// Zero-copy on both backings: a slice of the pre-sorted table, or a
+    /// pair of column prefixes straight out of the mapping.
+    pub fn top_k(&self, k: usize) -> RiskSlice<'_> {
+        let k = k.min(self.len());
+        match &self.backing {
+            Backing::Heap { entries, .. } => RiskSlice {
+                inner: SliceInner::Heap(&entries[..k]),
+            },
+            Backing::Mapped(b) => RiskSlice {
+                inner: SliceInner::Cols {
+                    ids: &b.u32s(&b.layout.pipe_ids)[..k],
+                    scores: &b.f64s(&b.layout.scores)[..k],
+                },
+            },
+        }
     }
 
     /// One pipe's risk, if it was ranked. O(log n): a binary search over
-    /// the sorted id→rank array built at load (`serve_bench` tracks the
-    /// lookup latency as `scorer/risk_of_100k`).
+    /// the sorted id→rank index — owned vectors on the heap backing, the
+    /// on-disk index columns on the mapped backing (`serve_bench` tracks
+    /// the lookup latency as `scorer/risk_of_100k`). Both indexes are
+    /// sorted by `(id, rank)`, so duplicate ids resolve to the same entry
+    /// either way.
     pub fn risk_of(&self, pipe: PipeId) -> Option<PipeRisk> {
-        self.index
-            .binary_search_by_key(&pipe, |&(id, _)| id)
-            .ok()
-            .map(|i| self.entries[self.index[i].1 as usize])
+        match &self.backing {
+            Backing::Heap { entries, index, .. } => index
+                .binary_search_by_key(&pipe, |&(id, _)| id)
+                .ok()
+                .map(|i| entries[index[i].1 as usize]),
+            Backing::Mapped(b) => {
+                let ids = b.u32s(&b.layout.index_ids);
+                ids.binary_search(&pipe.0).ok().map(|i| {
+                    let rank = b.u32s(&b.layout.index_ranks)[i] as usize;
+                    PipeRisk {
+                        pipe,
+                        score: b.f64s(&b.layout.scores)[rank],
+                        rank,
+                    }
+                })
+            }
+        }
     }
 
     /// Reconstruct the full [`RiskRanking`] — bit-identical to the ranking
@@ -224,7 +641,7 @@ impl Scorer {
     /// tests).
     pub fn ranking(&self) -> RiskRanking {
         RiskRanking::new(
-            self.entries
+            self.top_k(usize::MAX)
                 .iter()
                 .map(|e| pipefail_core::model::RiskScore {
                     pipe: e.pipe,
@@ -250,12 +667,38 @@ impl Scorer {
     }
 }
 
+/// Read the 24-byte header of a snapshot file and return its version,
+/// with the same errors the full parse would produce for a short or
+/// mislabeled file.
+fn peek_version(path: &Path) -> Result<u16, SnapshotError> {
+    let mut file = std::fs::File::open(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    let mut head = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < head.len() {
+        match file.read(&mut head[got..]) {
+            Ok(0) => {
+                return Err(SnapshotError::TooShort {
+                    need: HEADER_LEN,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SnapshotError::Io(e.to_string())),
+        }
+    }
+    if head[..6] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    Ok(u16::from_le_bytes([head[6], head[7]]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipefail_core::model::{RiskRanking, RiskScore};
 
-    fn scorer() -> Scorer {
+    fn snapshot() -> Snapshot {
         let ranking = RiskRanking::new(
             (0..100u32)
                 .map(|i| RiskScore {
@@ -264,7 +707,17 @@ mod tests {
                 })
                 .collect(),
         );
-        Scorer::new(Snapshot::new("DPMHBP", "Region A", 7, &ranking))
+        Snapshot::new("DPMHBP", "Region A", 7, &ranking)
+    }
+
+    fn scorer() -> Scorer {
+        Scorer::new(snapshot())
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pipefail_scorer_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(format!("{tag}_{}.pfsnap", std::process::id()))
     }
 
     #[test]
@@ -273,15 +726,16 @@ mod tests {
         assert_eq!(s.len(), 100);
         let top = s.top_k(3);
         assert_eq!(top.len(), 3);
-        assert!(top[0].score >= top[1].score && top[1].score >= top[2].score);
-        assert_eq!(top[0].rank, 0);
+        assert!(top.at(0).score >= top.at(1).score && top.at(1).score >= top.at(2).score);
+        assert_eq!(top.at(0).rank, 0);
         // k beyond len clamps.
         assert_eq!(s.top_k(1000).len(), 100);
         assert_eq!(s.top_k(0).len(), 0);
+        assert!(s.top_k(0).is_empty());
         // The reconstructed ranking is the same object the snapshot froze.
         let r = s.ranking();
         assert_eq!(r.len(), 100);
-        assert_eq!(r.scores()[0].pipe, top[0].pipe);
+        assert_eq!(r.scores()[0].pipe, top.at(0).pipe);
     }
 
     #[test]
@@ -289,7 +743,7 @@ mod tests {
         let s = scorer();
         for e in s.top_k(100) {
             let hit = s.risk_of(e.pipe).expect("ranked pipe");
-            assert_eq!(hit, *e);
+            assert_eq!(hit, e);
         }
         assert_eq!(s.risk_of(PipeId(10_000)), None);
     }
@@ -335,10 +789,12 @@ mod tests {
             vec![1920.0, 1950.0, 1980.0, 2010.0],
         );
         let attrs = s.attributes().expect("valid attributes decode");
-        assert_eq!(attrs.length_m, vec![10.0, 20.0, 30.0, 40.0]);
-        assert_eq!(attrs.material[0], Material::ALL[0]);
-        assert_eq!(attrs.material[1], Material::ALL[8]);
-        assert_eq!(attrs.laid_year, vec![1920, 1950, 1980, 2010]);
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs.length_m(1), 20.0);
+        assert_eq!(attrs.material(0), Material::ALL[0]);
+        assert_eq!(attrs.material(1), Material::ALL[8]);
+        assert_eq!(attrs.material_index(1), 8);
+        assert_eq!(attrs.laid_year(3), 2010);
 
         // No section at all: attributes absent, scorer still works.
         assert!(scorer().attributes().is_none());
@@ -362,7 +818,61 @@ mod tests {
         assert_eq!(s.region(), "Region A");
         assert_eq!(s.seed(), 7);
         assert!(!s.is_empty());
-        assert!(s.sections().is_empty());
+        assert!(s.sections_info().is_empty());
         assert_eq!(s.describe(), "DPMHBP / Region A (100 pipes, seed 7)");
+        assert_eq!(s.format(), SnapshotFormat::V1);
+        assert!(!s.mapped());
+        assert_eq!(s.loader(), "heap");
+    }
+
+    #[test]
+    fn load_negotiates_backing_on_header_version() {
+        let snap = snapshot();
+
+        let v1_path = temp_path("negotiate_v1");
+        snap.save_as(&v1_path, SnapshotFormat::V1).expect("save v1");
+        let v1 = Scorer::load(&v1_path).expect("load v1");
+        assert_eq!(v1.format(), SnapshotFormat::V1);
+        assert!(!v1.mapped());
+
+        let v2_path = temp_path("negotiate_v2");
+        snap.save_as(&v2_path, SnapshotFormat::V2).expect("save v2");
+        let v2 = Scorer::load(&v2_path).expect("load v2");
+        assert_eq!(v2.format(), SnapshotFormat::V2);
+        assert_eq!(v2.mapped(), cfg!(target_endian = "little"));
+        if v2.mapped() {
+            assert_eq!(v2.loader(), "mmap");
+        }
+
+        // Forced heap load of the same v2 file: still v2, never mapped.
+        let v2h = Scorer::load_heap(&v2_path).expect("heap load v2");
+        assert_eq!(v2h.format(), SnapshotFormat::V2);
+        assert!(!v2h.mapped());
+
+        // All three answer identically.
+        for s in [&v2, &v2h] {
+            assert_eq!(s.describe(), v1.describe());
+            assert_eq!(s.top_k(10).to_vec(), v1.top_k(10).to_vec());
+            for pipe in [PipeId(0), PipeId(57), PipeId(10_000)] {
+                assert_eq!(s.risk_of(pipe), v1.risk_of(pipe));
+            }
+            assert_eq!(s.ranking(), v1.ranking());
+        }
+
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn short_and_foreign_files_fail_typed() {
+        let path = temp_path("short");
+        std::fs::write(&path, b"PFSN").expect("write");
+        assert!(matches!(
+            Scorer::load(&path),
+            Err(SnapshotError::TooShort { .. })
+        ));
+        std::fs::write(&path, vec![0u8; 64]).expect("write");
+        assert!(matches!(Scorer::load(&path), Err(SnapshotError::BadMagic)));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -38,7 +38,7 @@
 //! for that region only — until the publish is fixed. The shard heals the
 //! moment a valid snapshot replaces the corrupt one.
 
-use crate::scorer::{PipeRisk, Scorer};
+use crate::scorer::{PipeRisk, RiskSlice, Scorer};
 use crate::ServeError;
 use pipefail_core::snapshot::SnapshotError;
 use pipefail_par::TaskPool;
@@ -334,7 +334,7 @@ impl ShardSet {
         if !degraded.is_empty() {
             return Err(degraded);
         }
-        let tables: Vec<&[PipeRisk]> = tops.iter().map(|s| s.top_k(k)).collect();
+        let tables: Vec<RiskSlice<'_>> = tops.iter().map(|s| s.top_k(k)).collect();
         Ok(merge_top_k(&tables, k))
     }
 }
@@ -360,12 +360,12 @@ impl ShardSet {
 ///     PipeRisk { pipe: PipeId(1), score: 0.5, rank: 1 },
 /// ];
 /// let b = [PipeRisk { pipe: PipeId(7), score: 0.5, rank: 0 }];
-/// let merged = merge_top_k(&[&a, &b], 3);
+/// let merged = merge_top_k(&[a[..].into(), b[..].into()], 3);
 /// let order: Vec<(usize, u32)> =
 ///     merged.iter().map(|g| (g.shard, g.risk.pipe.0)).collect();
 /// assert_eq!(order, vec![(0, 0), (0, 1), (1, 7)]);
 /// ```
-pub fn merge_top_k(tables: &[&[PipeRisk]], k: usize) -> Vec<GlobalRisk> {
+pub fn merge_top_k(tables: &[RiskSlice<'_>], k: usize) -> Vec<GlobalRisk> {
     let total: usize = tables.iter().map(|t| t.len()).sum();
     let mut heads = vec![0usize; tables.len()];
     let mut out = Vec::with_capacity(k.min(total));
@@ -377,14 +377,14 @@ pub fn merge_top_k(tables: &[&[PipeRisk]], k: usize) -> Vec<GlobalRisk> {
             // order of the concatenated union.
             let beats = match best {
                 None => true,
-                Some(b) => candidate.score > tables[b][heads[b]].score,
+                Some(b) => candidate.score > tables[b].at(heads[b]).score,
             };
             if beats {
                 best = Some(s);
             }
         }
         let Some(s) = best else { break };
-        out.push(GlobalRisk { shard: s, risk: tables[s][heads[s]] });
+        out.push(GlobalRisk { shard: s, risk: tables[s].at(heads[s]) });
         heads[s] += 1;
     }
     out

@@ -281,6 +281,147 @@ fn bind_reuseaddr_v4(addr: std::net::SocketAddrV4) -> io::Result<TcpListener> {
 }
 
 // ---------------------------------------------------------------------------
+// Read-only file mappings (mmap)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mmap_ffi {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, privately mapped view of a whole file, created with raw
+/// `mmap` and released with `munmap` on drop. The mapping outlives the fd
+/// (the file is closed as soon as the map exists) and survives a
+/// rename-over of its path — the pages belong to the *inode* — which is
+/// exactly what the hot-reload publish protocol needs: the old snapshot's
+/// mapping stays valid until the last `Arc` holding it drops, while new
+/// loads map the fresh inode.
+///
+/// The base address is page-aligned by the kernel, so 8-byte-aligned
+/// offsets within the file are 8-byte-aligned in memory — the invariant
+/// the zero-copy column readers in `scorer` rely on.
+#[cfg(unix)]
+pub(crate) struct Mapping {
+    ptr: *mut std::os::raw::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+impl Mapping {
+    /// Map the file at `path` read-only in its entirety. Zero-length files
+    /// yield an empty mapping without calling `mmap` (which rejects
+    /// `len == 0`).
+    pub fn map_path(path: &std::path::Path) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space"))?;
+        if len == 0 {
+            return Ok(Mapping { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: plain syscall; the kernel picks the address. The fd is
+        // valid for the duration of the call, and the mapping is
+        // independent of it afterwards.
+        let ptr = unsafe {
+            mmap_ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_ffi::PROT_READ,
+                mmap_ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // that we own until drop. MAP_PRIVATE means no other process can
+        // mutate our view.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+// SAFETY: the mapping is immutable (PROT_READ | MAP_PRIVATE) and owned;
+// sharing references across threads is no different from sharing a
+// `&[u8]`.
+#[cfg(unix)]
+unsafe impl Send for Mapping {}
+#[cfg(unix)]
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: `ptr`/`len` describe a mapping we created and have
+            // not unmapped before; after this the struct is gone.
+            unsafe { mmap_ffi::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(unix)]
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len).finish()
+    }
+}
+
+/// Non-unix fallback: read the file into an 8-byte-aligned heap buffer
+/// (backed by `Vec<u64>`), preserving the alignment guarantee the column
+/// readers rely on. No page-cache sharing, but identical semantics.
+#[cfg(not(unix))]
+#[derive(Debug)]
+pub(crate) struct Mapping {
+    buf: Vec<u64>,
+    len: usize,
+}
+
+#[cfg(not(unix))]
+impl Mapping {
+    pub fn map_path(path: &std::path::Path) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: u64 buffer reinterpreted as bytes; lengths match.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8)
+        };
+        dst[..bytes.len()].copy_from_slice(&bytes);
+        Ok(Mapping { buf, len: bytes.len() })
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the u64 buffer holds at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, self.len) }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // EINTR-safe blocking reads
 // ---------------------------------------------------------------------------
 
@@ -485,6 +626,34 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         let n = read_deadline(&mut client, &mut buf, deadline).expect("read");
         assert_eq!(&buf[..n], b"late");
+    }
+
+    #[test]
+    fn mapping_round_trips_and_survives_rename_over() {
+        let dir = std::env::temp_dir().join(format!("pipefail_sys_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).expect("write");
+
+        let map = Mapping::map_path(&path).expect("map");
+        assert_eq!(map.bytes(), &payload[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % 8, 0, "base must be 8-aligned");
+
+        // Rename a new file over the mapped one: the mapping still sees the
+        // old inode's bytes — the atomic-publish property reload relies on.
+        let tmp = dir.join("data.bin.tmp");
+        std::fs::write(&tmp, b"replaced").expect("write replacement");
+        std::fs::rename(&tmp, &path).expect("rename over");
+        assert_eq!(map.bytes(), &payload[..]);
+
+        // Empty files map (trivially) without error.
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").expect("write empty");
+        let map = Mapping::map_path(&empty).expect("map empty");
+        assert!(map.bytes().is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[cfg(target_os = "linux")]

@@ -11,6 +11,7 @@
 #![allow(dead_code)] // each test binary uses its own subset
 
 pub mod faultproxy;
+pub mod snapgen;
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};

@@ -1,0 +1,160 @@
+//! Shared PFSNAP snapshot *generator* for the serve-layer property
+//! batteries: one [`Strategy`] producing arbitrary **valid** snapshots —
+//! variable pipe counts (including empty), shuffled unique ids, descending
+//! scores with ties, optional canonical per-pipe attribute sections,
+//! deliberately *non-canonical* attribute sections (shuffled field order,
+//! which the v2 writer must keep in the opaque summary blob rather than
+//! extract into columns), extra posterior sections, and UTF-8 identity
+//! strings — plus helpers to freeze a generated snapshot into v1 or v2
+//! bytes on disk.
+//!
+//! Both the mmap identity battery and the corruption battery build on this
+//! module, so the two loaders are always exercised against the *same*
+//! population of snapshots.
+
+use pipefail_core::model::{RiskRanking, RiskScore};
+use pipefail_core::snapshot::{
+    attributes_section, Snapshot, SnapshotFormat, SummarySection, ATTRIBUTES_SECTION,
+    ATTR_LAID_YEAR, ATTR_LENGTH_M, ATTR_MATERIAL,
+};
+use pipefail_network::ids::PipeId;
+use proptest::{collection, sample, Strategy, TestRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the generated snapshot carries per-pipe attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrMode {
+    /// No `pipe_attributes` section at all.
+    None,
+    /// The canonical section (`length_m`, `material`, `laid_year` in that
+    /// order, all valid) — the v2 writer extracts this into typed columns.
+    Canonical,
+    /// An attributes section with its fields in *reversed* order: still a
+    /// valid snapshot, but not extractable, so the v2 writer must keep it
+    /// verbatim in the summary blob and the mapped loader must fall back
+    /// to heap-decoding it. Exercises the loader-agreement corner.
+    Shuffled,
+}
+
+/// Strategy producing arbitrary valid [`Snapshot`]s (see module docs).
+pub struct ArbSnapshot {
+    /// Upper bound (inclusive) on the pipe count; 0 is always in range.
+    pub max_pipes: usize,
+}
+
+/// The default generator: up to 64 pipes.
+pub const ARB_SNAPSHOT: ArbSnapshot = ArbSnapshot { max_pipes: 64 };
+
+impl Strategy for ArbSnapshot {
+    type Value = Snapshot;
+
+    fn sample(&self, rng: &mut TestRng) -> Snapshot {
+        let n = (0usize..self.max_pipes + 1).sample(rng);
+
+        // Unique ids: prefix sums of positive gaps, then Fisher–Yates so
+        // id order is uncorrelated with rank order.
+        let start = (0u32..1_000).sample(rng);
+        let gaps = collection::vec(1u32..40, n..n + 1).sample(rng);
+        let mut ids = Vec::with_capacity(n);
+        let mut id = start;
+        for g in gaps {
+            ids.push(id);
+            id += g;
+        }
+        for i in (1..n).rev() {
+            let j = (0usize..i + 1).sample(rng);
+            ids.swap(i, j);
+        }
+
+        // Scores: non-increasing from a random base, with deliberate ties
+        // (~1 in 4 deltas are exactly zero) so duplicate-score ranks are
+        // part of the population.
+        let base = (-1e3f64..1e3).sample(rng);
+        let mut score = base;
+        let tie = sample::select(vec![true, false, false, false]);
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            scores.push(score);
+            let delta = (1e-6f64..0.5).sample(rng);
+            score -= if tie.sample(rng) { 0.0 } else { delta };
+        }
+
+        let ranking = RiskRanking::new(
+            ids.iter()
+                .zip(&scores)
+                .map(|(&pipe, &score)| RiskScore { pipe: PipeId(pipe), score })
+                .collect(),
+        );
+
+        let (model, region) = sample::select(vec![
+            ("DPMHBP", "Region A"),
+            ("Cox", "Ørsted-Øst"), // UTF-8 identity strings
+            ("", ""),              // empty strings are valid
+            ("WPHM", "north"),
+        ])
+        .sample(rng);
+        let seed = (0u64..u64::MAX).sample(rng);
+        let mut snap = Snapshot::new(model, region, seed, &ranking);
+
+        match sample::select(vec![
+            AttrMode::None,
+            AttrMode::Canonical,
+            AttrMode::Canonical,
+            AttrMode::Shuffled,
+        ])
+        .sample(rng)
+        {
+            AttrMode::None => {}
+            AttrMode::Canonical => {
+                let (l, m, y) = attr_columns(n, rng);
+                snap.push_section(attributes_section(l, m, y));
+            }
+            AttrMode::Shuffled => {
+                let (l, m, y) = attr_columns(n, rng);
+                snap.push_section(
+                    SummarySection::new(ATTRIBUTES_SECTION)
+                        .with_field(ATTR_LAID_YEAR, y)
+                        .with_field(ATTR_MATERIAL, m)
+                        .with_field(ATTR_LENGTH_M, l),
+                );
+            }
+        }
+
+        // Sometimes an extra posterior section rides along (scalar + a
+        // trace whose length is unrelated to the pipe count).
+        if sample::select(vec![true, false]).sample(rng) {
+            let trace = collection::vec(-5.0f64..5.0, 0..20).sample(rng);
+            snap.push_section(
+                SummarySection::new("posterior")
+                    .with_scalar("mean_clusters", (1.0f64..30.0).sample(rng))
+                    .with_field("alpha_trace", trace),
+            );
+        }
+        snap
+    }
+}
+
+/// Valid, score-order-aligned attribute columns for `n` pipes.
+fn attr_columns(n: usize, rng: &mut TestRng) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let lengths = collection::vec(0.0f64..500.0, n..n + 1).sample(rng);
+    let materials: Vec<f64> = (0..n).map(|_| f64::from((0u32..9).sample(rng))).collect();
+    let years: Vec<f64> = (0..n)
+        .map(|_| f64::from((1880i32..2026).sample(rng)))
+        .collect();
+    (lengths, materials, years)
+}
+
+static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Freeze `snap` to a fresh uniquely-named temp file in the given format.
+/// The caller owns cleanup (`std::fs::remove_file`); leaking on a failed
+/// assertion is fine for tests.
+pub fn save_to_temp(snap: &Snapshot, tag: &str, format: SnapshotFormat) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pipefail_snapgen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{tag}_{seq}.pfsnap"));
+    snap.save_as(&path, format).expect("save snapshot");
+    path
+}

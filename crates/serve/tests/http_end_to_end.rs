@@ -55,7 +55,7 @@ fn fit_snapshot_serve_query_roundtrip() {
     // server routes through.
     let reference_top = render_top_k(&scorer, 10);
     let reference_model = render_model(&scorer);
-    let top_pipe = scorer.top_k(1)[0].pipe;
+    let top_pipe = scorer.top_k(1).at(0).pipe;
 
     let ctx = Arc::new(ServeContext::new(scorer).with_dataset(ds));
     let config = ServerConfig::default();

@@ -39,7 +39,7 @@ pub mod prelude {
         hbp::{GroupingScheme, Hbp, HbpConfig},
         model::{FailureModel, RiskRanking},
         ranking::{RankSvm, RankSvmConfig},
-        snapshot::Snapshot,
+        snapshot::{Snapshot, SnapshotFormat},
     };
     pub use pipefail_eval::{
         detection::DetectionCurve,
