@@ -213,6 +213,9 @@ fn bench_serving(c: &mut Criterion) {
         // High enough that one keep-alive iteration (100 requests) never
         // trips the per-connection cap mid-measurement.
         keepalive_requests: 0,
+        // Every pre-cache serve entry keeps measuring the *compute* path;
+        // the result cache gets its own `serve/cache/*` group below.
+        cache: false,
         ..ServerConfig::default()
     };
     let handle = serve(Arc::new(ServeContext::new(scorer(1000))), &config).expect("server starts");
@@ -258,6 +261,7 @@ fn bench_serving(c: &mut Criterion) {
 fn bench_sharded(c: &mut Criterion) {
     let config = ServerConfig {
         keepalive_requests: 0,
+        cache: false,
         ..ServerConfig::default()
     };
     let per_shard = TOTAL_PIPES / SHARDS;
@@ -384,6 +388,7 @@ fn bench_federated(c: &mut Criterion) {
     let config = ServerConfig {
         keepalive_requests: 0,
         workers: 4,
+        cache: false,
         ..ServerConfig::default()
     };
     let per_shard = TOTAL_PIPES / SHARDS;
@@ -473,6 +478,7 @@ fn bench_aggregate(c: &mut Criterion) {
     let config = ServerConfig {
         keepalive_requests: 0,
         workers: 4,
+        cache: false,
         ..ServerConfig::default()
     };
     let per_shard = TOTAL_PIPES / SHARDS;
@@ -536,6 +542,107 @@ fn bench_aggregate(c: &mut Criterion) {
     }
 }
 
+/// The epoch-keyed result cache on the same 100k-pipe operating point the
+/// `serve/aggregate/*` entries measure: a cached hit (pooled-buffer
+/// replay of the rendered body) vs the uncached full-table scan, plus the
+/// single-flight coalesced path (8 identical concurrent misses, one
+/// compute). Prints one greppable
+/// `CACHEBENCH pipes=… hit_ns=… miss_ns=…` stdout line; the CI gate
+/// asserts `hit_ns * 5 <= miss_ns`.
+fn bench_cache(c: &mut Criterion) {
+    const SPEC: &str = "{\"group_by\":[\"material\",\"decade\"],\"aggregates\":[{\"op\":\"count\"},{\"op\":\"sum\",\"field\":\"length_m\"},{\"op\":\"avg\",\"field\":\"risk\"}]}";
+    let cached_config = ServerConfig {
+        keepalive_requests: 0,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let uncached_config = ServerConfig { cache: false, ..cached_config.clone() };
+
+    let warm = serve(Arc::new(ServeContext::new(scorer(TOTAL_PIPES))), &cached_config)
+        .expect("cached server starts");
+    let cold = serve(Arc::new(ServeContext::new(scorer(TOTAL_PIPES))), &uncached_config)
+        .expect("uncached server starts");
+    // Probe both (and store the cached server's entry) before the clock.
+    assert_aggregate_ok(warm.addr(), SPEC);
+    assert_aggregate_ok(cold.addr(), SPEC);
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function(format!("cache/hit/aggregate_100k/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(post_round(warm.addr(), "/aggregate", SPEC)))
+    });
+    g.bench_function(format!("cache/miss/aggregate_100k/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(post_round(cold.addr(), "/aggregate", SPEC)))
+    });
+    g.bench_function(format!("cache/hit/global_topk_100k/{QUERIES}_queries"), |b| {
+        b.iter(|| black_box(keepalive_round(warm.addr(), "/top?k=10")))
+    });
+    // Coalesced: every iteration invents a fresh key (the budget value
+    // varies) and hammers it with 8 identical concurrent requests — one
+    // leads the compute, seven wait on the flight and replay its bytes.
+    let round = std::sync::atomic::AtomicU64::new(0);
+    g.bench_function("cache/coalesced/aggregate_100k/8_clients", |b| {
+        b.iter(|| {
+            let n = round.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let spec = format!(
+                "{{\"group_by\":[\"material\",\"decade\"],\"aggregates\":[{{\"op\":\"count\"}},{{\"op\":\"sum\",\"field\":\"length_m\"}}],\"budget\":{{\"length_m\":{}}}}}",
+                100_000_000 + n
+            );
+            let addr = warm.addr();
+            std::thread::scope(|s| {
+                let spec = spec.as_str();
+                let clients: Vec<_> = (0..8)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let request = format!(
+                                "POST /aggregate HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{spec}",
+                                spec.len()
+                            );
+                            let mut stream = TcpStream::connect(addr).expect("connect");
+                            stream.set_nodelay(true).ok();
+                            stream.write_all(request.as_bytes()).expect("send");
+                            let mut buf = Vec::new();
+                            read_response(&mut stream, &mut buf)
+                        })
+                    })
+                    .collect();
+                let bytes: usize =
+                    clients.into_iter().map(|h| h.join().expect("client")).sum();
+                black_box(bytes)
+            })
+        })
+    });
+    g.finish();
+
+    // The greppable gate line: median single-request latency, hit vs miss,
+    // measured outside criterion so smoke mode still produces real medians.
+    let median_ns = |addr: SocketAddr| -> u64 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let mut buf = Vec::new();
+        let request = format!(
+            "POST /aggregate HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{SPEC}",
+            SPEC.len()
+        );
+        let mut samples: Vec<u64> = (0..31)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                stream.write_all(request.as_bytes()).expect("send");
+                black_box(read_response(&mut stream, &mut buf));
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let hit_ns = median_ns(warm.addr());
+    let miss_ns = median_ns(cold.addr());
+    println!("CACHEBENCH pipes={TOTAL_PIPES} hit_ns={hit_ns} miss_ns={miss_ns}");
+
+    warm.shutdown();
+    cold.shutdown();
+}
+
 /// In-process `/pipe` point lookups against the 100k-pipe table: the
 /// binary-searched id→rank index (`Scorer::risk_of`), no HTTP in the loop.
 fn bench_scorer_lookup(c: &mut Criterion) {
@@ -563,6 +670,7 @@ criterion_group!(
     bench_sharded,
     bench_federated,
     bench_aggregate,
+    bench_cache,
     bench_scorer_lookup
 );
 
@@ -590,6 +698,13 @@ criterion_group!(
 /// Each point yields `serve/{core}/open_loop/c{N}/{p50,p95,p99,p999}`
 /// trajectory entries (ns per request) plus an `…/errors` entry, and one
 /// greppable `LOADTEST core=… conns=… p99_us=…` stdout line.
+///
+/// After the core-vs-core sweep (which runs with the result cache OFF so
+/// its meaning is unchanged), the harness re-runs the largest swept point
+/// twice over a **skewed** key mix — 90% one hot key, 10% a warm tail —
+/// with the cache off and on, yielding
+/// `serve/cache/{off,on}/open_loop/c{N}/…` entries and
+/// `LOADTEST core=… cache={off,on} …` lines.
 mod open_loop {
     use super::{scorer, ServeContext, ServerConfig};
     use criterion::BenchRecord;
@@ -604,6 +719,39 @@ mod open_loop {
     const CLIENT_DEADLINE: Duration = Duration::from_secs(2);
     /// The sweep query: the same `/top` shape every serve bench issues.
     const PATH: &str = "/top?k=10";
+
+    /// Serialized keep-alive GET for `path`.
+    fn request_line(path: &str) -> String {
+        format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n")
+    }
+
+    /// The skewed key mix for the cache comparison: 90% ONE hot key (the
+    /// sweep's `/top?k=10`) plus a 10% warm tail of recurring `/aggregate`
+    /// pipelines (four distinct specs) — each client cycles this fixed
+    /// population, so every key recurs and is cacheable. The aggregates
+    /// are the point: against the 100k-pipe table an uncached scan costs
+    /// real milliseconds, so with the cache off the tail requests occupy
+    /// workers and queue the hot key behind them; with the cache on both
+    /// collapse to a buffer replay. Deterministic, so cache-on and
+    /// cache-off see the identical mix.
+    fn skewed_requests() -> Vec<String> {
+        (0..100)
+            .map(|i| {
+                if i % 10 == 0 {
+                    let spec = format!(
+                        "{{\"group_by\":[\"material\",\"decade\"],\"aggregates\":[{{\"op\":\"count\"}},{{\"op\":\"sum\",\"field\":\"length_m\"}}],\"budget\":{{\"length_m\":{}}}}}",
+                        1_000_000 * (1 + (i / 10) % 4)
+                    );
+                    format!(
+                        "POST /aggregate HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{spec}",
+                        spec.len()
+                    )
+                } else {
+                    request_line(PATH)
+                }
+            })
+            .collect()
+    }
 
     struct Point {
         core: &'static str,
@@ -698,6 +846,7 @@ mod open_loop {
         epoch_at: Instant,
         schedule: Vec<Duration>,
         window: Duration,
+        requests: Arc<Vec<String>>,
     ) -> Vec<(u64, bool)> {
         let mut conn = TcpStream::connect(addr).ok();
         if let Some(c) = conn.as_ref() {
@@ -706,9 +855,8 @@ mod open_loop {
         start.wait();
         let mut buf = Vec::new();
         let mut out = Vec::with_capacity(schedule.len());
-        let request =
-            format!("GET {PATH} HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n");
-        for at in schedule {
+        for (i, at) in schedule.into_iter().enumerate() {
+            let request = &requests[i % requests.len()];
             if let Some(wait) = (epoch_at + at).checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
@@ -749,18 +897,31 @@ mod open_loop {
     }
 
     /// Run one `(core, conns)` sweep point against a fresh server.
-    fn run_point(core_name: &'static str, core: HttpCore, conns: usize, rps: f64, secs: f64) -> Point {
+    #[allow(clippy::too_many_arguments)] // flat sweep-point config, called from one place
+    fn run_point(
+        core_name: &'static str,
+        core: HttpCore,
+        conns: usize,
+        rps: f64,
+        secs: f64,
+        cache: bool,
+        pipes: u32,
+        requests: Arc<Vec<String>>,
+    ) -> Point {
         let config = ServerConfig {
             core,
             // The sweep measures raw concurrency: admission off, keep-alive
             // uncapped, a fixed worker pool so both cores score identically.
+            // The result cache is off for the core-vs-core baseline and
+            // swept explicitly by the cache comparison.
             keepalive_requests: 0,
             max_connections: 0,
             max_inflight: 0,
             workers: 8,
+            cache,
             ..ServerConfig::default()
         };
-        let handle = serve(Arc::new(ServeContext::new(scorer(1000))), &config).expect("server");
+        let handle = serve(Arc::new(ServeContext::new(scorer(pipes))), &config).expect("server");
         let addr = handle.addr();
 
         // Same seed per conns-point for both cores: paired arrivals.
@@ -778,13 +939,14 @@ mod open_loop {
             let handles: Vec<_> = slices
                 .into_iter()
                 .map(|slice| {
+                    let requests = Arc::clone(&requests);
                     std::thread::Builder::new()
                         // 4096 idle clients don't need default-sized stacks.
                         .stack_size(128 * 1024)
                         .spawn_scoped(s, move || {
                             // Epoch resolves after every thread passes the
                             // barrier; measure from there.
-                            client(addr, start, Instant::now(), slice, window)
+                            client(addr, start, Instant::now(), slice, window, requests)
                         })
                         .expect("spawn load client")
                 })
@@ -835,38 +997,65 @@ mod open_loop {
         }
         cores.push(("threaded", HttpCore::Threads));
 
+        let hot = Arc::new(vec![request_line(PATH)]);
         let mut records = Vec::new();
-        for &n in &conns {
-            for &(name, core) in &cores {
-                let point = run_point(name, core, n, rps, secs);
-                let total = point.latencies_us.len() as u64;
-                let (p50, p95, p99, p999) = (
-                    percentile_us(&point.latencies_us, 0.50),
-                    percentile_us(&point.latencies_us, 0.95),
-                    percentile_us(&point.latencies_us, 0.99),
-                    percentile_us(&point.latencies_us, 0.999),
-                );
-                println!(
-                    "LOADTEST core={} conns={} rps={} secs={} requests={} errors={} \
-                     p50_us={p50} p95_us={p95} p99_us={p99} p999_us={p999}",
-                    point.core, point.conns, point.rps, point.secs, total, point.errors,
-                );
-                let prefix = format!("serve/{}/open_loop/c{}", point.core, point.conns);
-                for (tag, us) in
-                    [("p50", p50), ("p95", p95), ("p99", p99), ("p999", p999)]
-                {
-                    records.push(BenchRecord {
-                        id: format!("{prefix}/{tag}"),
-                        ns_per_iter: us as f64 * 1000.0,
-                        iters: total,
-                    });
-                }
+        let push_point = |records: &mut Vec<BenchRecord>,
+                              point: &Point,
+                              prefix: String,
+                              line_tag: String| {
+            let total = point.latencies_us.len() as u64;
+            let (p50, p95, p99, p999) = (
+                percentile_us(&point.latencies_us, 0.50),
+                percentile_us(&point.latencies_us, 0.95),
+                percentile_us(&point.latencies_us, 0.99),
+                percentile_us(&point.latencies_us, 0.999),
+            );
+            println!(
+                "LOADTEST core={}{} conns={} rps={} secs={} requests={} errors={} \
+                 p50_us={p50} p95_us={p95} p99_us={p99} p999_us={p999}",
+                point.core, line_tag, point.conns, point.rps, point.secs, total, point.errors,
+            );
+            for (tag, us) in [("p50", p50), ("p95", p95), ("p99", p99), ("p999", p999)] {
                 records.push(BenchRecord {
-                    id: format!("{prefix}/errors"),
-                    ns_per_iter: point.errors as f64,
+                    id: format!("{prefix}/{tag}"),
+                    ns_per_iter: us as f64 * 1000.0,
                     iters: total,
                 });
             }
+            records.push(BenchRecord {
+                id: format!("{prefix}/errors"),
+                ns_per_iter: point.errors as f64,
+                iters: total,
+            });
+        };
+
+        for &n in &conns {
+            for &(name, core) in &cores {
+                let point = run_point(name, core, n, rps, secs, false, 1000, Arc::clone(&hot));
+                let prefix = format!("serve/{}/open_loop/c{}", point.core, point.conns);
+                push_point(&mut records, &point, prefix, String::new());
+            }
+        }
+
+        // Cache-on vs cache-off on the platform's primary core, over the
+        // skewed key mix: the cache's open-loop win is the hot key's
+        // render cost disappearing from the tail percentiles. The
+        // comparison point is c1024 when swept — at the very top of the
+        // sweep (c4096 on a small host) client-scheduler noise drowns
+        // the pairing — else the largest swept point.
+        let &(name, core) = cores.first().expect("at least one core");
+        let cache_conns = conns
+            .iter()
+            .copied()
+            .find(|&n| n == 1024)
+            .or_else(|| conns.iter().copied().max())
+            .unwrap_or(256);
+        let skewed = Arc::new(skewed_requests());
+        for (label, cache) in [("off", false), ("on", true)] {
+            let point =
+                run_point(name, core, cache_conns, rps, secs, cache, super::TOTAL_PIPES, Arc::clone(&skewed));
+            let prefix = format!("serve/cache/{label}/open_loop/c{}", point.conns);
+            push_point(&mut records, &point, prefix, format!(" cache={label}"));
         }
         records
     }

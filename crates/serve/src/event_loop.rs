@@ -77,6 +77,43 @@ struct Done {
     close: bool,
 }
 
+/// Recycled response-frame buffers: workers pop one, render the response
+/// into it, and the loop thread returns it once the frame is fully
+/// written — so the steady-state request path (cache hits especially)
+/// allocates no frame memory. Oversized buffers (a huge `/aggregate`
+/// body) are dropped rather than pinned.
+#[derive(Default)]
+struct FramePool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Buffers retained in the pool at most (≈ the worker+loop high-water
+/// mark with headroom; beyond this, freeing beats hoarding).
+const POOL_MAX_BUFS: usize = 128;
+/// Largest buffer capacity worth recycling.
+const POOL_MAX_BUF_BYTES: usize = 1 << 20;
+
+impl FramePool {
+    fn get(&self) -> Vec<u8> {
+        self.bufs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF_BYTES {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock().unwrap_or_else(|p| p.into_inner());
+        if bufs.len() < POOL_MAX_BUFS {
+            bufs.push(buf);
+        }
+    }
+}
+
 struct Conn {
     stream: TcpStream,
     /// Bytes read but not yet consumed by the parser.
@@ -154,6 +191,7 @@ pub(crate) fn spawn(
     let (job_tx, job_rx) = mpsc::channel::<Job>();
     let job_rx = Arc::new(Mutex::new(job_rx));
     let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+    let pool = Arc::new(FramePool::default());
 
     let mut workers = Vec::with_capacity(config.resolved_workers());
     for _ in 0..config.resolved_workers() {
@@ -161,9 +199,10 @@ pub(crate) fn spawn(
         let handler = Arc::clone(&handler);
         let metrics = Arc::clone(&metrics);
         let done = Arc::clone(&done);
+        let pool = Arc::clone(&pool);
         let wake = wake_tx.try_clone()?;
         workers.push(std::thread::spawn(move || {
-            worker_loop(&rx, handler.as_ref(), &metrics, &done, wake)
+            worker_loop(&rx, handler.as_ref(), &metrics, &done, &pool, wake)
         }));
     }
     drop(wake_tx); // workers hold the only write ends now
@@ -185,6 +224,7 @@ pub(crate) fn spawn(
         max_request_bytes: config.max_request_bytes,
         max_connections: config.max_connections,
         max_inflight: config.max_inflight,
+        pool,
     };
     let loop_thread = std::thread::spawn(move || lp.run());
     Ok((loop_thread, workers))
@@ -195,6 +235,7 @@ fn worker_loop(
     handler: &dyn RequestHandler,
     metrics: &Metrics,
     done: &Mutex<Vec<Done>>,
+    pool: &FramePool,
     mut wake: UnixStream,
 ) {
     loop {
@@ -216,7 +257,10 @@ fn worker_loop(
         } else {
             metrics.observe(route, response.status, started.elapsed());
         }
-        let bytes = response.to_bytes();
+        // Render into a recycled frame buffer; the loop thread returns it
+        // to the pool after the write drains.
+        let mut bytes = pool.get();
+        response.render_into(&mut bytes);
         {
             let mut guard = done.lock().unwrap_or_else(|p| p.into_inner());
             guard.push(Done {
@@ -249,6 +293,8 @@ struct EventLoop {
     max_request_bytes: usize,
     max_connections: usize,
     max_inflight: usize,
+    /// Shared frame-buffer pool; drained output buffers go back here.
+    pool: Arc<FramePool>,
 }
 
 impl EventLoop {
@@ -627,14 +673,20 @@ impl EventLoop {
                 }
             }
         }
-        conn.out = Vec::new();
+        // Fully written: hand the frame buffer back to the pool instead of
+        // dropping it, so the next response renders allocation-free.
+        let drained = std::mem::take(&mut conn.out);
         conn.out_pos = 0;
         conn.write_started = None;
-        if conn.close_after_write {
+        let close = conn.close_after_write;
+        if !close {
+            conn.idle_since = Instant::now();
+        }
+        self.pool.put(drained);
+        if close {
             self.close_conn(token);
             return Flush::Closed;
         }
-        conn.idle_since = Instant::now();
         Flush::Flushed
     }
 

@@ -63,6 +63,7 @@ use crate::ServeError;
 use pipefail_network::ids::PipeId;
 use std::fmt;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -341,6 +342,14 @@ struct Backend {
     health: Mutex<Health>,
     pool: Mutex<Vec<TcpStream>>,
     latencies: Mutex<LatencyRing>,
+    /// Change counter feeding [`Federation::generation`] (the front-end
+    /// cache's epoch analogue): bumped on every health-state *transition*
+    /// and every observed backend snapshot-epoch change, so the front
+    /// end's fleet-scope cache entries key on exactly the state that can
+    /// change a merged body.
+    changes: AtomicU64,
+    /// Last `X-Pipefail-Epoch` this backend advertised (0 = never seen).
+    last_epoch: AtomicU64,
 }
 
 /// Idle keep-alive connections kept per backend.
@@ -358,6 +367,8 @@ impl Backend {
             }),
             pool: Mutex::new(Vec::new()),
             latencies: Mutex::new(LatencyRing::default()),
+            changes: AtomicU64::new(0),
+            last_epoch: AtomicU64::new(0),
         }
     }
 
@@ -374,26 +385,47 @@ impl Backend {
     }
 
     /// Passive failure marking: every failed attempt pushes the backend
-    /// toward `Down` at the threshold. Only a probe heals `Down`.
+    /// toward `Down` at the threshold. Only a probe heals `Down`. A state
+    /// *transition* bumps the change counter — the front-end cache must
+    /// retire fleet-scope bodies merged under the old health picture.
     fn mark_failure(&self, error: &FederationError, threshold: u32) {
         let mut h = self.health.lock().unwrap_or_else(|p| p.into_inner());
         h.consecutive_failures = h.consecutive_failures.saturating_add(1);
         h.last_error = error.to_string();
-        h.state = if h.consecutive_failures >= threshold {
+        let next = if h.consecutive_failures >= threshold {
             BackendState::Down
         } else {
             BackendState::Suspect
         };
+        if h.state != next {
+            self.changes.fetch_add(1, Ordering::SeqCst);
+        }
+        h.state = next;
         // A sick backend's pooled connections are not to be trusted.
         self.pool.lock().unwrap_or_else(|p| p.into_inner()).clear();
     }
 
     /// Any well-formed response proves the wire works (whatever the
-    /// status code says about the backend's shards).
+    /// status code says about the backend's shards). Healing from
+    /// `Suspect`/`Down` is a state transition, so it bumps the change
+    /// counter too.
     fn mark_success(&self) {
         let mut h = self.health.lock().unwrap_or_else(|p| p.into_inner());
         h.consecutive_failures = 0;
+        if h.state != BackendState::Healthy {
+            self.changes.fetch_add(1, Ordering::SeqCst);
+        }
         h.state = BackendState::Healthy;
+    }
+
+    /// Record the snapshot epoch this backend just advertised in an
+    /// `X-Pipefail-Epoch` header (responses and `/healthz` probes both
+    /// carry it); a change means the backend hot-reloaded or degraded, so
+    /// anything merged from it is stale.
+    fn note_epoch(&self, epoch: u64) {
+        if self.last_epoch.swap(epoch, Ordering::SeqCst) != epoch {
+            self.changes.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     fn record_latency(&self, elapsed: Duration) {
@@ -416,11 +448,13 @@ impl Backend {
     }
 }
 
-/// One complete backend answer: status code and exact-framed body.
+/// One complete backend answer: status code, exact-framed body, and the
+/// backend's advertised snapshot epoch (when it sent one).
 #[derive(Debug)]
 struct BackendReply {
     status: u16,
     body: String,
+    epoch: Option<u64>,
 }
 
 /// The federation: a sorted fleet of backends plus the tuning knobs.
@@ -494,6 +528,24 @@ impl Federation {
             .ok()
     }
 
+    /// Number of federated backends.
+    pub(crate) fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The fleet's state generation — the front-end cache's epoch: a
+    /// monotonic sum of every backend's change counter (health
+    /// transitions + observed snapshot-epoch changes). Any event that
+    /// could alter a merged fleet-scope body moves it; staleness is
+    /// bounded by the probe interval, since probes carry the backends'
+    /// epochs even when no request traffic does.
+    pub(crate) fn generation(&self) -> u64 {
+        self.backends
+            .iter()
+            .map(|b| b.changes.load(Ordering::SeqCst))
+            .sum()
+    }
+
     /// `Retry-After` seconds advertised on federated 503s: the next probe
     /// is the soonest a `Down` backend can heal.
     fn retry_after_secs(&self) -> u64 {
@@ -536,6 +588,9 @@ impl Federation {
             match self.hedged_attempt(backend, method, path_query, body, metrics) {
                 Ok(reply) => {
                     backend.mark_success();
+                    if let Some(epoch) = reply.epoch {
+                        backend.note_epoch(epoch);
+                    }
                     backend.record_latency(started.elapsed());
                     return Ok(reply);
                 }
@@ -677,8 +732,11 @@ impl Federation {
         let timeout = Duration::from_secs_f64(self.config.request_timeout_secs);
         for backend in &self.backends {
             let ok = match probe_once(backend, "/healthz", timeout) {
-                Ok(_) => {
+                Ok(reply) => {
                     backend.mark_success();
+                    if let Some(epoch) = reply.epoch {
+                        backend.note_epoch(epoch);
+                    }
                     true
                 }
                 Err(e) => {
@@ -880,6 +938,7 @@ fn exchange(
         .ok_or_else(|| bad(format!("bad status code in {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
     let mut close = status_line.starts_with("HTTP/1.0 ");
+    let mut epoch: Option<u64> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(bad(format!("bad header line {line:?}")));
@@ -893,6 +952,9 @@ fn exchange(
             }
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-pipefail-epoch") {
+            // Advisory: an unparsable value reads as absent, never an error.
+            epoch = value.parse().ok();
         }
     }
     let Some(content_length) = content_length else {
@@ -920,7 +982,7 @@ fn exchange(
     if reuse && !close {
         backend.check_in(conn);
     }
-    Ok(BackendReply { status, body })
+    Ok(BackendReply { status, body, epoch })
 }
 
 /// Full jitter over `[ms/2, ms]` — desynchronizes retry storms across
@@ -1056,14 +1118,9 @@ impl FederationRouter {
     /// fleet only (byte-identical to an in-process sharded server over
     /// exactly those regions).
     fn global_top(&self, req: &ParsedRequest, metrics: &Metrics) -> Response {
-        let k = match query_param(&req.query, "k") {
-            None => 10,
-            Some(v) => match v.parse::<usize>() {
-                Ok(k) => k,
-                Err(_) => {
-                    return Response::json(400, format!("{{\"error\":\"bad k: {v:?}\"}}"));
-                }
-            },
+        let k = match crate::query::top_k(&req.query) {
+            Ok(k) => k,
+            Err(e) => return e.response(),
         };
         let fed = &self.fed;
         let results: Vec<Result<Vec<PipeRisk>, FederationError>> = std::thread::scope(|s| {
@@ -1360,7 +1417,16 @@ pub fn serve_federated(
     config: &ServerConfig,
 ) -> Result<ServerHandle, ServeError> {
     let metrics = Arc::new(Metrics::with_backends(fed.keys()));
-    let handler = Arc::new(FederationRouter { fed: Arc::clone(&fed) });
+    let router: Arc<dyn RequestHandler> =
+        Arc::new(FederationRouter { fed: Arc::clone(&fed) });
+    // The front-end result cache keys its merged fleet-scope bodies on
+    // `Federation::generation()`; region relays pass through so the
+    // backends' own caches serve them with exact epochs.
+    let handler = Arc::new(crate::cache::CachingHandler::new(
+        router,
+        crate::cache::CacheTopology::Federated(Arc::clone(&fed)),
+        config,
+    ));
     let prober_metrics = Arc::clone(&metrics);
     let probe_interval = Duration::from_secs_f64(fed.config.probe_secs);
     serve_handler(handler, metrics, config, move |shutdown| {

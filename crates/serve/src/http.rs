@@ -90,6 +90,17 @@ pub const HTTP_MAX_CONNS_ENV: &str = "PIPEFAIL_HTTP_MAX_CONNS";
 /// requests are answered `429` + `Retry-After` without queueing.
 pub const HTTP_INFLIGHT_ENV: &str = "PIPEFAIL_HTTP_INFLIGHT";
 
+/// Environment variable: result-cache switch — `off`/`0`/`false` disables
+/// the rendered-response cache (every request recomputes). `ETag`/`304`
+/// revalidation and `HEAD` synthesis stay on either way, so observable
+/// behaviour never depends on this knob — only latency does.
+pub const CACHE_ENV: &str = "PIPEFAIL_CACHE";
+
+/// Environment variable: result-cache byte budget (total across lock
+/// shards; default 64 MiB). Bodies, keys, and fixed per-entry overhead
+/// all count; least-recently-used entries are evicted past the budget.
+pub const CACHE_BYTES_ENV: &str = "PIPEFAIL_CACHE_BYTES";
+
 /// Which connection core drives the accept/read/write path. Both cores
 /// share the parser, router, worker pool, metrics, and response framing,
 /// and answer byte-identically (proptest-asserted in
@@ -154,6 +165,12 @@ pub struct ServerConfig {
     /// Maximum in-flight requests at the workers (epoll core; `0` =
     /// unbounded). See [`HTTP_INFLIGHT_ENV`].
     pub max_inflight: usize,
+    /// Whether the epoch-keyed result cache stores rendered responses
+    /// (see [`CACHE_ENV`]). Off still answers `ETag`/`304`/`HEAD`
+    /// identically — the knob trades only latency, never behaviour.
+    pub cache: bool,
+    /// Result-cache byte budget (see [`CACHE_BYTES_ENV`]).
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -170,6 +187,8 @@ impl Default for ServerConfig {
             core: HttpCore::default(),
             max_connections: 8192,
             max_inflight: 4096,
+            cache: true,
+            cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -224,6 +243,20 @@ impl ServerConfig {
             .and_then(|v| v.parse::<usize>().ok())
         {
             cfg.max_inflight = n;
+        }
+        if let Ok(v) = std::env::var(CACHE_ENV) {
+            match v.to_ascii_lowercase().as_str() {
+                "off" | "0" | "false" => cfg.cache = false,
+                "on" | "1" | "true" => cfg.cache = true,
+                _ => {} // unknown value keeps the default (on)
+            }
+        }
+        if let Some(n) = std::env::var(CACHE_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+        {
+            cfg.cache_bytes = n;
         }
         cfg
     }
@@ -444,10 +477,18 @@ pub fn serve(ctx: Arc<ServeContext>, config: &ServerConfig) -> Result<ServerHand
     let metrics = Arc::new(Metrics::with_shards(
         ctx.shards().keys().map(String::from).collect(),
     ));
-    let handler = Arc::new(LocalRouter {
+    let router: Arc<dyn RequestHandler> = Arc::new(LocalRouter {
         ctx: Arc::clone(&ctx),
         retry_after_secs: retry_after_secs(config.reload_poll_secs),
     });
+    // The result cache fronts the router on both connection cores; it is
+    // always installed so ETag/304/HEAD behaviour never depends on the
+    // PIPEFAIL_CACHE knob.
+    let handler = Arc::new(crate::cache::CachingHandler::new(
+        router,
+        crate::cache::CacheTopology::Local(Arc::clone(&ctx)),
+        config,
+    ));
     let watcher_metrics = Arc::clone(&metrics);
     let poll = config.reload_poll_secs;
     let snapshot_path = config.snapshot_path.clone();
@@ -587,6 +628,11 @@ fn handle_connection(
     metrics.conn_opened();
 
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    // One response-frame buffer for the connection's whole keep-alive
+    // lifetime: every response renders into it and is written with one
+    // syscall, so the steady state (cache hits especially) allocates no
+    // frame memory per request.
+    let mut frame: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let mut served: usize = 0;
     // Cumulative per-request deadline: armed at the first byte of a
@@ -625,7 +671,7 @@ fn handle_connection(
                     } else {
                         metrics.observe(route, response.status, started.elapsed());
                     }
-                    let wrote = response.write_to(&mut stream);
+                    let wrote = response.write_with(&mut frame, &mut stream);
                     if response.close || wrote.is_err() {
                         break 'conn;
                     }
@@ -696,38 +742,144 @@ fn answer_request_timeout(stream: &mut TcpStream, metrics: &Metrics, elapsed: Du
     let _ = response.write_to(stream);
 }
 
+/// A response body: freshly rendered (`Owned`) or shared out of the
+/// result cache (`Shared`). Derefs to `str` so every reader treats it
+/// like the `String` it used to be; a cache hit clones an `Arc` refcount
+/// instead of copying the rendered bytes.
+#[derive(Debug, Clone)]
+pub(crate) enum Body {
+    /// A body rendered for this request.
+    Owned(String),
+    /// A body shared with the result cache (and other in-flight hits).
+    Shared(Arc<str>),
+}
+
+impl std::ops::Deref for Body {
+    type Target = str;
+    fn deref(&self) -> &str {
+        match self {
+            Body::Owned(s) => s,
+            Body::Shared(s) => s,
+        }
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::Owned(s)
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body::Owned(s.to_string())
+    }
+}
+
+impl std::fmt::Display for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self)
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<str> for Body {
+    fn eq(&self, other: &str) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<&str> for Body {
+    fn eq(&self, other: &&str) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<String> for Body {
+    fn eq(&self, other: &String) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Body> for String {
+    fn eq(&self, other: &Body) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Body> for &str {
+    fn eq(&self, other: &Body) -> bool {
+        **self == **other
+    }
+}
+
 /// A response ready to serialize.
 pub(crate) struct Response {
     pub(crate) status: u16,
     pub(crate) content_type: &'static str,
-    pub(crate) body: String,
+    pub(crate) body: Body,
     /// Extra headers beyond the always-present framing set
     /// (`Retry-After`, `X-Pipefail-Partial`, …).
     pub(crate) headers: Vec<(&'static str, String)>,
+    /// Epoch-derived entity tag, rendered as an `ETag` header (cacheable
+    /// GET routes only). `Arc` so cache hits attach it without allocating.
+    pub(crate) etag: Option<Arc<str>>,
+    /// Fleet-epoch token rendered as `X-Pipefail-Epoch` — how a
+    /// federation front end notices a backend snapshot reload between
+    /// health probes. Attached by the caching layer, one shared rendering
+    /// per epoch.
+    pub(crate) epoch_token: Option<Arc<str>>,
+    /// `HEAD` answer: frame the headers (with the body's true
+    /// `Content-Length`) but send no body bytes.
+    pub(crate) head_only: bool,
     /// Whether the server closes the connection after this response; also
     /// decides the advertised `Connection` header.
     pub(crate) close: bool,
 }
 
 impl Response {
-    pub(crate) fn json(status: u16, body: impl Into<String>) -> Self {
+    pub(crate) fn json(status: u16, body: impl Into<Body>) -> Self {
         Self {
             status,
             content_type: "application/json",
             body: body.into(),
             headers: Vec::new(),
+            etag: None,
+            epoch_token: None,
+            head_only: false,
             close: false,
         }
     }
 
-    pub(crate) fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+    pub(crate) fn text(status: u16, content_type: &'static str, body: impl Into<Body>) -> Self {
         Self {
             status,
             content_type,
             body: body.into(),
             headers: Vec::new(),
+            etag: None,
+            epoch_token: None,
+            head_only: false,
             close: false,
         }
+    }
+
+    /// Convert the body to its shared form in place (one copy if it was
+    /// owned, free if already shared) and return another handle to it —
+    /// how the result cache takes a reference to a rendered body.
+    pub(crate) fn share_body(&mut self) -> Arc<str> {
+        let shared: Arc<str> = match std::mem::replace(&mut self.body, Body::Owned(String::new()))
+        {
+            Body::Owned(s) => Arc::from(s),
+            Body::Shared(s) => s,
+        };
+        self.body = Body::Shared(Arc::clone(&shared));
+        shared
     }
 
     /// This response with one extra header appended.
@@ -746,11 +898,15 @@ impl Response {
     }
 
     /// Serialize the full response frame — status line, framing headers,
-    /// extras, body — into one buffer. Shared by both connection cores so
-    /// their wire output is byte-identical by construction.
-    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+    /// extras, body — into a caller-owned buffer (cleared first). Shared
+    /// by both connection cores so their wire output is byte-identical by
+    /// construction; both pass pooled buffers, so the steady-state request
+    /// path (cache hits especially) allocates nothing here.
+    pub(crate) fn render_into(&self, frame: &mut Vec<u8>) {
+        frame.clear();
         let reason = match self.status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -763,8 +919,10 @@ impl Response {
             504 => "Gateway Timeout",
             _ => "Error",
         };
-        use std::fmt::Write as _;
-        let mut head = format!(
+        // `Content-Length` is the body's length even for `head_only`
+        // frames: HEAD advertises what the matching GET would carry.
+        let _ = write!(
+            frame,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason,
@@ -772,20 +930,39 @@ impl Response {
             self.body.len(),
             if self.close { "close" } else { "keep-alive" }
         );
-        for (name, value) in &self.headers {
-            let _ = write!(head, "{name}: {value}\r\n");
+        if let Some(etag) = &self.etag {
+            let _ = write!(frame, "ETag: {etag}\r\n");
         }
-        head.push_str("\r\n");
-        let mut frame = head.into_bytes();
-        frame.extend_from_slice(self.body.as_bytes());
+        if let Some(epoch) = &self.epoch_token {
+            let _ = write!(frame, "X-Pipefail-Epoch: {epoch}\r\n");
+        }
+        for (name, value) in &self.headers {
+            let _ = write!(frame, "{name}: {value}\r\n");
+        }
+        frame.extend_from_slice(b"\r\n");
+        if !self.head_only {
+            frame.extend_from_slice(self.body.as_bytes());
+        }
+    }
+
+    /// [`Response::render_into`] into a fresh buffer (cold paths and
+    /// tests; the connection cores reuse pooled buffers instead).
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(128 + self.body.len());
+        self.render_into(&mut frame);
         frame
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        // One buffer, one write: two writes would let Nagle hold the body
-        // back until the client ACKs the head — a ~40ms delayed-ACK stall
-        // on every kept-alive response.
-        stream.write_all(&self.to_bytes())?;
+        self.write_with(&mut Vec::new(), stream)
+    }
+
+    /// Render into the reusable `frame` and write it in one syscall: two
+    /// writes would let Nagle hold the body back until the client ACKs
+    /// the head — a ~40ms delayed-ACK stall on every kept-alive response.
+    fn write_with(&self, frame: &mut Vec<u8>, stream: &mut TcpStream) -> std::io::Result<()> {
+        self.render_into(frame);
+        stream.write_all(frame)?;
         stream.flush()
     }
 }
@@ -846,16 +1023,10 @@ fn healthz_response(ctx: &ServeContext) -> Response {
     )
 }
 
-/// Value of query-string parameter `key` (no percent-decoding — the API
-/// only takes integers and sanitized [`crate::shards::region_key`]
-/// tokens).
-pub(crate) fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
-    query
-        .split('&')
-        .filter_map(|kv| kv.split_once('='))
-        .find(|(k, _)| *k == key)
-        .map(|(_, v)| v)
-}
+/// Value of query-string parameter `key` — the shared reader in
+/// [`crate::query`], re-exported under the name the router and the
+/// federation front-end have always used.
+pub(crate) use crate::query::param as query_param;
 
 /// The typed 404 body for a region key naming no loaded shard: the error
 /// plus the full list of known regions, so a caller can self-correct
@@ -911,14 +1082,9 @@ fn resolve_region(
 }
 
 fn top_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
-    let k = match query_param(&req.query, "k") {
-        None => 10,
-        Some(v) => match v.parse::<usize>() {
-            Ok(k) => k,
-            Err(_) => {
-                return Response::json(400, format!("{{\"error\":\"bad k: {v:?}\"}}"));
-            }
-        },
+    let k = match crate::query::top_k(&req.query) {
+        Ok(k) => k,
+        Err(e) => return e.response(),
     };
     match query_param(&req.query, "region") {
         // Region-tagged: route straight to one shard, zero cross-shard
@@ -962,11 +1128,9 @@ fn top_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> R
 }
 
 fn pipe_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics) -> Response {
-    let Some(raw) = query_param(&req.query, "id") else {
-        return Response::json(400, "{\"error\":\"missing id parameter\"}");
-    };
-    let Ok(id) = raw.parse::<u32>() else {
-        return Response::json(400, format!("{{\"error\":\"bad id: {raw:?}\"}}"));
+    let id = match crate::query::pipe_id(&req.query) {
+        Ok(id) => id,
+        Err(e) => return e.response(),
     };
     let (idx, scorer) = match query_param(&req.query, "region") {
         Some(key) => match resolve_region(ctx, metrics, key) {
@@ -1199,7 +1363,7 @@ fn aggregate_response(req: &ParsedRequest, ctx: &ServeContext, metrics: &Metrics
     let partials = ctx.pool.run(views.len(), |i| {
         aggregate::shard_partial(&spec, &views[i]).expect("attributes checked above")
     });
-    if query_param(&req.query, "partial") == Some("1") {
+    if crate::query::wants_partial(&req.query) {
         let merged = aggregate::merge_to_partial(&spec, &partials);
         return Response::json(200, aggregate::render_partial(&merged));
     }
@@ -1527,6 +1691,7 @@ mod tests {
             query,
             http11: true,
             connection: crate::parser::ConnectionDirective::Unspecified,
+            if_none_match: None,
             body: String::new(),
         }
     }

@@ -74,12 +74,14 @@
 //! `docs/SNAPSHOT_FORMAT.md`.
 
 pub mod aggregate;
+pub(crate) mod cache;
 #[cfg(target_os = "linux")]
 pub(crate) mod event_loop;
 pub mod federation;
 pub mod http;
 pub mod metrics;
 pub mod parser;
+pub(crate) mod query;
 pub mod reload;
 pub mod scorer;
 pub mod shards;

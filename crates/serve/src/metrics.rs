@@ -141,6 +141,19 @@ pub struct Metrics {
     /// `GET /healthz` probes answered — kept out of the request counters
     /// (see [`Route::Healthz`]).
     healthz: AtomicU64,
+    /// Result-cache hits: responses served from a stored rendered body
+    /// (including `304`s answered from the epoch-derived `ETag` alone).
+    cache_hits: AtomicU64,
+    /// Result-cache misses: cacheable requests computed by the router
+    /// (single-flight leaders and fallbacks).
+    cache_misses: AtomicU64,
+    /// Entries evicted past the cache byte budget (LRU order).
+    cache_evictions: AtomicU64,
+    /// Requests that blocked on another request's identical in-flight
+    /// miss and reused its body instead of recomputing.
+    cache_coalesced_waits: AtomicU64,
+    /// Resident cache bytes (gauge): bodies + keys + per-entry overhead.
+    cache_resident_bytes: AtomicU64,
     /// Federation only: retry attempts after a failed backend request.
     fed_retries: AtomicU64,
     /// Federation only: hedged duplicate requests fired.
@@ -362,6 +375,64 @@ impl Metrics {
         self.healthz.load(Ordering::Relaxed)
     }
 
+    /// Record one result-cache hit (stored body served, or a `304`
+    /// answered from the epoch-derived `ETag`).
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Result-cache hits so far.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Record one result-cache miss (request computed by the router).
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Result-cache misses so far.
+    pub fn cache_misses_total(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` entries evicted past the cache byte budget.
+    pub fn cache_evicted(&self, n: u64) {
+        if n > 0 {
+            self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Result-cache evictions so far.
+    pub fn cache_evictions_total(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Record one request coalesced onto another's in-flight miss.
+    pub fn cache_coalesced(&self) {
+        self.cache_coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Coalesced waits so far.
+    pub fn cache_coalesced_waits_total(&self) -> u64 {
+        self.cache_coalesced_waits.load(Ordering::Relaxed)
+    }
+
+    /// Adjust the resident-bytes gauge by a signed delta (stores and
+    /// evictions report their net effect; two's-complement wrapping keeps
+    /// the running sum exact as long as it never goes negative, which the
+    /// cache guarantees by accounting every byte it frees).
+    pub fn cache_resident_delta(&self, delta: i64) {
+        if delta != 0 {
+            self.cache_resident_bytes.fetch_add(delta as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Resident result-cache bytes right now.
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.cache_resident_bytes.load(Ordering::Relaxed)
+    }
+
     /// Record one federation retry (a repeat attempt after a failed
     /// backend request, not the first attempt).
     pub fn fed_retry(&self) {
@@ -508,6 +579,28 @@ impl Metrics {
         ));
         out.push_str("# TYPE pipefail_healthz_total counter\n");
         out.push_str(&format!("pipefail_healthz_total {}\n", self.healthz_total()));
+        out.push_str("# TYPE pipefail_cache_hits_total counter\n");
+        out.push_str(&format!("pipefail_cache_hits_total {}\n", self.cache_hits_total()));
+        out.push_str("# TYPE pipefail_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "pipefail_cache_misses_total {}\n",
+            self.cache_misses_total()
+        ));
+        out.push_str("# TYPE pipefail_cache_evictions_total counter\n");
+        out.push_str(&format!(
+            "pipefail_cache_evictions_total {}\n",
+            self.cache_evictions_total()
+        ));
+        out.push_str("# TYPE pipefail_cache_coalesced_waits_total counter\n");
+        out.push_str(&format!(
+            "pipefail_cache_coalesced_waits_total {}\n",
+            self.cache_coalesced_waits_total()
+        ));
+        out.push_str("# TYPE pipefail_cache_resident_bytes gauge\n");
+        out.push_str(&format!(
+            "pipefail_cache_resident_bytes {}\n",
+            self.cache_resident_bytes()
+        ));
         if self.federated {
             out.push_str("# TYPE pipefail_fed_retries_total counter\n");
             out.push_str(&format!(

@@ -115,6 +115,9 @@ pub struct ParsedRequest {
     pub http11: bool,
     /// The client's `Connection` header, if any.
     pub connection: ConnectionDirective,
+    /// The client's `If-None-Match` validator, if any — compared against
+    /// the epoch-derived `ETag` on cacheable GET routes to answer `304`.
+    pub if_none_match: Option<String>,
     /// Request body, exactly `Content-Length` bytes (lossy UTF-8).
     pub body: String,
 }
@@ -185,6 +188,7 @@ pub fn parse_request(buf: &[u8], max_bytes: usize) -> Result<ParseOutcome, Parse
 
     let mut content_length = 0usize;
     let mut connection = ConnectionDirective::Unspecified;
+    let mut if_none_match = None;
     let mut header_lines = 0usize;
     for line in lines {
         header_lines += 1;
@@ -218,6 +222,8 @@ pub fn parse_request(buf: &[u8], max_bytes: usize) -> Result<ParseOutcome, Parse
                     connection = ConnectionDirective::KeepAlive;
                 }
             }
+        } else if name.eq_ignore_ascii_case("if-none-match") {
+            if_none_match = Some(clip(value));
         }
     }
     if content_length > max_bytes {
@@ -242,6 +248,7 @@ pub fn parse_request(buf: &[u8], max_bytes: usize) -> Result<ParseOutcome, Parse
             query,
             http11,
             connection,
+            if_none_match,
             body,
         },
         total,
@@ -285,7 +292,19 @@ mod tests {
         assert_eq!(req.query, "k=3");
         assert!(req.http11);
         assert_eq!(req.connection, ConnectionDirective::Unspecified);
+        assert_eq!(req.if_none_match, None);
         assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn if_none_match_is_captured_and_clipped() {
+        let (req, _) =
+            complete(b"GET /top HTTP/1.1\r\nIf-None-Match: \"abc123\"\r\n\r\n");
+        assert_eq!(req.if_none_match.as_deref(), Some("\"abc123\""));
+        // Case-insensitive name, attacker-length values bounded.
+        let raw = format!("GET / HTTP/1.1\r\nif-none-match: {}\r\n\r\n", "x".repeat(500));
+        let (req, _) = complete(raw.as_bytes());
+        assert!(req.if_none_match.unwrap().len() < 120);
     }
 
     #[test]

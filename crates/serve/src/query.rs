@@ -1,0 +1,158 @@
+//! Shared query-string parsing for every route handler.
+//!
+//! `/top` and `/pipe` parameter parsing used to be duplicated between the
+//! local router (`http.rs`) and the federation front-end's scatter path
+//! (`federation.rs`), each with its own inline error rendering. This
+//! module is the single copy: typed [`QueryError`]s that render the exact
+//! historical response bodies, plus the *canonical* parameter readings
+//! ([`top_k`], [`pipe_id`]) that the result cache keys on — so
+//! `?k=10&region=a`, `?region=a&k=10`, and `?region=a` are one cache
+//! entry, not three (proptest-asserted in this module's tests).
+//!
+//! No percent-decoding anywhere: the API only takes integers and
+//! sanitized [`crate::shards::region_key`] tokens.
+
+use crate::http::Response;
+
+/// Typed `/top` / `/pipe` parameter failures. Each renders the exact
+/// response body the inline parsers produced before extraction (pinned by
+/// the end-to-end batteries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum QueryError {
+    /// `?k=` present but not a `usize`.
+    BadK(String),
+    /// `?id=` present but not a `u32`.
+    BadId(String),
+    /// `/pipe` without an `?id=`.
+    MissingId,
+}
+
+impl QueryError {
+    /// The ready 400 response for this failure.
+    pub(crate) fn response(&self) -> Response {
+        match self {
+            QueryError::BadK(v) => {
+                Response::json(400, format!("{{\"error\":\"bad k: {v:?}\"}}"))
+            }
+            QueryError::BadId(raw) => {
+                Response::json(400, format!("{{\"error\":\"bad id: {raw:?}\"}}"))
+            }
+            QueryError::MissingId => {
+                Response::json(400, "{\"error\":\"missing id parameter\"}")
+            }
+        }
+    }
+}
+
+/// Value of query-string parameter `key`; on duplicates the first
+/// occurrence wins (every caller — routing, forwarding, cache-key
+/// normalization — must agree on this, which is why there is one copy).
+pub(crate) fn param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// The `?k=` parameter as every top-K route reads it: absent means 10,
+/// unparsable is a typed 400. Returns the *numeric* value, so `k=010`,
+/// `k=10`, and an absent `k` normalize to the same cache key.
+pub(crate) fn top_k(query: &str) -> Result<usize, QueryError> {
+    match param(query, "k") {
+        None => Ok(10),
+        Some(v) => v.parse::<usize>().map_err(|_| QueryError::BadK(v.to_string())),
+    }
+}
+
+/// The `/pipe` `?id=` parameter: required, `u32`, typed 400s otherwise.
+pub(crate) fn pipe_id(query: &str) -> Result<u32, QueryError> {
+    let raw = param(query, "id").ok_or(QueryError::MissingId)?;
+    raw.parse::<u32>().map_err(|_| QueryError::BadId(raw.to_string()))
+}
+
+/// Whether `?partial=1` asks for the merge-ready partial aggregate state
+/// (the federation scatter leg).
+pub(crate) fn wants_partial(query: &str) -> bool {
+    param(query, "partial") == Some("1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn param_parses_first_occurrence() {
+        assert_eq!(param("k=5", "k"), Some("5"));
+        assert_eq!(param("a=1&k=9&b=2", "k"), Some("9"));
+        assert_eq!(param("k=1&k=2", "k"), Some("1"));
+        assert_eq!(param("", "k"), None);
+        assert_eq!(param("kk=5", "k"), None);
+    }
+
+    #[test]
+    fn top_k_defaults_and_normalizes() {
+        assert_eq!(top_k(""), Ok(10));
+        assert_eq!(top_k("k=10"), Ok(10));
+        assert_eq!(top_k("k=010"), Ok(10));
+        assert_eq!(top_k("region=a"), Ok(10));
+        assert_eq!(top_k("k=banana"), Err(QueryError::BadK("banana".into())));
+    }
+
+    #[test]
+    fn pipe_id_is_required_and_typed() {
+        assert_eq!(pipe_id("id=7&region=a"), Ok(7));
+        assert_eq!(pipe_id("region=a"), Err(QueryError::MissingId));
+        assert_eq!(pipe_id("id=-1"), Err(QueryError::BadId("-1".into())));
+    }
+
+    #[test]
+    fn errors_render_the_historical_bodies() {
+        assert_eq!(&*QueryError::BadK("x".into()).response().body, "{\"error\":\"bad k: \"x\"\"}");
+        assert_eq!(&*QueryError::BadId("y".into()).response().body, "{\"error\":\"bad id: \"y\"\"}");
+        assert_eq!(&*QueryError::MissingId.response().body, "{\"error\":\"missing id parameter\"}");
+    }
+
+    proptest! {
+        /// Permuted-but-equivalent queries read identically — the property
+        /// the cache-key normalization in `cache.rs` rests on: any
+        /// reordering of the same `&`-separated parameters (plus ignored
+        /// extras) yields the same `(k, region, id)` reading, hence the
+        /// same cache key.
+        #[test]
+        fn permuted_queries_read_identically(
+            k in proptest::option::of(0usize..1000),
+            region in proptest::option::of(proptest::sample::select(vec![
+                "north", "south_east", "a", "zz_9",
+            ])),
+            id in proptest::option::of(0u32..1000),
+            extra in proptest::option::of(proptest::sample::select(vec![
+                "x=1", "debug=yes", "partial=0", "pad=abcd",
+            ])),
+            seed in 0u64..24,
+        ) {
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(k) = k { parts.push(format!("k={k}")); }
+            if let Some(r) = region { parts.push(format!("region={r}")); }
+            if let Some(id) = id { parts.push(format!("id={id}")); }
+            if let Some(e) = extra {
+                // The selectable extras never shadow a real parameter.
+                parts.push(e.to_string());
+            }
+            let baseline = parts.join("&");
+            // A deterministic permutation driven by `seed`.
+            let mut permuted = parts.clone();
+            let mut s = seed;
+            for i in (1..permuted.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                permuted.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let permuted = permuted.join("&");
+            prop_assert_eq!(top_k(&baseline), top_k(&permuted));
+            prop_assert_eq!(pipe_id(&baseline), pipe_id(&permuted));
+            prop_assert_eq!(param(&baseline, "region"), param(&permuted, "region"));
+            prop_assert_eq!(wants_partial(&baseline), wants_partial(&permuted));
+        }
+    }
+}

@@ -10,7 +10,11 @@
 //! behind its `RwLock<Arc<..>>`. One region's refresh never blocks or
 //! invalidates the others: in-flight requests keep the `Arc` they already
 //! cloned, sibling shards are untouched, and each shard's stamp advances
-//! independently.
+//! independently. Every swap (and degrade/heal) also bumps that shard's
+//! epoch counter (`Shard::epoch` via [`crate::shards`]), which is what
+//! invalidates exactly the affected entries in the result cache
+//! (`crate::cache`) — reload correctness and cache correctness are the
+//! same atomic event, not two clocks to keep in sync.
 //!
 //! A corrupt or truncated replacement is rejected with a typed error,
 //! logged, and counted in `pipefail_reload_failures_total` (and the

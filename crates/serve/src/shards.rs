@@ -43,6 +43,7 @@ use crate::ServeError;
 use pipefail_core::snapshot::SnapshotError;
 use pipefail_par::TaskPool;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// What a shard serves after its snapshot is replaced with a corrupt file.
@@ -83,6 +84,13 @@ pub struct Shard {
     key: String,
     path: Option<PathBuf>,
     state: RwLock<ShardState>,
+    /// Monotonic generation of this shard's observable state. Starts at 1
+    /// and is bumped by every [`Shard::swap`] *and* every
+    /// [`Shard::degrade`] — any transition that can change what this shard
+    /// answers. The result cache keys entries by this value, so a bump
+    /// makes every cached body for the old state unreachable without any
+    /// TTL or explicit flush.
+    epoch: AtomicU64,
 }
 
 impl Shard {
@@ -94,6 +102,7 @@ impl Shard {
                 scorer: Arc::new(scorer),
                 fault: None,
             }),
+            epoch: AtomicU64::new(1),
         }
     }
 
@@ -135,20 +144,36 @@ impl Shard {
 
     /// Atomically install a freshly validated scorer, clearing any fault
     /// (a valid publish heals a degraded shard). Returns the new handle.
+    ///
+    /// The epoch is bumped *after* the state write unlocks: a request that
+    /// raced the swap and read the old epoch can at worst write a cache
+    /// entry under a key that every post-swap lookup has already moved
+    /// past (the store path additionally revalidates the epoch, see
+    /// `cache.rs`). Epoch keys only ever move forward.
     pub(crate) fn swap(&self, scorer: Scorer) -> Arc<Scorer> {
         let fresh = Arc::new(scorer);
         let mut state = self.state.write().unwrap_or_else(|p| p.into_inner());
         state.scorer = Arc::clone(&fresh);
         state.fault = None;
+        drop(state);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         fresh
     }
 
     /// Mark the shard unavailable ([`ReloadPolicy::Degrade`] after a
     /// corrupt replacement). The last good scorer is retained for
-    /// diagnostics but no longer served.
+    /// diagnostics but no longer served. Bumps the epoch: cached bodies
+    /// from the healthy state must not outlive the degradation.
     pub(crate) fn degrade(&self, reason: String) {
         let mut state = self.state.write().unwrap_or_else(|p| p.into_inner());
         state.fault = Some(reason);
+        drop(state);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The shard's current state generation (see the `epoch` field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 }
 
@@ -299,6 +324,15 @@ impl ShardSet {
     /// The shard serving `key`, if any.
     pub fn get(&self, key: &str) -> Option<&Shard> {
         self.index_of(key).map(|i| &self.shards[i])
+    }
+
+    /// Sum of every shard's [`Shard::epoch`] — a fleet-wide state
+    /// generation. Each shard's epoch is monotonic, so the sum is too:
+    /// any swap, degrade, or heal anywhere in the set changes this value
+    /// and retires every cached fleet-scope artefact (global top-K merge,
+    /// `/aggregate`) keyed under the previous one.
+    pub fn fleet_epoch(&self) -> u64 {
+        self.shards.iter().map(|s| s.epoch()).sum()
     }
 
     /// Routing keys of shards currently refusing requests (Degrade policy
@@ -484,6 +518,30 @@ mod tests {
         assert!(a.serving().is_ok());
         assert_eq!(a.fault(), None);
         assert_eq!(set.global_top_k(1).expect("healed")[0].risk.pipe, PipeId(5));
+    }
+
+    #[test]
+    fn epochs_advance_on_every_swap_degrade_and_heal() {
+        let set = ShardSet::from_scorers(vec![
+            scorer("A", &[(0, 1.0)]),
+            scorer("B", &[(0, 2.0)]),
+        ])
+        .expect("set");
+        let a = set.get("a").unwrap();
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(set.fleet_epoch(), 2);
+        // A swap retires cached bodies for the old model…
+        a.swap(scorer("A", &[(5, 9.0)]));
+        assert_eq!(a.epoch(), 2);
+        // …a degrade retires cached bodies for the healthy state…
+        a.degrade("bad bytes".into());
+        assert_eq!(a.epoch(), 3);
+        // …and the heal retires any (nonexistent) degraded-state entries.
+        a.swap(scorer("A", &[(6, 9.0)]));
+        assert_eq!(a.epoch(), 4);
+        // The sibling never moved; the fleet epoch tracked every change.
+        assert_eq!(set.get("b").unwrap().epoch(), 1);
+        assert_eq!(set.fleet_epoch(), 5);
     }
 
     #[test]

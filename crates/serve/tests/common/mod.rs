@@ -143,6 +143,39 @@ impl Conn {
         HttpResponse { status, reason, headers, body }
     }
 
+    /// Read one response to a `HEAD` request: identical strict head
+    /// parsing, but no body bytes are consumed even when `Content-Length`
+    /// is non-zero — HEAD advertises the GET body's length without
+    /// sending it. A server that *does* write body bytes desyncs the next
+    /// keep-alive response, which the strict reader then catches.
+    pub fn read_head_response(&mut self) -> HttpResponse {
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "connection closed mid-head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).expect("ASCII head");
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().expect("status line");
+        let mut parts = status_line.splitn(3, ' ');
+        assert_eq!(parts.next().unwrap_or(""), "HTTP/1.1");
+        let status: u16 = parts.next().and_then(|s| s.parse().ok()).expect("status code");
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers: Vec<(String, String)> = lines
+            .map(|l| {
+                let (k, v) =
+                    l.split_once(':').unwrap_or_else(|| panic!("bad header line {l:?}"));
+                (k.trim().to_string(), v.trim().to_string())
+            })
+            .collect();
+        self.buf.drain(..head_end + 4);
+        HttpResponse { status, reason, headers, body: String::new() }
+    }
+
     /// Assert the server has hung up: nothing left buffered and the next
     /// read returns EOF (or an error from an already-reset socket).
     pub fn assert_eof(&mut self) {
@@ -161,6 +194,22 @@ impl Conn {
 pub fn get_request(path: &str, keep_alive: bool) -> String {
     format!(
         "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+}
+
+/// Serialized HEAD request; `keep_alive` picks the `Connection` header.
+pub fn head_request(path: &str, keep_alive: bool) -> String {
+    format!(
+        "HEAD {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+}
+
+/// Serialized conditional GET carrying an `If-None-Match` validator.
+pub fn get_if_none_match(path: &str, etag: &str, keep_alive: bool) -> String {
+    format!(
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nIf-None-Match: {etag}\r\nConnection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" }
     )
 }
